@@ -1,0 +1,118 @@
+//! Criterion benches for the design-choice ablations: each measures one
+//! simulator configuration so regressions in a specific machine-model
+//! feature (software routing, load-word traffic, comm scaling) show up as
+//! timing changes of that variant alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oracle::model::LoadInfoMode;
+use oracle::prelude::*;
+use std::hint::black_box;
+
+fn base() -> SimulationBuilder {
+    SimulationBuilder::new()
+        .topology(TopologySpec::grid(5))
+        .strategy(StrategySpec::Cwn {
+            radius: 5,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(13))
+        .seed(1)
+}
+
+fn bench_load_info(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_load_info");
+    g.sample_size(10);
+    let modes = [
+        ("instant", LoadInfoMode::Instant),
+        ("piggyback_only", LoadInfoMode::Piggyback { period: 0 }),
+        ("piggyback_40", LoadInfoMode::Piggyback { period: 40 }),
+    ];
+    for (name, mode) in modes {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = base().config();
+                cfg.machine.load_info = mode;
+                black_box(cfg.run().unwrap().completion_time)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_coprocessor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_coprocessor");
+    g.sample_size(10);
+    for (name, on) in [("coprocessor", true), ("software_routing", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(base().coprocessor(on).run().unwrap().completion_time));
+        });
+    }
+    g.finish();
+}
+
+fn bench_comm_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_comm_ratio");
+    g.sample_size(10);
+    for scale in [1u64, 5, 10] {
+        g.bench_function(format!("comm_x{scale}"), |b| {
+            b.iter(|| {
+                black_box(
+                    base()
+                        .costs(CostModel::paper_default().with_comm_scaled(scale, 1))
+                        .run()
+                        .unwrap()
+                        .completion_time,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_strategy");
+    g.sample_size(10);
+    let strategies = [
+        ("local", StrategySpec::Local),
+        (
+            "cwn",
+            StrategySpec::Cwn {
+                radius: 5,
+                horizon: 1,
+            },
+        ),
+        (
+            "gm",
+            StrategySpec::Gradient {
+                low_water_mark: 1,
+                high_water_mark: 2,
+                interval: 20,
+            },
+        ),
+        (
+            "acwn",
+            StrategySpec::AdaptiveCwn {
+                radius: 5,
+                horizon: 1,
+                saturation: 3,
+                redistribute: true,
+            },
+        ),
+        ("steal", StrategySpec::WorkStealing { retry_delay: 40 }),
+    ];
+    for (name, strategy) in strategies {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(base().strategy(strategy).run().unwrap().completion_time));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_load_info,
+    bench_coprocessor,
+    bench_comm_ratio,
+    bench_strategies
+);
+criterion_main!(benches);

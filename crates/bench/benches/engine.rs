@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the simulation substrate: the event calendar, the
+//! PRNG, the statistics collectors, and topology construction. These bound
+//! how fast the paper experiments can run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oracle::des::{CalendarQueue, EventQueue, Histogram, IntervalSeries, Rng, SimTime};
+use oracle::topo::TopologySpec;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..1000u32 {
+                    q.schedule_after((i * 7 % 97) as u64, i);
+                }
+                while let Some((t, e)) = q.pop() {
+                    black_box((t, e));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("interleaved_hold_32", |b| {
+        // The simulator's steady state: a small working set of pending
+        // events with constant churn.
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::<u32>::new();
+                for i in 0..32u32 {
+                    q.schedule_after(i as u64, i);
+                }
+                q
+            },
+            |mut q| {
+                for i in 0..1000u32 {
+                    let (_, e) = q.pop().expect("queue never drains");
+                    q.schedule_after((e as u64 * 13 % 61) + 1, i);
+                }
+                black_box(q.now())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("calendar_interleaved_hold_32", |b| {
+        // Same hold pattern on the calendar queue, for comparison.
+        b.iter_batched(
+            || {
+                let mut q = CalendarQueue::<u32>::new();
+                for i in 0..32u32 {
+                    q.schedule_after(i as u64, i);
+                }
+                q
+            },
+            |mut q| {
+                for i in 0..1000u32 {
+                    let (_, e) = q.pop().expect("queue never drains");
+                    q.schedule_after((e as u64 * 13 % 61) + 1, i);
+                }
+                black_box(q.now())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64_x1k", |b| {
+        let mut r = Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= r.next_u64();
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("below_x1k", |b| {
+        let mut r = Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc += r.below(17);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("interval_series_add_busy_x1k", |b| {
+        b.iter_batched(
+            || IntervalSeries::new(100),
+            |mut s| {
+                for i in 0..1000u64 {
+                    let start = i * 37 % 10_000;
+                    s.add_busy(SimTime(start), SimTime(start + 53));
+                }
+                black_box(s.total_busy())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("histogram_record_x1k", |b| {
+        b.iter_batched(
+            || Histogram::new(64),
+            |mut h| {
+                for i in 0..1000u64 {
+                    h.record(i * 31 % 70);
+                }
+                black_box(h.total())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    g.sample_size(10);
+    for spec in [
+        TopologySpec::grid(20),
+        TopologySpec::dlm(20),
+        TopologySpec::Hypercube { dim: 7 },
+    ] {
+        g.bench_function(spec.to_string(), |b| {
+            b.iter(|| black_box(spec.build()).diameter());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_stats,
+    bench_topology_build
+);
+criterion_main!(benches);

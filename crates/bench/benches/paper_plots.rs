@@ -1,0 +1,59 @@
+//! Criterion benches timing the plot-regeneration code paths (Plots 1–16
+//! and the hypercube appendix) at miniature scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oracle::experiments::{appendix, plots, Fidelity};
+use oracle::prelude::*;
+use std::hint::black_box;
+
+fn bench_util_vs_goals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plots_util_vs_goals");
+    g.sample_size(10);
+    let workloads = plots::plot_workloads(Fidelity::Quick, false);
+    for topology in [TopologySpec::grid(5), TopologySpec::dlm(5)] {
+        g.bench_function(topology.to_string(), |b| {
+            b.iter(|| {
+                let p = plots::util_vs_goals(topology, &workloads, 1);
+                black_box(p.cwn.points.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_util_vs_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plots_util_vs_time");
+    g.sample_size(10);
+    for (name, topology) in [
+        ("grid25_fib13", TopologySpec::grid(5)),
+        ("dlm25_fib13", TopologySpec::dlm(5)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let p = plots::util_vs_time(topology, WorkloadSpec::fib(13), 50, 1);
+                black_box(p.cwn.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_appendix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("appendix_hypercube");
+    g.sample_size(10);
+    g.bench_function("quick_goals_plots", |b| {
+        b.iter(|| black_box(appendix::goals_plots(Fidelity::Quick, 1).len()));
+    });
+    g.bench_function("quick_time_plots", |b| {
+        b.iter(|| black_box(appendix::time_plots(Fidelity::Quick, 1).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_util_vs_goals,
+    bench_util_vs_time,
+    bench_appendix
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches timing the table-regeneration code paths (Tables 1–3)
+//! at miniature scale. The full paper-scale output comes from the
+//! `table1_opt`, `table2_speedup` and `table3_hops` binaries; these benches
+//! track the simulator's throughput on exactly those workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oracle::builder::paper_strategies;
+use oracle::experiments::{table1, table2, table3, Fidelity};
+use oracle::prelude::*;
+use std::hint::black_box;
+
+/// One Table-2 cell (a CWN run plus a GM run) on a 64-PE grid.
+fn bench_table2_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let topology = TopologySpec::grid(8);
+    let (cwn, gm) = paper_strategies(&topology);
+    for (name, strategy) in [("cwn_fib13_grid64", cwn), ("gm_fib13_grid64", gm)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = SimulationBuilder::new()
+                    .topology(topology)
+                    .strategy(strategy)
+                    .workload(WorkloadSpec::fib(13))
+                    .seed(1)
+                    .run()
+                    .unwrap();
+                black_box(r.speedup)
+            });
+        });
+    }
+    g.bench_function("quick_full_grid", |b| {
+        b.iter(|| black_box(table2::run(Fidelity::Quick, 1).len()));
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("quick_hop_distributions", |b| {
+        b.iter(|| {
+            let d = table3::run(Fidelity::Quick, 1);
+            black_box((d.cwn.avg_goal_distance, d.gm.avg_goal_distance))
+        });
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("quick_optimize_grid", |b| {
+        b.iter(|| black_box(table1::optimize(Fidelity::Quick, true, 1).best_cwn()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2_cell, bench_table3, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The design-choice ablation studies DESIGN.md calls out: CWN radius and
+//! horizon, GM interval, load metric, load-information freshness, the
+//! communication co-processor, the communication/computation ratio, grid
+//! wraparound, and the all-strategies shootout.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin ablations [--quick] [--csv]
+//! ```
+
+use oracle::experiments::ablations::{self, render};
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (f, s) = (args.fidelity, args.seed);
+    let sections = [
+        ("CWN radius sweep", ablations::radius_sweep(f, s)),
+        ("CWN horizon sweep", ablations::horizon_sweep(f, s)),
+        ("GM interval sweep", ablations::gm_interval_sweep(f, s)),
+        (
+            "Load metric: future commitments",
+            ablations::load_metric(f, s),
+        ),
+        ("Load information freshness", ablations::load_info(f, s)),
+        ("Communication co-processor", ablations::coprocessor(f, s)),
+        (
+            "Communication/computation ratio",
+            ablations::comm_ratio(f, s),
+        ),
+        ("Grid wraparound", ablations::wraparound(f, s)),
+        ("Strategy shootout", ablations::shootout(f, s)),
+        (
+            "Global-random vs CWN scalability (\u{a7}2.1)",
+            ablations::global_scalability(f, s),
+        ),
+        (
+            "Workload breadth (extension workloads)",
+            ablations::workload_breadth(f, s),
+        ),
+        (
+            "Queue discipline (FIFO/LIFO/deepest)",
+            ablations::queue_discipline(f, s),
+        ),
+        ("Heterogeneous PE speeds", ablations::heterogeneity(f, s)),
+        (
+            "Dimensionality at 64 PEs (k-ary n-cubes)",
+            ablations::dimensionality(f, s),
+        ),
+    ];
+    for (title, points) in sections {
+        args.emit(&render(title, &points));
+        if !args.csv {
+            println!();
+        }
+    }
+}

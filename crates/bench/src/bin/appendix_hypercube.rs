@@ -1,0 +1,26 @@
+//! Regenerates Appendix I (Plots A-1..A-8): the hypercube experiments —
+//! utilization vs goals for Fibonacci on hypercubes of dimension 5–7, and
+//! utilization vs time on the dimension-7 hypercube.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin appendix_hypercube [--quick] [--csv]
+//! ```
+
+use oracle::experiments::{appendix, plots};
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for p in appendix::goals_plots(args.fidelity, args.seed) {
+        args.emit(&plots::render_util_vs_goals(&p));
+        if !args.csv {
+            println!();
+        }
+    }
+    for p in appendix::time_plots(args.fidelity, args.seed) {
+        args.emit(&plots::render_util_vs_time(&p));
+        if !args.csv {
+            println!();
+        }
+    }
+}

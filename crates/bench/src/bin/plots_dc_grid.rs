@@ -1,0 +1,34 @@
+//! Regenerates Plots 6–10: average PE utilization vs number of goals for
+//! the divide-and-conquer computations on the grid topologies (20×20,
+//! 10×10, 8×8, 5×5 — the paper shows 10×10 twice, as Plots 7 and 8).
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin plots_dc_grid [--quick] [--csv]
+//! ```
+
+use oracle::experiments::plots;
+use oracle::topo::TopologySpec;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let workloads = plots::plot_workloads(args.fidelity, false);
+    for &side in args.fidelity.grid_sides().iter().rev() {
+        let p = plots::util_vs_goals(TopologySpec::grid(side), &workloads, args.seed);
+        args.emit(&plots::render_util_vs_goals(&p));
+        if !args.csv {
+            println!();
+            let to_series =
+                |line: &plots::Line| line.points.iter().map(|&(g, u)| (g, u)).collect::<Vec<_>>();
+            println!(
+                "{}",
+                oracle::chart::cwn_gm_chart(
+                    format!("{} ({} PEs)", p.topology, p.topology.num_pes()),
+                    "no. of goals",
+                    &to_series(&p.cwn),
+                    &to_series(&p.gm),
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates the Fibonacci analogues of Plots 1–10 — "The Fibonacci plots
+//! are very similar, so we omit them from the plots" — on both topology
+//! families. (The fib data is summarized by the lower half of Table 2.)
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin plots_fib [--quick] [--csv]
+//! ```
+
+use oracle::experiments::plots;
+use oracle::topo::TopologySpec;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let workloads = plots::plot_workloads(args.fidelity, true);
+    for &side in args.fidelity.grid_sides().iter().rev() {
+        for topology in [TopologySpec::dlm(side), TopologySpec::grid(side)] {
+            let p = plots::util_vs_goals(topology, &workloads, args.seed);
+            args.emit(&plots::render_util_vs_goals(&p));
+            if !args.csv {
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Plots 11–13: PE utilization over time (sampled per interval)
+//! for Fibonacci of 18, 15 and 9 on the 100-PE double-lattice-mesh. The
+//! shapes to look for: CWN's fast rise and its inability to hold 100%
+//! (including the extended tail on fib(18)); GM holding 100% once reached.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin plots_time_dlm [--quick] [--csv]
+//! ```
+
+use oracle::experiments::plots;
+use oracle::prelude::*;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (topology, sizes, interval): (TopologySpec, &[i64], u64) = match args.fidelity {
+        oracle::experiments::Fidelity::Paper => (TopologySpec::dlm(10), &[18, 15, 9], 100),
+        oracle::experiments::Fidelity::Quick => (TopologySpec::dlm(5), &[13, 9], 50),
+    };
+    for &n in sizes {
+        let p = plots::util_vs_time(topology, WorkloadSpec::fib(n), interval, args.seed);
+        args.emit(&plots::render_util_vs_time(&p));
+        if !args.csv {
+            println!();
+            println!(
+                "{}",
+                oracle::chart::cwn_gm_chart(
+                    format!("{} on {}", p.workload, p.topology),
+                    "time (units)",
+                    &p.cwn,
+                    &p.gm,
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Plots 14–16: PE utilization over time for Fibonacci of 18,
+//! 15 and 9 on the 100-PE grid. The shapes to look for: CWN's much faster
+//! rise; GM's flattening ("when about 40% of the PEs have received work,
+//! most PEs think there is not sufficient work to distribute").
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin plots_time_grid [--quick] [--csv]
+//! ```
+
+use oracle::experiments::plots;
+use oracle::prelude::*;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (topology, sizes, interval): (TopologySpec, &[i64], u64) = match args.fidelity {
+        oracle::experiments::Fidelity::Paper => (TopologySpec::grid(10), &[18, 15, 9], 100),
+        oracle::experiments::Fidelity::Quick => (TopologySpec::grid(5), &[13, 9], 50),
+    };
+    for &n in sizes {
+        let p = plots::util_vs_time(topology, WorkloadSpec::fib(n), interval, args.seed);
+        args.emit(&plots::render_util_vs_time(&p));
+        if !args.csv {
+            println!();
+            println!(
+                "{}",
+                oracle::chart::cwn_gm_chart(
+                    format!("{} on {}", p.workload, p.topology),
+                    "time (units)",
+                    &p.cwn,
+                    &p.gm,
+                )
+            );
+        }
+    }
+}

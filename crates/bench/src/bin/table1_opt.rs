@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 1: the parameter-optimization
+//! pre-experiments selecting each scheme's best parameters per topology
+//! family.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin table1_opt [--quick] [--csv]
+//! ```
+
+use oracle::experiments::table1;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let grid = table1::optimize(args.fidelity, true, args.seed);
+    let dlm = table1::optimize(args.fidelity, false, args.seed);
+
+    args.emit(&table1::render(&grid, &dlm));
+    if !args.csv {
+        println!();
+        args.emit(&table1::render_sweep("CWN sweep (grid)", &grid.cwn_sweep));
+        println!();
+        args.emit(&table1::render_sweep("GM sweep (grid)", &grid.gm_sweep));
+        println!();
+        args.emit(&table1::render_sweep("CWN sweep (dlm)", &dlm.cwn_sweep));
+        println!();
+        args.emit(&table1::render_sweep("GM sweep (dlm)", &dlm.gm_sweep));
+    }
+}

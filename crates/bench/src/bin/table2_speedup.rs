@@ -1,0 +1,26 @@
+//! Regenerates the paper's Table 2, "Speedup of CWN over GM": the full
+//! 2 problem types × 6 sizes × 2 topology families × 5 sizes comparison
+//! (240 simulation runs, 120 ratio cells), plus the paper's summary claims
+//! (how many cells CWN wins, how many significantly).
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin table2_speedup [--quick] [--csv]
+//! ```
+
+use oracle::experiments::table2;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cells = table2::run(args.fidelity, args.seed);
+    args.emit(&table2::render(&cells));
+    if !args.csv {
+        let s = table2::summarize(&cells);
+        println!(
+            "CWN better in {}/{} cells; significantly (>10%) better in {}; \
+             ratio range {:.2} .. {:.2}",
+            s.cwn_wins, s.cells, s.significant, s.min_ratio, s.max_ratio
+        );
+        println!("(paper: better in 118/120, significant in 110, up to ~3x on grids)");
+    }
+}

@@ -1,0 +1,530 @@
+//! `oracle-cli` — run the ORACLE load-distribution simulator from the
+//! command line.
+//!
+//! ```text
+//! oracle-cli run --topology grid:10 --strategy cwn:9x1 --workload fib:15 [--seed N] [--csv] [--series]
+//! oracle-cli compare --topology grid:10 --workload fib:15 [--seed N]
+//! oracle-cli topo-info grid:20 dlm:20 hypercube:7
+//! oracle-cli list
+//! ```
+
+use std::process::ExitCode;
+
+use oracle::builder::paper_strategies;
+use oracle::prelude::*;
+use oracle::table::{f1, f2};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "experiment" => cmd_experiment(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "topo-info" => cmd_topo_info(&args[1..]),
+        "list" => {
+            print_list();
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
+
+commands:
+  run       --topology T --strategy S --workload W [--seed N] [--csv]
+            [--series] [--trace N] [--heatmap FILE.ppm]
+            run one simulation and print its report
+  compare   --topology T --workload W [--seed N]
+            run CWN vs the Gradient Model with the paper's parameters
+  batch FILE [--csv]
+            run a suite file (lines of: TOPOLOGY STRATEGY WORKLOAD [seed=N])
+  experiment NAME [--quick] [--seed N]
+            regenerate a paper table/figure: table1 | table2 | table3 |
+            plots-dc-grid | plots-dc-dlm | plots-fib | plots-time-grid |
+            plots-time-dlm | appendix | ablations
+  topo-info T [T ...] [--dot]
+            print PEs, channels, diameter, mean distance — or Graphviz DOT
+  list      list the available spec grammars
+
+spec grammars:
+  topology: grid:10 | grid:4x6 | torus:8x8 | dlm:10 | dlm:5x20x20 |
+            hypercube:7 | kary:4x3 | tree:2x5 | ring:16 | complete:8 |
+            star:9 | bus:6
+  strategy: cwn:RADIUSxHORIZON | gm:LWMxHWMxINTERVAL | acwn:RxHxSATxREDIST |
+            local | random:HOPS | rr | steal[:RETRY] |
+            diffusion[:INTERVALxTHRESHOLDxMAX] | global
+  workload: fib:18 | dc:4181 | dc:1x4181 | lopsided:BUDGETxSKEW% |
+            random:BUDGETxMAXCHILDxGRAINxSEED | cyclic:PHASESxWIDTHxLEAVES |
+            tak:18x12x6";
+
+/// Pull `--flag value` pairs and boolean flags out of an argument list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value_of(&self, flag: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("{flag} {v:?}: {e}")),
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
+    let strategy: StrategySpec = flags.parse("--strategy", StrategySpec::cwn_paper(true))?;
+    let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+
+    let trace_cap: usize = flags.parse("--trace", 0)?;
+    let heatmap_path = flags.value_of("--heatmap");
+    let config = SimulationBuilder::new()
+        .topology(topology)
+        .strategy(strategy)
+        .workload(workload)
+        .per_pe_series(flags.has("--series") || heatmap_path.is_some())
+        .trace_capacity(trace_cap)
+        .seed(seed)
+        .config();
+    let (report, trace) = config.run_traced().map_err(|e| e.to_string())?;
+    if let Some(path) = heatmap_path {
+        let series = report
+            .per_pe_series
+            .as_ref()
+            .expect("per-PE series was requested");
+        let img = oracle::heatmap::render(series, 4);
+        img.write_to(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote load-monitor heatmap to {path} ({}x{} px)",
+            img.width(),
+            img.height()
+        );
+    }
+
+    if flags.has("--csv") {
+        println!("metric,value");
+        println!("strategy,{}", report.strategy);
+        println!("topology,{}", report.topology);
+        println!("program,{}", report.program);
+        println!("num_pes,{}", report.num_pes);
+        println!("completion_time,{}", report.completion_time);
+        println!("result,{}", report.result);
+        println!("goals,{}", report.goals_executed);
+        println!("avg_utilization_pct,{:.3}", report.avg_utilization);
+        println!("speedup,{:.3}", report.speedup);
+        println!("avg_goal_distance,{:.3}", report.avg_goal_distance);
+        println!("goal_hops,{}", report.traffic.goal_hops);
+        println!("response_hops,{}", report.traffic.response_hops);
+        println!("control_msgs,{}", report.traffic.control_msgs);
+        println!("load_updates,{}", report.traffic.load_updates);
+        println!("events,{}", report.events);
+    } else {
+        println!(
+            "{} on {} under {}",
+            report.program, report.topology, report.strategy
+        );
+        println!("  result            {}", report.result);
+        println!("  goals             {}", report.goals_executed);
+        println!("  completion time   {} units", report.completion_time);
+        println!("  avg utilization   {:.1} %", report.avg_utilization);
+        println!(
+            "  speedup           {:.2} on {} PEs",
+            report.speedup, report.num_pes
+        );
+        println!("  avg goal distance {:.2} hops", report.avg_goal_distance);
+        println!(
+            "  traffic           goal {} / response {} / control {} / load {}",
+            report.traffic.goal_hops,
+            report.traffic.response_hops,
+            report.traffic.control_msgs,
+            report.traffic.load_updates
+        );
+        println!("  events processed  {}", report.events);
+    }
+    if flags.has("--series") {
+        println!("\nutilization over time (interval start, %):");
+        for (t, u) in &report.util_series {
+            println!("  {t},{:.1}", u * 100.0);
+        }
+    }
+    if trace_cap > 0 {
+        println!("\nevent trace (first {} events):", trace.events().len());
+        print!("{}", trace.render());
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    use oracle::experiments::{ablations, appendix, plots, table1, table2, table3, Fidelity};
+    use oracle::topo::TopologySpec as T;
+
+    let Some(name) = args.first() else {
+        return Err("experiment needs a name (e.g. table2); see --help".into());
+    };
+    let flags = Flags { args: &args[1..] };
+    let fidelity = if flags.has("--quick") {
+        Fidelity::Quick
+    } else {
+        Fidelity::Paper
+    };
+    let seed: u64 = flags.parse("--seed", 1)?;
+
+    match name.as_str() {
+        "table1" => {
+            let grid = table1::optimize(fidelity, true, seed);
+            let dlm = table1::optimize(fidelity, false, seed);
+            println!("{}", table1::render(&grid, &dlm));
+        }
+        "table2" => {
+            let cells = table2::run(fidelity, seed);
+            println!("{}", table2::render(&cells));
+            let s = table2::summarize(&cells);
+            println!(
+                "CWN better in {}/{} cells, significantly in {}",
+                s.cwn_wins, s.cells, s.significant
+            );
+        }
+        "table3" => {
+            let d = table3::run(fidelity, seed);
+            println!("{}", table3::render(&d));
+        }
+        "plots-dc-grid" | "plots-dc-dlm" | "plots-fib" => {
+            let fib = name == "plots-fib";
+            let workloads = plots::plot_workloads(fidelity, fib);
+            for &side in fidelity.grid_sides().iter().rev() {
+                let topos: Vec<T> = if fib {
+                    vec![T::dlm(side), T::grid(side)]
+                } else if name == "plots-dc-grid" {
+                    vec![T::grid(side)]
+                } else {
+                    vec![T::dlm(side)]
+                };
+                for topology in topos {
+                    let p = plots::util_vs_goals(topology, &workloads, seed);
+                    println!("{}", plots::render_util_vs_goals(&p));
+                }
+            }
+        }
+        "plots-time-grid" | "plots-time-dlm" => {
+            let (topology, sizes): (T, &[i64]) = match (name.as_str(), fidelity) {
+                ("plots-time-grid", Fidelity::Paper) => (T::grid(10), &[18, 15, 9]),
+                ("plots-time-grid", Fidelity::Quick) => (T::grid(5), &[13, 9]),
+                (_, Fidelity::Paper) => (T::dlm(10), &[18, 15, 9]),
+                (_, Fidelity::Quick) => (T::dlm(5), &[13, 9]),
+            };
+            for &n in sizes {
+                let p = plots::util_vs_time(
+                    topology,
+                    oracle::workloads::WorkloadSpec::fib(n),
+                    100,
+                    seed,
+                );
+                println!("{}", plots::render_util_vs_time(&p));
+                println!(
+                    "{}",
+                    oracle::chart::cwn_gm_chart(
+                        format!("{} on {}", p.workload, p.topology),
+                        "time (units)",
+                        &p.cwn,
+                        &p.gm
+                    )
+                );
+            }
+        }
+        "appendix" => {
+            for p in appendix::goals_plots(fidelity, seed) {
+                println!("{}", plots::render_util_vs_goals(&p));
+            }
+            for p in appendix::time_plots(fidelity, seed) {
+                println!("{}", plots::render_util_vs_time(&p));
+            }
+        }
+        "ablations" => {
+            let sections = [
+                ("CWN radius sweep", ablations::radius_sweep(fidelity, seed)),
+                (
+                    "CWN horizon sweep",
+                    ablations::horizon_sweep(fidelity, seed),
+                ),
+                (
+                    "GM interval sweep",
+                    ablations::gm_interval_sweep(fidelity, seed),
+                ),
+                ("Load metric", ablations::load_metric(fidelity, seed)),
+                ("Load information", ablations::load_info(fidelity, seed)),
+                ("Co-processor", ablations::coprocessor(fidelity, seed)),
+                (
+                    "Comm/computation ratio",
+                    ablations::comm_ratio(fidelity, seed),
+                ),
+                ("Wraparound", ablations::wraparound(fidelity, seed)),
+                ("Shootout", ablations::shootout(fidelity, seed)),
+                (
+                    "Global scalability",
+                    ablations::global_scalability(fidelity, seed),
+                ),
+            ];
+            for (title, points) in sections {
+                println!("{}", ablations::render(title, &points));
+            }
+        }
+        other => return Err(format!("unknown experiment {other:?}; see --help")),
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err("batch needs a suite file".into());
+    };
+    let flags = Flags { args: &args[1..] };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let specs = oracle::runner::parse_suite(&text)?;
+    let mut table = Table::new(
+        format!("suite {path} ({} runs)", specs.len()),
+        &["run", "speedup", "util %", "time", "avg dist"],
+    );
+    for (label, result) in run_batch(&specs) {
+        let r = result.map_err(|e| format!("{label}: {e}"))?;
+        table.row(vec![
+            label,
+            f2(r.speedup),
+            f1(r.avg_utilization),
+            r.completion_time.to_string(),
+            f2(r.avg_goal_distance),
+        ]);
+    }
+    if flags.has("--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
+    let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    let (cwn, gm) = paper_strategies(&topology);
+
+    let specs = vec![
+        RunSpec::new(
+            "CWN",
+            SimulationBuilder::new()
+                .topology(topology)
+                .strategy(cwn)
+                .workload(workload)
+                .seed(seed)
+                .config(),
+        ),
+        RunSpec::new(
+            "GM",
+            SimulationBuilder::new()
+                .topology(topology)
+                .strategy(gm)
+                .workload(workload)
+                .seed(seed)
+                .config(),
+        ),
+    ];
+    let results = run_batch(&specs);
+    let mut table = Table::new(
+        format!("{workload} on {topology} ({} PEs)", topology.num_pes()),
+        &["scheme", "speedup", "util %", "time", "avg dist"],
+    );
+    let mut speedups = Vec::new();
+    for (label, result) in results {
+        let r = result.map_err(|e| format!("{label}: {e}"))?;
+        speedups.push(r.speedup);
+        table.row(vec![
+            label,
+            f2(r.speedup),
+            f1(r.avg_utilization),
+            r.completion_time.to_string(),
+            f2(r.avg_goal_distance),
+        ]);
+    }
+    println!("{table}");
+    println!("speedup of CWN over GM: {:.2}", speedups[0] / speedups[1]);
+    Ok(())
+}
+
+fn cmd_topo_info(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("topo-info needs at least one topology spec".into());
+    }
+    // `--dot` prints Graphviz for each spec instead of the table.
+    if args.iter().any(|a| a == "--dot") {
+        for arg in args.iter().filter(|a| !a.starts_with('-')) {
+            let spec: TopologySpec = arg
+                .parse()
+                .map_err(|e: oracle::topo::spec::ParseSpecError| e.to_string())?;
+            print!("{}", spec.build().to_dot());
+        }
+        return Ok(());
+    }
+    let mut table = Table::new(
+        "Topology characteristics",
+        &[
+            "topology",
+            "PEs",
+            "channels",
+            "diameter",
+            "mean dist",
+            "min deg",
+            "max deg",
+        ],
+    );
+    for arg in args {
+        let spec: TopologySpec = arg
+            .parse()
+            .map_err(|e: oracle::topo::spec::ParseSpecError| e.to_string())?;
+        let t = spec.build();
+        let (min_deg, max_deg) = t
+            .pes()
+            .map(|pe| t.degree(pe))
+            .fold((usize::MAX, 0), |(lo, hi), d| (lo.min(d), hi.max(d)));
+        table.row(vec![
+            spec.to_string(),
+            t.num_pes().to_string(),
+            t.num_channels().to_string(),
+            t.diameter().to_string(),
+            f2(t.mean_distance()),
+            min_deg.to_string(),
+            max_deg.to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn print_list() {
+    println!("{USAGE}");
+    println!("\npaper presets (Table 1):");
+    println!("  grids:          cwn:9x1   gm:1x2x20");
+    println!("  lattice-meshes: cwn:5x1   gm:1x1x20");
+    println!("\npaper configurations: grid/dlm sides 5, 8, 10, 16, 20; fib 7-18; dc 21-4181");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn value_of_finds_pairs() {
+        let a = flags(&["--seed", "42", "--csv"]);
+        let f = Flags { args: &a };
+        assert_eq!(f.value_of("--seed"), Some("42"));
+        assert_eq!(f.value_of("--missing"), None);
+        assert!(f.has("--csv"));
+        assert!(!f.has("--series"));
+    }
+
+    #[test]
+    fn parse_uses_defaults_and_values() {
+        let a = flags(&["--seed", "7"]);
+        let f = Flags { args: &a };
+        assert_eq!(f.parse("--seed", 1u64).unwrap(), 7);
+        assert_eq!(f.parse("--trace", 0usize).unwrap(), 0);
+    }
+
+    #[test]
+    fn parse_reports_bad_values() {
+        let a = flags(&["--seed", "xyz"]);
+        let f = Flags { args: &a };
+        let err = f.parse("--seed", 1u64).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("xyz"), "{err}");
+    }
+
+    #[test]
+    fn run_command_smoke() {
+        let a = flags(&[
+            "--topology",
+            "ring:4",
+            "--strategy",
+            "local",
+            "--workload",
+            "fib:6",
+            "--csv",
+        ]);
+        cmd_run(&a).expect("run should succeed");
+    }
+
+    #[test]
+    fn compare_command_smoke() {
+        let a = flags(&["--topology", "grid:4", "--workload", "fib:8"]);
+        cmd_compare(&a).expect("compare should succeed");
+    }
+
+    #[test]
+    fn topo_info_rejects_empty_and_bad_specs() {
+        assert!(cmd_topo_info(&[]).is_err());
+        assert!(cmd_topo_info(&flags(&["nonsense:9"])).is_err());
+        cmd_topo_info(&flags(&["grid:4"])).expect("valid spec");
+    }
+
+    #[test]
+    fn batch_command_runs_a_suite() {
+        let path = std::env::temp_dir().join("oracle_cli_suite_test.txt");
+        std::fs::write(&path, "grid:4 cwn:4x1 fib:9\nring:4 local fib:8 seed=2\n").unwrap();
+        cmd_batch(&flags(&[path.to_str().unwrap(), "--csv"])).expect("suite runs");
+        let err = cmd_batch(&[]).unwrap_err();
+        assert!(err.contains("suite file"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn experiment_rejects_unknown_names() {
+        let err = cmd_experiment(&flags(&["not-a-table"])).unwrap_err();
+        assert!(err.contains("unknown experiment"));
+        assert!(cmd_experiment(&[]).is_err());
+    }
+
+    #[test]
+    fn experiment_table3_quick_smoke() {
+        cmd_experiment(&flags(&["table3", "--quick"])).expect("table3 quick");
+    }
+}

@@ -1,0 +1,296 @@
+//! ASCII line charts for the plot harnesses.
+//!
+//! The paper presents Plots 1–16 as X/Y line charts with two series (CWN
+//! and GM). The harness binaries print the exact numbers as tables; this
+//! module additionally renders them as terminal charts so the *shapes* the
+//! paper discusses (rise time, flattening, the extended tail) are visible
+//! at a glance.
+
+use std::fmt::Write;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points; need not be sorted (the chart sorts by x).
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series' points.
+    pub glyph: char,
+}
+
+impl Series {
+    /// A series with the given label and glyph.
+    pub fn new(name: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            glyph,
+        }
+    }
+}
+
+/// An ASCII chart: plot area, Y-axis labels, X-axis ticks, and a legend.
+///
+/// ```
+/// use oracle::chart::{Chart, Series};
+///
+/// let out = Chart::new("demo", 32, 8)
+///     .series(Series::new("line", '*', vec![(0.0, 0.0), (10.0, 10.0)]))
+///     .render();
+/// assert!(out.contains('*'));
+/// assert!(out.contains("* line"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    y_max_hint: Option<f64>,
+    x_label: String,
+    y_label: String,
+}
+
+impl Chart {
+    /// A chart with a `width × height` character plot area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plot area is smaller than 8×4.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "plot area too small");
+        Chart {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+            y_max_hint: None,
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Force the Y-axis maximum (e.g. 100 for percentages).
+    pub fn y_max(mut self, y: f64) -> Self {
+        self.y_max_hint = Some(y);
+        self
+    }
+
+    /// Set the axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let y_min = 0.0f64.min(all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min));
+        let mut y_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        if let Some(hint) = self.y_max_hint {
+            y_max = y_max.max(hint);
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+        let x_span = (x_max - x_min).max(f64::EPSILON);
+        let y_span = y_max - y_min;
+
+        // Rasterize: last writer wins per cell; draw in series order so the
+        // later series shows where they overlap (legend notes glyphs).
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            let mut pts = s.points.clone();
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Linear interpolation between consecutive points, one column
+            // at a time, so sparse series still draw connected curves.
+            for w in pts.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                let c0 = ((x0 - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                let c1 = ((x1 - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                #[allow(clippy::needless_range_loop)] // col indexes two axes
+                for col in c0..=c1.min(self.width - 1) {
+                    let frac = if c1 == c0 {
+                        0.0
+                    } else {
+                        (col - c0) as f64 / (c1 - c0) as f64
+                    };
+                    let y = y0 + (y1 - y0) * frac;
+                    let row = ((y - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                    let r = self.height - 1 - row.min(self.height - 1);
+                    grid[r][col] = s.glyph;
+                }
+            }
+            if pts.len() == 1 {
+                let (x, y) = pts[0];
+                let col = ((x - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                let row = ((y - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                let r = self.height - 1 - row.min(self.height - 1);
+                grid[r][col.min(self.width - 1)] = s.glyph;
+            }
+        }
+
+        // Y axis: label the top, middle, and bottom rows.
+        let y_at = |row: usize| y_max - (row as f64 / (self.height - 1) as f64) * y_span;
+        let label_width = 8;
+        for (row, line) in grid.iter().enumerate() {
+            let label = if row == 0 || row == self.height / 2 || row == self.height - 1 {
+                format!("{:>label_width$.1}", y_at(row))
+            } else {
+                " ".repeat(label_width)
+            };
+            let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(label_width),
+            "-".repeat(self.width)
+        );
+        let x_lo = format!("{x_min:.0}");
+        let x_hi = format!("{x_max:.0}");
+        let gap = self.width.saturating_sub(x_lo.len() + x_hi.len());
+        let _ = writeln!(
+            out,
+            "{} {x_lo}{}{x_hi}",
+            " ".repeat(label_width),
+            " ".repeat(gap)
+        );
+
+        // Legend and axis names.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{} {}", s.glyph, s.name))
+            .collect();
+        let _ = writeln!(out, "{} {}", " ".repeat(label_width), legend.join("   "));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} x: {}, y: {}",
+                " ".repeat(label_width),
+                self.x_label,
+                self.y_label
+            );
+        }
+        out
+    }
+}
+
+/// Convenience: the standard two-series (CWN vs GM) utilization chart used
+/// by the plot harnesses.
+pub fn cwn_gm_chart(
+    title: impl Into<String>,
+    x_label: &str,
+    cwn: &[(u64, f64)],
+    gm: &[(u64, f64)],
+) -> String {
+    let to_f = |pts: &[(u64, f64)]| pts.iter().map(|&(x, y)| (x as f64, y)).collect();
+    Chart::new(title, 64, 16)
+        .y_max(100.0)
+        .labels(x_label, "avg PE utilization (%)")
+        .series(Series::new("Gradient Model", '.', to_f(gm)))
+        .series(Series::new("CWN", '*', to_f(cwn)))
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let chart = Chart::new("demo", 32, 8)
+            .y_max(100.0)
+            .labels("time", "util")
+            .series(Series::new(
+                "a",
+                '*',
+                vec![(0.0, 0.0), (50.0, 80.0), (100.0, 20.0)],
+            ))
+            .series(Series::new("b", '.', vec![(0.0, 10.0), (100.0, 90.0)]));
+        let s = chart.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains('*'));
+        assert!(s.contains('.'));
+        assert!(s.contains("* a"));
+        assert!(s.contains(". b"));
+        assert!(s.contains("x: time, y: util"));
+        assert!(s.contains("100.0"), "y-max label missing:\n{s}");
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let s = Chart::new("t", 16, 4).render();
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let s = Chart::new("t", 16, 4)
+            .series(Series::new("p", '#', vec![(5.0, 5.0)]))
+            .render();
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn rising_series_puts_glyphs_higher_on_the_right() {
+        let chart =
+            Chart::new("", 32, 8).series(Series::new("r", '*', vec![(0.0, 0.0), (10.0, 100.0)]));
+        let s = chart.render();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        // Top plot row should have a '*' near the right; bottom near the left.
+        let top = rows.first().unwrap();
+        let bottom = rows.last().unwrap();
+        assert!(top.rfind('*').unwrap() > bottom.rfind('*').unwrap());
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let s = Chart::new("", 16, 4)
+            .series(Series::new("f", '-', vec![(0.0, 5.0), (10.0, 5.0)]))
+            .render();
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn helper_builds_paper_style_chart() {
+        let cwn = vec![(0u64, 10.0), (100, 90.0)];
+        let gm = vec![(0u64, 5.0), (100, 40.0)];
+        let s = cwn_gm_chart("Plot 14", "time", &cwn, &gm);
+        assert!(s.contains("Plot 14"));
+        assert!(s.contains("CWN"));
+        assert!(s.contains("Gradient Model"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_area_panics() {
+        Chart::new("", 4, 2);
+    }
+}

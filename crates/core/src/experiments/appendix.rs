@@ -1,0 +1,60 @@
+//! Appendix I — "Simulation Experiments for the Hypercubes".
+//!
+//! Plots A-1..A-4: utilization vs number of goals for Fibonacci on
+//! hypercubes of dimension 5, 6 and 7. Plots A-5..A-8: utilization vs time
+//! for Fibonacci on a dimension-7 hypercube (fib 18 and 15; one small size
+//! whose label is OCR-damaged in our copy — we use fib 9, matching the
+//! small-size time plots of the main body).
+
+use oracle_topo::TopologySpec;
+use oracle_workloads::WorkloadSpec;
+
+use super::plots::{plot_workloads, util_vs_goals, util_vs_time, UtilVsGoals, UtilVsTime};
+use super::Fidelity;
+
+/// Utilization-vs-goals plots, one per hypercube dimension (A-1..A-4).
+pub fn goals_plots(fidelity: Fidelity, seed: u64) -> Vec<UtilVsGoals> {
+    let workloads = plot_workloads(fidelity, true);
+    fidelity
+        .hypercube_dims()
+        .iter()
+        .map(|&dim| util_vs_goals(TopologySpec::Hypercube { dim }, &workloads, seed))
+        .collect()
+}
+
+/// Utilization-vs-time plots on the largest hypercube (A-5..A-8).
+pub fn time_plots(fidelity: Fidelity, seed: u64) -> Vec<UtilVsTime> {
+    let (dim, sizes, interval): (u32, &[i64], u64) = match fidelity {
+        Fidelity::Paper => (7, &[18, 15, 9], 100),
+        Fidelity::Quick => (4, &[11, 9], 50),
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            util_vs_time(
+                TopologySpec::Hypercube { dim },
+                WorkloadSpec::fib(n),
+                interval,
+                seed,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_appendix_runs() {
+        let plots = goals_plots(Fidelity::Quick, 1);
+        assert_eq!(plots.len(), 2);
+        for p in &plots {
+            assert!(matches!(p.topology, TopologySpec::Hypercube { .. }));
+            assert_eq!(p.cwn.points.len(), 2);
+        }
+        let times = time_plots(Fidelity::Quick, 1);
+        assert_eq!(times.len(), 2);
+        assert!(!times[0].cwn.is_empty());
+    }
+}

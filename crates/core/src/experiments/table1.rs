@@ -1,0 +1,255 @@
+//! Table 1 — the parameter-optimization pre-experiments.
+//!
+//! "In the interest of fairness, the parameters must be chosen in such a way
+//! each scheme is working at its best. We chose a few sample points in the
+//! space of planned experiments, and ran the simulations for various
+//! combination of parameters. The winning combinations were used for the
+//! comparison experiments."
+
+use oracle_model::MachineConfig;
+use oracle_strategies::StrategySpec;
+use oracle_topo::TopologySpec;
+use oracle_workloads::WorkloadSpec;
+
+use super::Fidelity;
+use crate::builder::SimulationBuilder;
+use crate::runner::{run_batch, RunSpec};
+use crate::table::{f2, Table};
+
+/// Mean speedup of one parameter combination over the sample points.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// The candidate parameterization.
+    pub strategy: StrategySpec,
+    /// Mean speedup across the sample points.
+    pub mean_speedup: f64,
+}
+
+/// The optimization result for one topology family.
+#[derive(Debug, Clone)]
+pub struct Optimization {
+    /// Family name ("grid" or "dlm").
+    pub family: &'static str,
+    /// All CWN candidates, best first.
+    pub cwn_sweep: Vec<SweepEntry>,
+    /// All GM candidates, best first.
+    pub gm_sweep: Vec<SweepEntry>,
+}
+
+impl Optimization {
+    /// The winning CWN parameterization.
+    pub fn best_cwn(&self) -> StrategySpec {
+        self.cwn_sweep[0].strategy
+    }
+
+    /// The winning GM parameterization.
+    pub fn best_gm(&self) -> StrategySpec {
+        self.gm_sweep[0].strategy
+    }
+}
+
+/// Sample points for one family at one fidelity.
+fn sample_points(fidelity: Fidelity, grid: bool) -> (TopologySpec, Vec<WorkloadSpec>) {
+    match fidelity {
+        Fidelity::Paper => (
+            if grid {
+                TopologySpec::grid(10)
+            } else {
+                TopologySpec::dlm(10)
+            },
+            vec![WorkloadSpec::fib(13), WorkloadSpec::dc(377)],
+        ),
+        Fidelity::Quick => (
+            if grid {
+                TopologySpec::grid(4)
+            } else {
+                TopologySpec::dlm(5)
+            },
+            vec![WorkloadSpec::fib(10)],
+        ),
+    }
+}
+
+/// Candidate CWN parameterizations for a family.
+fn cwn_candidates(fidelity: Fidelity, grid: bool) -> Vec<StrategySpec> {
+    let (radii, horizons): (&[u32], &[u32]) = match (fidelity, grid) {
+        (Fidelity::Paper, true) => (&[3, 5, 7, 9, 11], &[0, 1, 2, 3]),
+        (Fidelity::Paper, false) => (&[2, 3, 5, 7], &[0, 1, 2]),
+        (Fidelity::Quick, _) => (&[3, 5], &[1, 2]),
+    };
+    let mut v = Vec::new();
+    for &radius in radii {
+        for &horizon in horizons {
+            if horizon < radius {
+                v.push(StrategySpec::Cwn { radius, horizon });
+            }
+        }
+    }
+    v
+}
+
+/// Candidate GM parameterizations.
+fn gm_candidates(fidelity: Fidelity) -> Vec<StrategySpec> {
+    let (lwms, hwms, intervals): (&[u32], &[u32], &[u64]) = match fidelity {
+        Fidelity::Paper => (&[1, 2], &[1, 2, 3], &[10, 20, 40]),
+        Fidelity::Quick => (&[1], &[1, 2], &[20]),
+    };
+    let mut v = Vec::new();
+    for &lwm in lwms {
+        for &hwm in hwms {
+            if hwm < lwm {
+                continue;
+            }
+            for &interval in intervals {
+                v.push(StrategySpec::Gradient {
+                    low_water_mark: lwm,
+                    high_water_mark: hwm,
+                    interval,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Sweep one candidate list over the sample points, best first.
+fn sweep(
+    topology: TopologySpec,
+    workloads: &[WorkloadSpec],
+    candidates: Vec<StrategySpec>,
+    seed: u64,
+) -> Vec<SweepEntry> {
+    let mut specs = Vec::new();
+    for &strategy in &candidates {
+        for &w in workloads {
+            specs.push(RunSpec::new(
+                format!("{strategy}/{w}"),
+                SimulationBuilder::new()
+                    .topology(topology)
+                    .strategy(strategy)
+                    .workload(w)
+                    .machine(MachineConfig::default().with_seed(seed))
+                    .config(),
+            ));
+        }
+    }
+    let results = run_batch(&specs);
+    let mut entries: Vec<SweepEntry> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &strategy)| {
+            let base = i * workloads.len();
+            let sum: f64 = (0..workloads.len())
+                .map(|j| {
+                    results[base + j]
+                        .1
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{}: {e}", results[base + j].0))
+                        .speedup
+                })
+                .sum();
+            SweepEntry {
+                strategy,
+                mean_speedup: sum / workloads.len() as f64,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| b.mean_speedup.total_cmp(&a.mean_speedup));
+    entries
+}
+
+/// Run the optimization pre-experiments for one topology family.
+pub fn optimize(fidelity: Fidelity, grid: bool, seed: u64) -> Optimization {
+    let (topology, workloads) = sample_points(fidelity, grid);
+    Optimization {
+        family: if grid { "grid" } else { "dlm" },
+        cwn_sweep: sweep(topology, &workloads, cwn_candidates(fidelity, grid), seed),
+        gm_sweep: sweep(topology, &workloads, gm_candidates(fidelity), seed),
+    }
+}
+
+/// Render the winning parameters in the layout of the paper's Table 1.
+pub fn render(grid: &Optimization, dlm: &Optimization) -> Table {
+    let mut table = Table::new(
+        "Selected parameters (paper Table 1)",
+        &["parameter", "grid topologies", "lattice-meshes"],
+    );
+    let get = |s: StrategySpec| match s {
+        StrategySpec::Cwn { radius, horizon } => (radius.to_string(), horizon.to_string()),
+        _ => unreachable!("cwn sweep yields cwn specs"),
+    };
+    let (g_r, g_h) = get(grid.best_cwn());
+    let (d_r, d_h) = get(dlm.best_cwn());
+    table.row(vec!["CWN: radius".into(), g_r, d_r]);
+    table.row(vec!["CWN: horizon".into(), g_h, d_h]);
+    let getg = |s: StrategySpec| match s {
+        StrategySpec::Gradient {
+            low_water_mark,
+            high_water_mark,
+            interval,
+        } => (
+            high_water_mark.to_string(),
+            low_water_mark.to_string(),
+            interval.to_string(),
+        ),
+        _ => unreachable!("gm sweep yields gm specs"),
+    };
+    let (g_hwm, g_lwm, g_int) = getg(grid.best_gm());
+    let (d_hwm, d_lwm, d_int) = getg(dlm.best_gm());
+    table.row(vec!["GM: high-water-mark".into(), g_hwm, d_hwm]);
+    table.row(vec!["GM: low-water-mark".into(), g_lwm, d_lwm]);
+    table.row(vec!["GM: interval".into(), g_int, d_int]);
+    table
+}
+
+/// Render a full sweep (diagnostic output behind the selection).
+pub fn render_sweep(title: &str, entries: &[SweepEntry]) -> Table {
+    let mut table = Table::new(title, &["parameters", "mean speedup"]);
+    for e in entries {
+        table.row(vec![e.strategy.to_string(), f2(e.mean_speedup)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_optimization_runs() {
+        let grid = optimize(Fidelity::Quick, true, 1);
+        assert_eq!(grid.cwn_sweep.len(), 4);
+        assert_eq!(grid.gm_sweep.len(), 2);
+        // Sorted best-first.
+        assert!(grid.cwn_sweep[0].mean_speedup >= grid.cwn_sweep[1].mean_speedup);
+        assert!(matches!(grid.best_cwn(), StrategySpec::Cwn { .. }));
+        assert!(matches!(grid.best_gm(), StrategySpec::Gradient { .. }));
+    }
+
+    #[test]
+    fn render_produces_five_parameter_rows() {
+        let grid = optimize(Fidelity::Quick, true, 1);
+        let dlm = optimize(Fidelity::Quick, false, 1);
+        let t = render(&grid, &dlm);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn candidate_sets_respect_constraints() {
+        for c in cwn_candidates(Fidelity::Paper, true) {
+            if let StrategySpec::Cwn { radius, horizon } = c {
+                assert!(horizon < radius);
+            }
+        }
+        for c in gm_candidates(Fidelity::Paper) {
+            if let StrategySpec::Gradient {
+                low_water_mark,
+                high_water_mark,
+                ..
+            } = c
+            {
+                assert!(low_water_mark <= high_water_mark);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Load-monitor heatmaps as portable pixmap (PPM) images.
+//!
+//! ORACLE's "specially formatted output … displayed on the graphics device
+//! with a continuum of colors representing relative activity on each PE
+//! (red: busy, blue: idle)". This module renders the same data — the
+//! per-PE, per-interval utilization series — as a binary PPM (P6) image:
+//! one row per PE, one column per sampling interval, colour interpolated
+//! from blue (idle) through violet to red (busy). PPM needs no image
+//! library and every viewer (and converter) understands it.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// The idle colour (blue), matching the paper's monitor.
+const IDLE: [u8; 3] = [30, 60, 220];
+/// The busy colour (red).
+const BUSY: [u8; 3] = [225, 45, 30];
+
+/// A simple RGB raster with PPM (P6) serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ppm {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>, // RGB, row-major
+}
+
+impl Ppm {
+    /// A black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Ppm {
+            width,
+            height,
+            pixels: vec![0; width * height * 3],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Set one pixel.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.pixels[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Read one pixel.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Serialize as binary PPM (P6).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() + 32);
+        let _ = write!(out, "P6\n{} {}\n255\n", self.width, self.height);
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Write to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+}
+
+/// Map a utilization fraction in `[0, 1]` onto the blue-to-red continuum.
+pub fn colormap(util: f64) -> [u8; 3] {
+    let u = util.clamp(0.0, 1.0);
+    let lerp = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * u).round() as u8;
+    [
+        lerp(IDLE[0], BUSY[0]),
+        lerp(IDLE[1], BUSY[1]),
+        lerp(IDLE[2], BUSY[2]),
+    ]
+}
+
+/// Render a per-PE utilization series (`series[pe][interval]`, fractions in
+/// `[0, 1]`) as a heatmap: one row of cells per PE, one column per sampling
+/// interval, each cell `scale × scale` pixels.
+///
+/// # Panics
+///
+/// Panics if the series is empty or `scale == 0`.
+pub fn render(series: &[Vec<f64>], scale: usize) -> Ppm {
+    assert!(!series.is_empty(), "no PEs in the series");
+    assert!(scale > 0, "scale must be positive");
+    let intervals = series.iter().map(Vec::len).max().unwrap_or(0);
+    assert!(intervals > 0, "no sampling intervals in the series");
+
+    let mut img = Ppm::new(intervals * scale, series.len() * scale);
+    for (pe, row) in series.iter().enumerate() {
+        for i in 0..intervals {
+            let u = row.get(i).copied().unwrap_or(0.0);
+            let rgb = colormap(u);
+            for dy in 0..scale {
+                for dx in 0..scale {
+                    img.set(i * scale + dx, pe * scale + dy, rgb);
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(colormap(0.0), IDLE);
+        assert_eq!(colormap(1.0), BUSY);
+        assert_eq!(colormap(-5.0), IDLE); // clamped
+        assert_eq!(colormap(7.0), BUSY);
+        // Midpoint is between the endpoints channel-wise.
+        let mid = colormap(0.5);
+        assert!(mid[0] > IDLE[0] && mid[0] < BUSY[0]);
+        assert!(mid[2] < IDLE[2] && mid[2] > BUSY[2]);
+    }
+
+    #[test]
+    fn ppm_bytes_have_the_right_header_and_size() {
+        let img = Ppm::new(3, 2);
+        let bytes = img.to_bytes();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = Ppm::new(4, 4);
+        img.set(2, 3, [9, 8, 7]);
+        assert_eq!(img.get(2, 3), [9, 8, 7]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn render_scales_cells() {
+        let series = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let img = render(&series, 3);
+        assert_eq!(img.width(), 6);
+        assert_eq!(img.height(), 6);
+        // Top-left cell idle blue, top-right busy red.
+        assert_eq!(img.get(0, 0), IDLE);
+        assert_eq!(img.get(5, 0), BUSY);
+        assert_eq!(img.get(0, 5), BUSY);
+        assert_eq!(img.get(5, 5), IDLE);
+    }
+
+    #[test]
+    fn ragged_series_pads_with_idle() {
+        let series = vec![vec![1.0, 1.0], vec![1.0]];
+        let img = render(&series, 1);
+        assert_eq!(img.get(1, 1), IDLE, "missing samples render idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_pixel_panics() {
+        Ppm::new(2, 2).set(2, 0, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PEs")]
+    fn empty_series_panics() {
+        render(&[], 1);
+    }
+}

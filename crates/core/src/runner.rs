@@ -1,0 +1,341 @@
+//! Deterministic parallel execution of simulation batches.
+//!
+//! The paper's 240 comparison runs took "between 15 minutes to 3 hours" each
+//! on a VAX-750; ours take milliseconds to seconds, and since every run is a
+//! pure function of its [`RunSpec`], a batch is embarrassingly parallel.
+//! Results come back in input order regardless of scheduling, so harness
+//! output is reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use oracle_model::{Report, SimError};
+use parking_lot::Mutex;
+
+use crate::builder::RunConfig;
+
+/// One entry of a batch: a label (carried through to the results) plus the
+/// full run configuration.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Caller-defined label identifying the run in the batch output.
+    pub label: String,
+    /// The run configuration.
+    pub config: RunConfig,
+}
+
+impl RunSpec {
+    /// A labelled run.
+    pub fn new(label: impl Into<String>, config: RunConfig) -> Self {
+        RunSpec {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Run every spec (validated against analytic results), in parallel, and
+/// return the reports in input order.
+pub fn run_batch(specs: &[RunSpec]) -> Vec<(String, Result<Report, SimError>)> {
+    run_batch_with_threads(specs, default_threads())
+}
+
+/// Number of worker threads used by [`run_batch`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// [`run_batch`] with an explicit thread count (1 = fully sequential).
+pub fn run_batch_with_threads(
+    specs: &[RunSpec],
+    threads: usize,
+) -> Vec<(String, Result<Report, SimError>)> {
+    let threads = threads.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Report, SimError>>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let result = specs[i].config.run_validated();
+                *slots[i].lock() = Some(result);
+            });
+        }
+    });
+
+    specs
+        .iter()
+        .zip(slots)
+        .map(|(spec, slot)| {
+            let result = slot
+                .into_inner()
+                .expect("every batch slot is filled before scope exit");
+            (spec.label.clone(), result)
+        })
+        .collect()
+}
+
+/// Summary of one configuration run under several seeds: quantifies how
+/// much of a measured effect is placement luck vs mechanism.
+#[derive(Debug, Clone)]
+pub struct SeedSummary {
+    /// Speedups observed, one per seed (in seed order).
+    pub speedups: Vec<f64>,
+    /// Completion times observed.
+    pub completion_times: Vec<u64>,
+    /// Aggregate statistics over the speedups.
+    pub stats: oracle_des::OnlineStats,
+}
+
+impl SeedSummary {
+    /// Mean speedup across seeds.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Population standard deviation of the speedups.
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Relative spread: std-dev over mean (0 = fully seed-independent).
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean() > 0.0 {
+            self.std_dev() / self.mean()
+        } else {
+            0.0
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean speedup
+    /// (normal approximation, 1.96 standard errors).
+    pub fn confidence95(&self) -> f64 {
+        let n = self.speedups.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / n.sqrt()
+    }
+}
+
+/// Run `config` under seeds `0..n_seeds` (offset by `base_seed`) in
+/// parallel and summarize the speedups.
+///
+/// # Panics
+///
+/// Panics if `n_seeds == 0` or any run fails — seed sweeps are measurement
+/// tools; a failing configuration should be debugged with a single run.
+pub fn seed_sweep(config: RunConfig, base_seed: u64, n_seeds: u64) -> SeedSummary {
+    assert!(n_seeds > 0, "need at least one seed");
+    let specs: Vec<RunSpec> = (0..n_seeds)
+        .map(|i| {
+            let mut c = config;
+            c.machine.seed = base_seed + i;
+            RunSpec::new(format!("seed {}", base_seed + i), c)
+        })
+        .collect();
+    let mut speedups = Vec::with_capacity(specs.len());
+    let mut completion_times = Vec::with_capacity(specs.len());
+    let mut stats = oracle_des::OnlineStats::new();
+    for (label, result) in run_batch(&specs) {
+        let r = result.unwrap_or_else(|e| panic!("{label}: {e}"));
+        stats.record(r.speedup);
+        speedups.push(r.speedup);
+        completion_times.push(r.completion_time);
+    }
+    SeedSummary {
+        speedups,
+        completion_times,
+        stats,
+    }
+}
+
+/// Parse a batch-suite description into run specs.
+///
+/// One run per non-empty, non-`#` line:
+///
+/// ```text
+/// # topology   strategy   workload   [seed=N]
+/// grid:10      cwn:9x1    fib:15
+/// grid:10      gm:1x2x20  fib:15     seed=7
+/// dlm:10       cwn:5x1    dc:987
+/// ```
+///
+/// Labels are generated from the three specs. Errors name the offending
+/// line.
+pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
+    let mut specs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if !(3..=4).contains(&fields.len()) {
+            return Err(format!(
+                "line {}: expected `topology strategy workload [seed=N]`, got {raw:?}",
+                lineno + 1
+            ));
+        }
+        let err = |what: &str, e: String| format!("line {}: bad {what}: {e}", lineno + 1);
+        let topology: oracle_topo::TopologySpec = fields[0]
+            .parse()
+            .map_err(|e: oracle_topo::spec::ParseSpecError| err("topology", e.to_string()))?;
+        let strategy: oracle_strategies::StrategySpec =
+            fields[1]
+                .parse()
+                .map_err(|e: oracle_strategies::spec::ParseStrategyError| {
+                    err("strategy", e.to_string())
+                })?;
+        let workload: oracle_workloads::WorkloadSpec =
+            fields[2]
+                .parse()
+                .map_err(|e: oracle_workloads::spec::ParseWorkloadError| {
+                    err("workload", e.to_string())
+                })?;
+        let mut config = crate::builder::SimulationBuilder::new()
+            .topology(topology)
+            .strategy(strategy)
+            .workload(workload)
+            .config();
+        if let Some(extra) = fields.get(3) {
+            let seed = extra
+                .strip_prefix("seed=")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("seed", format!("{extra:?} (expected seed=N)")))?;
+            config.machine.seed = seed;
+        }
+        specs.push(RunSpec::new(
+            format!("{} {} {}", fields[0], fields[1], fields[2]),
+            config,
+        ));
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SimulationBuilder;
+    use oracle_strategies::StrategySpec;
+    use oracle_topo::TopologySpec;
+    use oracle_workloads::WorkloadSpec;
+
+    fn spec(n: i64, seed: u64) -> RunSpec {
+        RunSpec::new(
+            format!("fib{n}-s{seed}"),
+            SimulationBuilder::new()
+                .topology(TopologySpec::grid(4))
+                .strategy(StrategySpec::Cwn {
+                    radius: 4,
+                    horizon: 1,
+                })
+                .workload(WorkloadSpec::fib(n))
+                .seed(seed)
+                .config(),
+        )
+    }
+
+    #[test]
+    fn batch_preserves_order_and_labels() {
+        let specs: Vec<RunSpec> = (8..14).map(|n| spec(n, 1)).collect();
+        let results = run_batch(&specs);
+        assert_eq!(results.len(), 6);
+        for (i, (label, report)) in results.iter().enumerate() {
+            assert_eq!(label, &specs[i].label);
+            report.as_ref().unwrap().check_invariants();
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let specs: Vec<RunSpec> = (8..12).map(|n| spec(n, 3)).collect();
+        let par = run_batch_with_threads(&specs, 4);
+        let seq = run_batch_with_threads(&specs, 1);
+        for ((_, a), (_, b)) in par.iter().zip(&seq) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.completion_time, b.completion_time);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn seed_sweep_summarizes() {
+        let config = SimulationBuilder::new()
+            .topology(TopologySpec::grid(4))
+            .strategy(StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            })
+            .workload(WorkloadSpec::fib(11))
+            .config();
+        let s = seed_sweep(config, 1, 6);
+        assert_eq!(s.speedups.len(), 6);
+        assert!(s.mean() > 1.0);
+        // Different seeds produce different runs, but not wildly different.
+        assert!(s.std_dev() > 0.0, "seeds had no effect at all");
+        assert!(
+            s.relative_spread() < 0.5,
+            "speedup should be mechanism-driven, spread = {}",
+            s.relative_spread()
+        );
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_more_seeds() {
+        let config = SimulationBuilder::new()
+            .topology(TopologySpec::grid(4))
+            .strategy(StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            })
+            .workload(WorkloadSpec::fib(10))
+            .config();
+        let few = seed_sweep(config, 1, 3);
+        let many = seed_sweep(config, 1, 12);
+        assert!(many.confidence95() < few.confidence95() * 1.5);
+        assert!(few.confidence95() > 0.0);
+        assert_eq!(seed_sweep(config, 1, 1).confidence95(), 0.0);
+    }
+
+    #[test]
+    fn parse_suite_accepts_comments_and_seeds() {
+        let text = "\n# a comment\ngrid:4 cwn:4x1 fib:10\nring:5 local fib:8 seed=9 # inline\n";
+        let specs = parse_suite(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label, "grid:4 cwn:4x1 fib:10");
+        assert_eq!(specs[1].config.machine.seed, 9);
+        // And the parsed suite actually runs.
+        for (label, r) in run_batch(&specs) {
+            r.unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_suite_reports_line_numbers() {
+        let err = parse_suite("grid:4 cwn:4x1 fib:10\nbogus line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_suite("nonsense:4 cwn:4x1 fib:10").unwrap_err();
+        assert!(err.contains("bad topology"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:10 sneed=2").unwrap_err();
+        assert!(err.contains("bad seed"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_sweep_panics() {
+        let config = SimulationBuilder::new().config();
+        seed_sweep(config, 0, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # oracle-des — discrete-event simulation engine
+//!
+//! The substrate underneath the ORACLE multiprocessor simulator: a
+//! deterministic event calendar, simulated time, a seedable PRNG, and the
+//! statistics collectors the paper's measurement apparatus needs (online
+//! mean/variance, histograms, busy-time trackers, and interval-sampled time
+//! series for the utilization-vs-time plots).
+//!
+//! The original ORACLE was written in SIMSCRIPT, a process-oriented
+//! discrete-event language. This crate provides the equivalent event-driven
+//! core: client code models each simulated entity (a processing element, a
+//! communication channel) as a state machine that schedules future events on
+//! an [`EventQueue`].
+//!
+//! Everything here is deterministic: events that are scheduled for the same
+//! instant fire in the order they were scheduled, and all randomness flows
+//! from an explicitly seeded [`Rng`]. Two interchangeable event lists are
+//! provided — the binary-heap [`EventQueue`] (the default) and the
+//! bucket-based [`CalendarQueue`] (Brown 1988) — with identical ordering
+//! semantics.
+
+pub mod calendar;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{BusyTracker, Histogram, IntervalSeries, OnlineStats};
+pub use time::SimTime;

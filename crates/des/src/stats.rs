@@ -1,0 +1,541 @@
+//! Statistics collectors.
+//!
+//! ORACLE "provides statistics on a variety of performance aspects such as
+//! the overall average PE utilization, average utilization of individual
+//! PEs, average and individual utilizations of communication channels, the
+//! time to completion", plus a sampled per-interval utilization stream that
+//! drove the paper's colour load monitor. These collectors reproduce that
+//! apparatus:
+//!
+//! * [`OnlineStats`] — single-pass mean/variance/min/max (Welford).
+//! * [`Histogram`] — integer-bucket histogram, used for the paper's Table 3
+//!   (distribution of goal-message hop distances).
+//! * [`BusyTracker`] — accumulates the busy time of one resource (a PE or a
+//!   channel) and yields its utilization over any horizon.
+//! * [`IntervalSeries`] — splits busy time into fixed-width sampling
+//!   intervals, yielding the utilization-vs-time series of Plots 11–16.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Single-pass mean / variance / extrema via Welford's algorithm.
+///
+/// ```
+/// use oracle_des::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if nothing was recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Integer-valued histogram with a configurable bucket count; values at or
+/// beyond the last bucket are clamped into it (recorded separately as
+/// `overflow`).
+///
+/// ```
+/// use oracle_des::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(2);
+/// h.record(2);
+/// assert_eq!(h.bucket(2), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram for values `0..buckets`.
+    pub fn new(buckets: usize) -> Self {
+        Histogram {
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        self.sum += value;
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `value` (0 for out-of-range buckets).
+    pub fn bucket(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// The per-bucket counts, excluding overflow.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations that fell past the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded values (overflow values contribute their true
+    /// magnitude), or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest non-empty bucket index, ignoring overflow.
+    pub fn max_nonzero_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Merge another histogram (must have the same bucket count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merging histograms of different widths"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+/// Accumulates the busy time of a single resource.
+///
+/// The resource is either idle or busy; `set_busy`/`set_idle` mark the
+/// transitions. Utilization over `[0, horizon)` is `busy / horizon`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyTracker {
+    busy_since: Option<SimTime>,
+    accumulated: u64,
+}
+
+impl Default for BusyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusyTracker {
+    /// A tracker that starts idle at time zero.
+    pub fn new() -> Self {
+        BusyTracker {
+            busy_since: None,
+            accumulated: 0,
+        }
+    }
+
+    /// Mark the resource busy from `now`. Idempotent while already busy.
+    pub fn set_busy(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    /// Mark the resource idle at `now`, accumulating the elapsed busy span.
+    pub fn set_idle(&mut self, now: SimTime) {
+        if let Some(start) = self.busy_since.take() {
+            self.accumulated += now - start;
+        }
+    }
+
+    /// True if currently marked busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Total busy units up to `now` (counting a still-open busy span).
+    pub fn busy_time(&self, now: SimTime) -> u64 {
+        self.accumulated + self.busy_since.map_or(0, |s| now - s)
+    }
+
+    /// Fraction of `[0, now)` the resource was busy, in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_time(now) as f64 / now.units() as f64
+        }
+    }
+}
+
+/// Splits busy time into fixed-width sampling intervals.
+///
+/// This reproduces ORACLE's "specially formatted output … the utilization of
+/// each PE is output at every sampling interval" that drove the red/blue load
+/// monitor, and yields the Y-series of the utilization-vs-time plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalSeries {
+    width: u64,
+    /// Busy units accumulated per interval.
+    busy: Vec<u64>,
+}
+
+impl IntervalSeries {
+    /// A series with sampling intervals of `width` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "sampling interval must be positive");
+        IntervalSeries {
+            width,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Sampling interval width in time units.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Record that the resource was busy over `[from, to)`, splitting the
+    /// span across interval boundaries.
+    pub fn add_busy(&mut self, from: SimTime, to: SimTime) {
+        if to.units() <= from.units() {
+            return;
+        }
+        let last = (to.units() - 1) / self.width;
+        if self.busy.len() <= last as usize {
+            self.busy.resize(last as usize + 1, 0);
+        }
+        let mut cur = from.units();
+        while cur < to.units() {
+            let idx = cur / self.width;
+            let end = ((idx + 1) * self.width).min(to.units());
+            self.busy[idx as usize] += end - cur;
+            cur = end;
+        }
+    }
+
+    /// Per-interval utilization fractions over `[0, horizon)`.
+    ///
+    /// The final (possibly partial) interval is normalized by its actual
+    /// length so a run that ends mid-interval does not look artificially
+    /// idle.
+    pub fn utilization_series(&self, horizon: SimTime) -> Vec<(u64, f64)> {
+        let h = horizon.units();
+        if h == 0 {
+            return Vec::new();
+        }
+        let n = h.div_ceil(self.width);
+        (0..n)
+            .map(|i| {
+                let start = i * self.width;
+                let len = (h - start).min(self.width);
+                let busy = self.busy.get(i as usize).copied().unwrap_or(0);
+                (start, busy as f64 / len as f64)
+            })
+            .collect()
+    }
+
+    /// Sum of all recorded busy units.
+    pub fn total_busy(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.record(x));
+
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| a.record(x));
+        xs[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_records_and_overflows() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(2), 0);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.mean() - 14.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.max_nonzero_bucket(), Some(3));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_nonzero_bucket(), None);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(3);
+        let mut b = Histogram::new(3);
+        a.record(0);
+        b.record(0);
+        b.record(2);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.bucket(2), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn histogram_merge_width_mismatch_panics() {
+        Histogram::new(2).merge(&Histogram::new(3));
+    }
+
+    #[test]
+    fn busy_tracker_accumulates_spans() {
+        let mut t = BusyTracker::new();
+        assert!(!t.is_busy());
+        t.set_busy(SimTime(10));
+        assert!(t.is_busy());
+        t.set_idle(SimTime(15));
+        t.set_busy(SimTime(20));
+        t.set_idle(SimTime(30));
+        assert_eq!(t.busy_time(SimTime(30)), 15);
+        assert!((t.utilization(SimTime(30)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracker_open_span_counts() {
+        let mut t = BusyTracker::new();
+        t.set_busy(SimTime(0));
+        assert_eq!(t.busy_time(SimTime(40)), 40);
+        assert!((t.utilization(SimTime(40)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracker_redundant_transitions_are_idempotent() {
+        let mut t = BusyTracker::new();
+        t.set_idle(SimTime(5)); // idle -> idle: no-op
+        t.set_busy(SimTime(10));
+        t.set_busy(SimTime(12)); // busy -> busy: keeps original start
+        t.set_idle(SimTime(20));
+        assert_eq!(t.busy_time(SimTime(20)), 10);
+    }
+
+    #[test]
+    fn busy_tracker_at_time_zero() {
+        let t = BusyTracker::new();
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn interval_series_splits_across_boundaries() {
+        let mut s = IntervalSeries::new(10);
+        s.add_busy(SimTime(5), SimTime(25)); // 5 in [0,10), 10 in [10,20), 5 in [20,30)
+        let series = s.utilization_series(SimTime(30));
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 0.5).abs() < 1e-12);
+        assert!((series[1].1 - 1.0).abs() < 1e-12);
+        assert!((series[2].1 - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_busy(), 20);
+    }
+
+    #[test]
+    fn interval_series_partial_final_interval_normalized() {
+        let mut s = IntervalSeries::new(10);
+        s.add_busy(SimTime(20), SimTime(25));
+        // Horizon 25: final interval is [20,25), 5 units long, fully busy.
+        let series = s.utilization_series(SimTime(25));
+        assert_eq!(series.len(), 3);
+        assert!((series[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_series_empty_and_degenerate_spans() {
+        let mut s = IntervalSeries::new(10);
+        s.add_busy(SimTime(5), SimTime(5)); // zero-length: ignored
+        assert_eq!(s.total_busy(), 0);
+        assert!(s.utilization_series(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn interval_series_exact_boundary_span() {
+        let mut s = IntervalSeries::new(10);
+        s.add_busy(SimTime(10), SimTime(20));
+        let series = s.utilization_series(SimTime(20));
+        assert!((series[0].1 - 0.0).abs() < 1e-12);
+        assert!((series[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn interval_series_zero_width_panics() {
+        IntervalSeries::new(0);
+    }
+}

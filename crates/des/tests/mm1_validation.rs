@@ -1,0 +1,170 @@
+//! Validation of the DES engine against queueing theory.
+//!
+//! Simulates an M/M/1 queue (Poisson arrivals, exponential service, one
+//! server) on the event calendar and checks the measured statistics against
+//! the analytic results: server utilization rho = lambda/mu, mean number in
+//! system L = rho/(1-rho), and Little's law L = lambda * W. If the engine's
+//! clock, calendar ordering, or RNG were biased, these would not come out
+//! right — this is an end-to-end correctness check of the substrate
+//! independent of the multiprocessor model built on top of it.
+
+use oracle_des::{BusyTracker, CalendarQueue, EventQueue, Rng, SimTime};
+
+/// Exponential variate by inverse transform, scaled to integer time units.
+/// `mean` is in time units; resolution loss from rounding is well below the
+/// tolerances asserted here.
+fn exp_sample(rng: &mut Rng, mean: f64) -> u64 {
+    let u = 1.0 - rng.f64(); // (0, 1]
+    (-mean * u.ln()).round().max(1.0) as u64
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+struct Measured {
+    rho: f64,
+    mean_in_system: f64,
+    mean_sojourn: f64,
+    arrival_rate: f64,
+}
+
+/// Run an M/M/1 simulation with the given event list implementation.
+fn run_mm1<Q>(mut queue: Q, seed: u64, horizon: u64, mean_ia: f64, mean_svc: f64) -> Measured
+where
+    Q: Mm1Queue,
+{
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut waiting: Vec<SimTime> = Vec::new(); // arrival times of queued jobs
+    let mut in_service: Option<SimTime> = None;
+    let mut busy = BusyTracker::new();
+
+    // Time-weighted number-in-system accumulator.
+    let mut area = 0.0f64;
+    let mut last_t = 0u64;
+    let mut n_in_system = 0u32;
+    let mut arrivals = 0u64;
+    let mut completions = 0u64;
+    let mut total_sojourn = 0u64;
+
+    queue.push(exp_sample(&mut rng, mean_ia), Ev::Arrival);
+    while let Some((t, ev)) = queue.next() {
+        if t.units() > horizon {
+            break;
+        }
+        area += n_in_system as f64 * (t.units() - last_t) as f64;
+        last_t = t.units();
+        match ev {
+            Ev::Arrival => {
+                arrivals += 1;
+                n_in_system += 1;
+                if in_service.is_none() {
+                    in_service = Some(t);
+                    busy.set_busy(t);
+                    queue.push(exp_sample(&mut rng, mean_svc), Ev::Departure);
+                } else {
+                    waiting.push(t);
+                }
+                queue.push(exp_sample(&mut rng, mean_ia), Ev::Arrival);
+            }
+            Ev::Departure => {
+                let arrived = in_service.take().expect("departure without a job");
+                total_sojourn += t - arrived;
+                completions += 1;
+                n_in_system -= 1;
+                if !waiting.is_empty() {
+                    in_service = Some(waiting.remove(0));
+                    queue.push(exp_sample(&mut rng, mean_svc), Ev::Departure);
+                } else {
+                    busy.set_idle(t);
+                }
+            }
+        }
+    }
+    let t_end = SimTime(last_t);
+    Measured {
+        rho: busy.utilization(t_end),
+        mean_in_system: area / last_t as f64,
+        mean_sojourn: total_sojourn as f64 / completions as f64,
+        arrival_rate: arrivals as f64 / last_t as f64,
+    }
+}
+
+/// Minimal shared interface over the two event-list implementations.
+trait Mm1Queue {
+    fn push(&mut self, delay: u64, ev: Ev);
+    fn next(&mut self) -> Option<(SimTime, Ev)>;
+}
+
+impl Mm1Queue for EventQueue<Ev> {
+    fn push(&mut self, delay: u64, ev: Ev) {
+        self.schedule_after(delay, ev);
+    }
+    fn next(&mut self) -> Option<(SimTime, Ev)> {
+        self.pop()
+    }
+}
+
+impl Mm1Queue for CalendarQueue<Ev> {
+    fn push(&mut self, delay: u64, ev: Ev) {
+        self.schedule_after(delay, ev);
+    }
+    fn next(&mut self) -> Option<(SimTime, Ev)> {
+        self.pop()
+    }
+}
+
+fn check(m: &Measured, mean_ia: f64, mean_svc: f64) {
+    let rho = mean_svc / mean_ia;
+    let l = rho / (1.0 - rho);
+    assert!(
+        (m.rho - rho).abs() < 0.03,
+        "utilization {:.3} vs analytic {rho:.3}",
+        m.rho
+    );
+    assert!(
+        (m.mean_in_system - l).abs() / l < 0.12,
+        "L = {:.3} vs analytic {l:.3}",
+        m.mean_in_system
+    );
+    // Little's law: L = lambda * W.
+    let little = m.arrival_rate * m.mean_sojourn;
+    assert!(
+        (m.mean_in_system - little).abs() / m.mean_in_system < 0.08,
+        "Little's law violated: L {:.3} vs lambda*W {:.3}",
+        m.mean_in_system,
+        little
+    );
+}
+
+#[test]
+fn mm1_matches_theory_on_the_binary_heap() {
+    // rho = 0.5: mean inter-arrival 200, mean service 100.
+    let m = run_mm1(EventQueue::new(), 42, 4_000_000, 200.0, 100.0);
+    check(&m, 200.0, 100.0);
+}
+
+#[test]
+fn mm1_matches_theory_on_the_calendar_queue() {
+    let m = run_mm1(CalendarQueue::new(), 42, 4_000_000, 200.0, 100.0);
+    check(&m, 200.0, 100.0);
+}
+
+#[test]
+fn mm1_heavier_load() {
+    // rho = 0.8: queueing dominates; L = 4.
+    let m = run_mm1(EventQueue::new(), 7, 8_000_000, 125.0, 100.0);
+    check(&m, 125.0, 100.0);
+}
+
+#[test]
+fn both_event_lists_agree_exactly() {
+    // Identical seed, identical sample path — not just statistics.
+    let a = run_mm1(EventQueue::new(), 9, 1_000_000, 150.0, 100.0);
+    let b = run_mm1(CalendarQueue::new(), 9, 1_000_000, 150.0, 100.0);
+    assert_eq!(a.rho.to_bits(), b.rho.to_bits());
+    assert_eq!(a.mean_in_system.to_bits(), b.mean_in_system.to_bits());
+    assert_eq!(a.mean_sojourn.to_bits(), b.mean_sojourn.to_bits());
+}

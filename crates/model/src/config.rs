@@ -1,0 +1,158 @@
+//! Machine-level configuration knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// How PEs learn their neighbours' loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadInfoMode {
+    /// The paper's mechanism: the load word is piggy-backed on every regular
+    /// message, plus "a very short message to all the neighbors" broadcast
+    /// every `period` units (0 disables the periodic broadcast).
+    Piggyback { period: u64 },
+    /// Ablation: neighbour loads are read instantaneously and exactly, with
+    /// no messages. Isolates the effect of stale load information.
+    Instant,
+}
+
+/// Order in which a PE picks its next work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Oldest first (breadth-first-ish over the task tree) — ORACLE's
+    /// behaviour and the default.
+    Fifo,
+    /// Newest first (depth-first over the task tree): the classic
+    /// space-control discipline — queues stay short because subtrees are
+    /// finished before siblings are started.
+    Lifo,
+    /// The queued goal with the greatest tree depth first; responses when
+    /// no goal is queued.
+    DeepestFirst,
+}
+
+/// Configuration of the simulated machine (everything that is not the
+/// topology, the program, the strategy, or the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// PE on which the root goal is injected at time zero.
+    pub root_pe: u32,
+    /// Width of the utilization sampling interval (the paper's load-monitor
+    /// output interval), in time units.
+    pub sampling_interval: u64,
+    /// How neighbour-load information propagates.
+    pub load_info: LoadInfoMode,
+    /// Whether pending responses count toward the load metric. Read
+    /// literally, the paper's metric — "the number of messages waiting to be
+    /// processed" — includes responses, but with responses counted the
+    /// Gradient Model's water-marks trip constantly (every combining PE
+    /// looks abundant) and it sheds work far more aggressively than the
+    /// paper observed (mean goal distance ~1.9 vs the paper's 0.92). The
+    /// default is therefore `false` (load = queued goals, the task-queue
+    /// length of Lin & Keller's formulation); `true` is kept as an ablation.
+    pub count_responses_in_load: bool,
+    /// Weight of "future commitments" in the load metric: each task waiting
+    /// for responses adds this much to the PE's load. The paper's metric
+    /// "ignores potential future commitments, indicated by the count of the
+    /// tasks that are waiting for messages" — it suggests fixing that, which
+    /// the Adaptive CWN preset does by setting this to a non-zero weight.
+    pub future_commitment_weight: u32,
+    /// When a PE sends a goal to a neighbour, optimistically bump its local
+    /// view of that neighbour's load by one. Without this, consecutive
+    /// subgoals created between load updates all chase the same "least
+    /// loaded" neighbour.
+    pub optimistic_accounting: bool,
+    /// "We assume a communication co-processor to handle the routing and
+    /// load-balancing functions." When `false`, every message arrival
+    /// charges `software_routing_cost` of PE time, with message handling
+    /// taking priority over user work — the paper predicts "the gradient
+    /// model will suffer more" in this regime.
+    pub coprocessor: bool,
+    /// Keep each PE's full utilization time series (needed by the load
+    /// monitor; costs memory in big sweeps).
+    pub per_pe_series: bool,
+    /// Safety valve: abort the run after this many events.
+    pub max_events: u64,
+    /// Keep a structured trace of up to this many events (0 disables
+    /// tracing; see [`crate::trace`]).
+    pub trace_capacity: usize,
+    /// Order in which each PE picks its next work item.
+    pub queue_discipline: QueueDiscipline,
+    /// Failure injection: kill one PE at a simulated instant — it stops
+    /// executing, its queued and waiting work is lost, and messages
+    /// addressed to it vanish. Runs that depended on the lost work end in
+    /// [`crate::SimError::Stalled`] rather than a silent wrong answer.
+    pub fail_pe: Option<(u32, u64)>,
+    /// Heterogeneous-machine extension: each PE's execution costs are
+    /// multiplied by a seeded per-PE factor drawn uniformly from
+    /// `1..=pe_speed_spread`. 1 (the default) models the paper's uniform
+    /// machine; larger values model mixed-speed hardware, where
+    /// load-*informed* placement should matter more than load-oblivious
+    /// scatter.
+    pub pe_speed_spread: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            seed: 1,
+            root_pe: 0,
+            sampling_interval: 100,
+            load_info: LoadInfoMode::Piggyback { period: 40 },
+            count_responses_in_load: false,
+            future_commitment_weight: 0,
+            optimistic_accounting: true,
+            coprocessor: true,
+            per_pe_series: false,
+            max_events: 500_000_000,
+            trace_capacity: 0,
+            queue_discipline: QueueDiscipline::Fifo,
+            fail_pe: None,
+            pe_speed_spread: 1,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sampling_interval == 0 {
+            return Err("sampling_interval must be positive".into());
+        }
+        if self.max_events == 0 {
+            return Err("max_events must be positive".into());
+        }
+        if self.pe_speed_spread == 0 {
+            return Err("pe_speed_spread must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        MachineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_sampling_interval_rejected() {
+        let mut c = MachineConfig::default();
+        c.sampling_interval = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_seed_sets_seed() {
+        assert_eq!(MachineConfig::default().with_seed(99).seed, 99);
+    }
+}

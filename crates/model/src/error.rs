@@ -1,0 +1,101 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// A simulation run failed to complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event limit (`MachineConfig::max_events`) was exceeded —
+    /// usually a runaway strategy generating unbounded control traffic.
+    EventLimit {
+        /// Events processed when the run was aborted.
+        events: u64,
+        /// Simulated time reached.
+        time: u64,
+    },
+    /// The event calendar drained before the root result was produced —
+    /// goals were lost or a strategy deadlocked.
+    Stalled {
+        /// Simulated time at which the calendar drained.
+        time: u64,
+        /// Goals created so far.
+        goals_created: u64,
+        /// Goals executed so far.
+        goals_executed: u64,
+    },
+    /// A channel's backlog grew without bound: the configuration is
+    /// communication-bound ("communication stagnation", which the paper's
+    /// cost ratio was chosen to avoid). Reported instead of a bare stall
+    /// when the progress watchdog finds a runaway backlog.
+    Stagnation {
+        /// Channel with the largest backlog.
+        channel: u32,
+        /// Messages queued on it when the run was aborted.
+        backlog: usize,
+        /// Simulated time reached.
+        time: u64,
+    },
+    /// Configuration rejected before the run started.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventLimit { events, time } => {
+                write!(f, "event limit exceeded after {events} events at t={time}")
+            }
+            SimError::Stalled {
+                time,
+                goals_created,
+                goals_executed,
+            } => write!(
+                f,
+                "simulation stalled at t={time}: {goals_executed}/{goals_created} goals executed \
+                 but no result produced"
+            ),
+            SimError::Stagnation {
+                channel,
+                backlog,
+                time,
+            } => write!(
+                f,
+                "communication stagnation at t={time}: channel {channel} has {backlog} \
+                 messages backlogged and growing"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::EventLimit {
+            events: 10,
+            time: 5,
+        };
+        assert!(e.to_string().contains("event limit"));
+        let e = SimError::Stalled {
+            time: 7,
+            goals_created: 3,
+            goals_executed: 2,
+        };
+        assert!(e.to_string().contains("2/3"));
+        assert!(SimError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        let e = SimError::Stagnation {
+            channel: 3,
+            backlog: 5000,
+            time: 100,
+        };
+        assert!(e.to_string().contains("stagnation"));
+        assert!(e.to_string().contains("5000"));
+    }
+}

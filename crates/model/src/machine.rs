@@ -1,0 +1,1406 @@
+//! The simulation driver: wires a topology, a program, and a strategy into
+//! an event-driven run and produces a [`Report`].
+//!
+//! Two resource classes are contended, exactly as in ORACLE: each PE
+//! executes one work item at a time (goals, response combinations, and —
+//! without a communication co-processor — message handling), and each
+//! channel transfers one message at a time, with FIFO backlogs on both.
+
+use oracle_des::{EventQueue, Histogram, IntervalSeries, OnlineStats, Rng, SimTime};
+use oracle_topo::{ChannelId, PeId, Topology};
+
+use crate::channel::Channel;
+use crate::config::{LoadInfoMode, MachineConfig};
+use crate::cost::CostModel;
+use crate::error::SimError;
+use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
+use crate::metrics::{Report, TrafficCounters};
+use crate::pe::{Executing, Pe, Waiting, WorkItem};
+use crate::program::{Continuation, Expansion, Program, TaskSpec};
+use crate::strategy::Strategy;
+use crate::trace::{Trace, TraceEvent};
+
+/// Discrete events of the machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The current work item on a PE completes.
+    PeDone(PeId),
+    /// The in-flight transfer on a channel completes.
+    ChannelDone(ChannelId),
+    /// A strategy timer fires.
+    Timer(PeId, u64),
+    /// A PE's periodic load-word broadcast is due.
+    LoadBcast(PeId),
+    /// Failure injection: the PE dies now.
+    FailPe(PeId),
+}
+
+/// Window (in events) of the progress watchdog: if no goal is created,
+/// executed, or combined across a full window, the run is declared stalled.
+const PROGRESS_WINDOW: u64 = 1_000_000;
+
+/// Everything a strategy can see and act on: the machine without the
+/// strategy itself. Strategies receive `&mut Core` in every callback.
+pub struct Core {
+    topo: Topology,
+    costs: CostModel,
+    config: MachineConfig,
+    program: Box<dyn Program>,
+    pes: Vec<Pe>,
+    channels: Vec<Channel>,
+    events: EventQueue<Event>,
+    rng: Rng,
+    next_goal_id: u64,
+    goals_created: u64,
+    goals_executed: u64,
+    responses_processed: u64,
+    seq_work: u64,
+    traffic: TrafficCounters,
+    hop_hist: Histogram,
+    /// Dispatch latency: creation to execution start, per goal.
+    dispatch_latency: OnlineStats,
+    /// Summed user-busy time across all PEs, per sampling interval.
+    global_series: IntervalSeries,
+    root_result: Option<(i64, SimTime)>,
+    trace: Trace,
+}
+
+impl Core {
+    // ------------------------------------------------------------------
+    // Read-only accessors (the strategy's view of the machine).
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The interconnection topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Network diameter in hops.
+    #[inline]
+    pub fn diameter(&self) -> u16 {
+        self.topo.diameter()
+    }
+
+    /// The cost model in force.
+    #[inline]
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The machine configuration.
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The deterministic PRNG (all strategy randomness must come from here).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// `pe`'s own current load, per the configured metric: "the number of
+    /// messages waiting to be processed by that PE", optionally weighted by
+    /// the tasks waiting for responses (future commitments).
+    #[inline]
+    pub fn load(&self, pe: PeId) -> u32 {
+        let p = &self.pes[pe.idx()];
+        p.load(self.config.count_responses_in_load)
+            + self.config.future_commitment_weight * p.waiting_tasks()
+    }
+
+    /// Number of tasks pinned on `pe` awaiting responses — the "future
+    /// commitments" refinement of the load metric.
+    #[inline]
+    pub fn waiting_tasks(&self, pe: PeId) -> u32 {
+        self.pes[pe.idx()].waiting_tasks()
+    }
+
+    /// Number of goals currently queued (exportable) on `pe`.
+    #[inline]
+    pub fn queued_goal_count(&self, pe: PeId) -> u32 {
+        self.pes[pe.idx()].queued_goals
+    }
+
+    /// `pe`'s current view of neighbour `nbr`'s load. In `Instant` mode this
+    /// is the true load; in `Piggyback` mode it is the last load word
+    /// received from `nbr` (possibly stale).
+    pub fn known_load_of(&self, pe: PeId, nbr: PeId) -> u32 {
+        match self.config.load_info {
+            LoadInfoMode::Instant => self.load(nbr),
+            LoadInfoMode::Piggyback { .. } => {
+                let idx = self
+                    .neighbor_index(pe, nbr)
+                    .expect("known_load_of: not a neighbour");
+                self.pes[pe.idx()].known_load[idx]
+            }
+        }
+    }
+
+    /// The least-loaded neighbour of `pe` under its current knowledge, ties
+    /// broken uniformly at random (deterministically, from the run's seed).
+    /// Without randomized tie-breaking, the load plateaus of an idle machine
+    /// funnel every goal down the same lowest-id path — a single saturated
+    /// channel and a sequential execution. Optionally exclude one neighbour
+    /// (e.g. the PE a goal just came from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` has no neighbours (or only the excluded one).
+    pub fn least_loaded_neighbor(&mut self, pe: PeId, exclude: Option<PeId>) -> (PeId, u32) {
+        let mut best: Option<(PeId, u32)> = None;
+        let mut ties = 0u64;
+        for i in 0..self.topo.neighbors(pe).len() {
+            let n = self.topo.neighbors(pe)[i];
+            if Some(n.pe) == exclude {
+                continue;
+            }
+            let load = match self.config.load_info {
+                LoadInfoMode::Instant => self.load(n.pe),
+                LoadInfoMode::Piggyback { .. } => self.pes[pe.idx()].known_load[i],
+            };
+            match best {
+                Some((_, b)) if load > b => {}
+                Some((_, b)) if load == b => {
+                    // Reservoir-sample among the tied minima.
+                    ties += 1;
+                    if self.rng.below(ties + 1) == 0 {
+                        best = Some((n.pe, load));
+                    }
+                }
+                _ => {
+                    ties = 0;
+                    best = Some((n.pe, load));
+                }
+            }
+        }
+        best.expect("least_loaded_neighbor: no candidate neighbour")
+    }
+
+    /// Minimum load among `pe`'s neighbours under its current knowledge.
+    pub fn min_known_neighbor_load(&self, pe: PeId) -> u32 {
+        let p = &self.pes[pe.idx()];
+        self.topo
+            .neighbors(pe)
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match self.config.load_info {
+                LoadInfoMode::Instant => self.load(n.pe),
+                LoadInfoMode::Piggyback { .. } => p.known_load[i],
+            })
+            .min()
+            .expect("min_known_neighbor_load: PE has no neighbours")
+    }
+
+    /// The most-loaded neighbour of `pe` under its current knowledge.
+    pub fn most_loaded_neighbor(&self, pe: PeId) -> (PeId, u32) {
+        let mut best: Option<(PeId, u32)> = None;
+        for (i, n) in self.topo.neighbors(pe).iter().enumerate() {
+            let load = match self.config.load_info {
+                LoadInfoMode::Instant => self.load(n.pe),
+                LoadInfoMode::Piggyback { .. } => self.pes[pe.idx()].known_load[i],
+            };
+            match best {
+                Some((_, b)) if b >= load => {}
+                _ => best = Some((n.pe, load)),
+            }
+        }
+        best.expect("most_loaded_neighbor: PE has no neighbours")
+    }
+
+    // ------------------------------------------------------------------
+    // Strategy actions.
+    // ------------------------------------------------------------------
+
+    /// Accept `goal` on `pe`: it is enqueued there and will be executed
+    /// there (unless a strategy later exports it with
+    /// [`Core::take_newest_goal`]).
+    pub fn accept_goal(&mut self, pe: PeId, goal: GoalMsg) {
+        if self.pes[pe.idx()].failed {
+            return; // goal lost to the failed PE
+        }
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::GoalAccepted {
+                t: self.events.now().units(),
+                goal: goal.id,
+                pe,
+                hops: goal.hops,
+            });
+        }
+        self.pes[pe.idx()].enqueue(WorkItem::Goal(goal));
+        self.try_start(pe);
+    }
+
+    /// Send `goal` one hop from `from` to its neighbour `to`. The goal's
+    /// `hops` count is incremented on arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour of `from`.
+    pub fn forward_goal(&mut self, from: PeId, to: PeId, goal: GoalMsg) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::GoalForwarded {
+                t: self.events.now().units(),
+                goal: goal.id,
+                from,
+                to,
+                hops: goal.hops,
+            });
+        }
+        if self.config.optimistic_accounting {
+            if let Some(idx) = self.neighbor_index(from, to) {
+                self.pes[from.idx()].known_load[idx] =
+                    self.pes[from.idx()].known_load[idx].saturating_add(1);
+            }
+        }
+        self.send_unicast(from, to, Packet::Goal(goal));
+    }
+
+    /// Send a strategy control message one hop to a neighbour.
+    pub fn send_control(&mut self, from: PeId, to: PeId, msg: ControlMsg) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::ControlSent {
+                t: self.events.now().units(),
+                from,
+                to,
+                tag: msg.tag,
+            });
+        }
+        self.send_unicast(from, to, Packet::Control(msg));
+    }
+
+    /// Broadcast a strategy control message to all neighbours: one
+    /// transmission per incident channel, received by every other member.
+    pub fn broadcast_control(&mut self, from: PeId, msg: ControlMsg) {
+        self.broadcast_packet(from, Packet::Control(msg));
+    }
+
+    /// Arm a timer on `pe`; [`Strategy::on_timer`] fires with `tag` after
+    /// `delay` units.
+    pub fn set_timer(&mut self, pe: PeId, delay: u64, tag: u64) {
+        self.events.schedule_after(delay, Event::Timer(pe, tag));
+    }
+
+    /// Remove the most recently queued goal from `pe` (the Gradient Model's
+    /// export primitive).
+    pub fn take_newest_goal(&mut self, pe: PeId) -> Option<GoalMsg> {
+        self.pes[pe.idx()].take_newest_goal()
+    }
+
+    /// Remove the oldest queued goal from `pe`.
+    pub fn take_oldest_goal(&mut self, pe: PeId) -> Option<GoalMsg> {
+        self.pes[pe.idx()].take_oldest_goal()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// Index of `nbr` within `pe`'s sorted neighbour list.
+    fn neighbor_index(&self, pe: PeId, nbr: PeId) -> Option<usize> {
+        self.topo
+            .neighbors(pe)
+            .binary_search_by_key(&nbr, |n| n.pe)
+            .ok()
+    }
+
+    fn current_load_word(&self, pe: PeId) -> u32 {
+        self.load(pe)
+    }
+
+    fn send_unicast(&mut self, from: PeId, to: PeId, packet: Packet) {
+        let ch = self
+            .topo
+            .channel_between(from, to)
+            .unwrap_or_else(|| panic!("{from} -> {to}: not neighbours"));
+        let flight = Flight {
+            from,
+            dest: FlightDest::Unicast(to),
+            piggyback_load: self.piggyback_word(from),
+            packet,
+        };
+        self.offer_to_channel(ch, flight);
+    }
+
+    fn broadcast_packet(&mut self, from: PeId, packet: Packet) {
+        // One transmission per distinct incident channel.
+        let mut seen: Vec<ChannelId> = Vec::with_capacity(4);
+        let nbrs = self.topo.neighbors(from).len();
+        for i in 0..nbrs {
+            let ch = self.topo.neighbors(from)[i].channel;
+            if !seen.contains(&ch) {
+                seen.push(ch);
+            }
+        }
+        for ch in seen {
+            let flight = Flight {
+                from,
+                dest: FlightDest::Broadcast,
+                piggyback_load: self.piggyback_word(from),
+                packet: packet.clone(),
+            };
+            self.offer_to_channel(ch, flight);
+        }
+    }
+
+    fn piggyback_word(&self, from: PeId) -> Option<u32> {
+        match self.config.load_info {
+            LoadInfoMode::Piggyback { .. } => Some(self.current_load_word(from)),
+            LoadInfoMode::Instant => None,
+        }
+    }
+
+    fn packet_cost(&self, packet: &Packet) -> u64 {
+        match packet {
+            Packet::Goal(_) => self.costs.goal_hop_cost,
+            Packet::Response { .. } => self.costs.response_hop_cost,
+            Packet::Control(_) | Packet::LoadUpdate { .. } => self.costs.control_hop_cost,
+        }
+    }
+
+    fn offer_to_channel(&mut self, ch: ChannelId, flight: Flight) {
+        let cost = self.packet_cost(&flight.packet);
+        let now = self.events.now();
+        if self.channels[ch.idx()].offer(flight, now) {
+            self.events.schedule_after(cost, Event::ChannelDone(ch));
+        }
+    }
+
+    /// Record a completed transfer in the traffic counters.
+    fn count_traffic(&mut self, packet: &Packet) {
+        match packet {
+            Packet::Goal(_) => self.traffic.goal_hops += 1,
+            Packet::Response { .. } => self.traffic.response_hops += 1,
+            Packet::Control(_) => self.traffic.control_msgs += 1,
+            Packet::LoadUpdate { .. } => self.traffic.load_updates += 1,
+        }
+    }
+
+    fn update_known_load(&mut self, at: PeId, about: PeId, load: u32) {
+        if let Some(idx) = self.neighbor_index(at, about) {
+            self.pes[at.idx()].known_load[idx] = load;
+        }
+    }
+
+    /// Create a fresh goal message for `spec`, child of `parent`.
+    fn make_goal(&mut self, spec: TaskSpec, parent: Option<(PeId, GoalId)>) -> GoalMsg {
+        let id = GoalId(self.next_goal_id);
+        self.next_goal_id += 1;
+        self.goals_created += 1;
+        if self.trace.enabled() {
+            let pe = parent.map_or(PeId(self.config.root_pe), |(pe, _)| pe);
+            self.trace.record(TraceEvent::GoalCreated {
+                t: self.events.now().units(),
+                goal: id,
+                pe,
+                parent: parent.map(|(_, g)| g),
+            });
+        }
+        GoalMsg {
+            id,
+            spec,
+            parent,
+            hops: 0,
+            direct: false,
+            created_at: self.events.now().units(),
+        }
+    }
+
+    /// Deliver `value` to the waiting parent, or record the root result.
+    fn respond(&mut self, from_pe: PeId, parent: Option<(PeId, GoalId)>, value: i64) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Responded {
+                t: self.events.now().units(),
+                from_pe,
+                parent_pe: parent.map(|(pe, _)| pe),
+                value,
+            });
+        }
+        match parent {
+            None => {
+                self.root_result = Some((value, self.events.now()));
+                if self.trace.enabled() {
+                    self.trace.record(TraceEvent::RootCompleted {
+                        t: self.events.now().units(),
+                        result: value,
+                    });
+                }
+            }
+            Some((ppe, pgoal)) if ppe == from_pe => {
+                self.pes[from_pe.idx()].enqueue(WorkItem::Response { goal: pgoal, value });
+                self.try_start(from_pe);
+            }
+            Some((ppe, pgoal)) => {
+                let hop = self.topo.next_hop(from_pe, ppe);
+                self.send_unicast(
+                    from_pe,
+                    hop,
+                    Packet::Response {
+                        to: (ppe, pgoal),
+                        value,
+                    },
+                );
+            }
+        }
+    }
+
+    /// If `pe` is free and has queued work, start its next item.
+    fn try_start(&mut self, pe: PeId) {
+        if self.pes[pe.idx()].failed || self.pes[pe.idx()].executing.is_some() {
+            return;
+        }
+        let discipline = self.config.queue_discipline;
+        let Some(item) = self.pes[pe.idx()].dequeue(discipline) else {
+            return;
+        };
+        let speed = self.pes[pe.idx()].cost_factor;
+        let (exec, cost, is_user_work) = match item {
+            WorkItem::Goal(goal) => {
+                let expansion = self.program.expand(&goal.spec);
+                let mult = self.program.work_multiplier(&goal.spec).max(1);
+                let base = match &expansion {
+                    Expansion::Leaf(_) => self.costs.leaf_cost,
+                    Expansion::Split(_) => self.costs.split_cost,
+                };
+                self.goals_executed += 1;
+                self.pes[pe.idx()].goals_executed += 1;
+                self.hop_hist.record(goal.hops as u64);
+                let started = self.events.now().units();
+                self.dispatch_latency
+                    .record((started - goal.created_at) as f64);
+                if self.trace.enabled() {
+                    self.trace.record(TraceEvent::GoalStarted {
+                        t: self.events.now().units(),
+                        goal: goal.id,
+                        pe,
+                    });
+                }
+                (Executing::Goal(goal, expansion), base * mult * speed, true)
+            }
+            WorkItem::Response { goal, value } => (
+                Executing::Response { goal, value },
+                self.costs.combine_cost * speed,
+                true,
+            ),
+            WorkItem::Handle { from, packet } => (
+                Executing::Handle { from, packet },
+                self.costs.software_routing_cost.max(1),
+                false,
+            ),
+            WorkItem::TimerWork { tag } => (
+                Executing::TimerWork { tag },
+                self.costs.software_routing_cost.max(1),
+                false,
+            ),
+        };
+        if is_user_work {
+            self.seq_work += cost;
+        }
+        let now = self.events.now();
+        let p = &mut self.pes[pe.idx()];
+        p.exec_start = now;
+        p.busy_until = now + cost;
+        p.executing = Some(exec);
+        p.busy.set_busy(now);
+        self.events.schedule_after(cost, Event::PeDone(pe));
+    }
+
+    /// True once the root task's result has been produced.
+    fn completed(&self) -> bool {
+        self.root_result.is_some()
+    }
+}
+
+/// A complete simulation: a [`Core`] plus the strategy driving it.
+pub struct Machine {
+    core: Core,
+    strategy: Box<dyn Strategy>,
+}
+
+impl Machine {
+    /// Assemble a machine. Fails fast on invalid configuration.
+    pub fn new(
+        topo: Topology,
+        program: Box<dyn Program>,
+        strategy: Box<dyn Strategy>,
+        costs: CostModel,
+        config: MachineConfig,
+    ) -> Result<Self, SimError> {
+        costs.validate().map_err(SimError::InvalidConfig)?;
+        config.validate().map_err(SimError::InvalidConfig)?;
+        if (config.root_pe as usize) >= topo.num_pes() {
+            return Err(SimError::InvalidConfig(format!(
+                "root PE {} out of range (topology has {} PEs)",
+                config.root_pe,
+                topo.num_pes()
+            )));
+        }
+        let sampling = config.sampling_interval;
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut pes: Vec<Pe> = topo
+            .pes()
+            .map(|id| Pe::new(id, topo.degree(id), sampling))
+            .collect();
+        if config.pe_speed_spread > 1 {
+            for pe in &mut pes {
+                pe.cost_factor = 1 + rng.below(config.pe_speed_spread);
+            }
+        }
+        let channels = (0..topo.num_channels()).map(|_| Channel::new()).collect();
+        let max_hops = topo.diameter() as usize + 2;
+        Ok(Machine {
+            core: Core {
+                rng,
+                pes,
+                channels,
+                events: EventQueue::with_capacity(1024),
+                next_goal_id: 0,
+                goals_created: 0,
+                goals_executed: 0,
+                responses_processed: 0,
+                seq_work: 0,
+                traffic: TrafficCounters::default(),
+                hop_hist: Histogram::new(max_hops.max(64)),
+                dispatch_latency: OnlineStats::new(),
+                global_series: IntervalSeries::new(sampling),
+                root_result: None,
+                trace: Trace::new(config.trace_capacity),
+                topo,
+                costs,
+                config,
+                program,
+            },
+            strategy,
+        })
+    }
+
+    /// Run the simulation to completion and produce the report.
+    pub fn run(self) -> Result<Report, SimError> {
+        self.run_traced().map(|(report, _)| report)
+    }
+
+    /// Run the simulation and also return the event trace (empty unless
+    /// `MachineConfig::trace_capacity` is set).
+    pub fn run_traced(mut self) -> Result<(Report, Trace), SimError> {
+        let root_pe = PeId(self.core.config.root_pe);
+        self.strategy.init(&mut self.core);
+
+        // Arm the periodic load broadcasts, staggered by PE id — only for
+        // strategies that actually read neighbour loads.
+        if let LoadInfoMode::Piggyback { period } = self.core.config.load_info {
+            if period > 0 && self.strategy.needs_load_broadcast() {
+                for pe in 0..self.core.num_pes() as u32 {
+                    let offset = pe as u64 % period;
+                    self.core
+                        .events
+                        .schedule_at(SimTime(offset), Event::LoadBcast(PeId(pe)));
+                }
+            }
+        }
+
+        // Arm failure injection.
+        if let Some((pe, at)) = self.core.config.fail_pe {
+            if (pe as usize) < self.core.num_pes() {
+                self.core
+                    .events
+                    .schedule_at(SimTime(at), Event::FailPe(PeId(pe)));
+            }
+        }
+
+        // Inject the root goal.
+        let root_spec = self.core.program.root();
+        let root_goal = self.core.make_goal(root_spec, None);
+        self.strategy
+            .on_goal_created(&mut self.core, root_pe, root_goal);
+
+        // Progress watchdog state.
+        let mut last_progress = (0u64, 0u64, 0u64);
+        let mut next_check = PROGRESS_WINDOW;
+
+        while let Some((_, ev)) = self.core.events.pop() {
+            self.handle_event(ev);
+            if self.core.completed() {
+                break;
+            }
+            let n = self.core.events.events_processed();
+            if n >= next_check {
+                let progress = (
+                    self.core.goals_created,
+                    self.core.goals_executed,
+                    self.core.responses_processed,
+                );
+                if progress == last_progress {
+                    // Distinguish a communication-bound machine (a channel
+                    // backlog growing without bound) from a plain stall.
+                    let worst = self
+                        .core
+                        .channels
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, c)| c.backlog.len());
+                    if let Some((idx, ch)) = worst {
+                        if ch.backlog.len() > 100 {
+                            return Err(SimError::Stagnation {
+                                channel: idx as u32,
+                                backlog: ch.backlog.len(),
+                                time: self.core.now().units(),
+                            });
+                        }
+                    }
+                    return Err(SimError::Stalled {
+                        time: self.core.now().units(),
+                        goals_created: self.core.goals_created,
+                        goals_executed: self.core.goals_executed,
+                    });
+                }
+                last_progress = progress;
+                next_check = n + PROGRESS_WINDOW;
+            }
+            if n >= self.core.config.max_events {
+                return Err(SimError::EventLimit {
+                    events: n,
+                    time: self.core.now().units(),
+                });
+            }
+        }
+
+        if !self.core.completed() {
+            return Err(SimError::Stalled {
+                time: self.core.now().units(),
+                goals_created: self.core.goals_created,
+                goals_executed: self.core.goals_executed,
+            });
+        }
+        let report = self.build_report();
+        Ok((report, std::mem::take(&mut self.core.trace)))
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::PeDone(pe) => self.handle_pe_done(pe),
+            Event::ChannelDone(ch) => self.handle_channel_done(ch),
+            Event::Timer(pe, tag) => {
+                if self.core.pes[pe.idx()].failed {
+                    return;
+                }
+                if self.core.trace.enabled() {
+                    self.core.trace.record(TraceEvent::TimerFired {
+                        t: self.core.events.now().units(),
+                        pe,
+                        tag,
+                    });
+                }
+                if self.core.config.coprocessor {
+                    self.strategy.on_timer(&mut self.core, pe, tag);
+                } else {
+                    // No co-processor: the balancing process itself (e.g.
+                    // one gradient cycle) charges PE time, ahead of user
+                    // work.
+                    self.core.pes[pe.idx()]
+                        .sys_queue
+                        .push_back(WorkItem::TimerWork { tag });
+                    self.core.try_start(pe);
+                }
+            }
+            Event::LoadBcast(pe) => self.handle_load_bcast(pe),
+            Event::FailPe(pe) => self.handle_fail_pe(pe),
+        }
+    }
+
+    /// Kill `pe`: everything it held is lost; it never executes again.
+    fn handle_fail_pe(&mut self, pe: PeId) {
+        let now = self.core.events.now();
+        let p = &mut self.core.pes[pe.idx()];
+        p.failed = true;
+        p.executing = None;
+        p.queue.clear();
+        p.sys_queue.clear();
+        p.waiting.clear();
+        p.queued_goals = 0;
+        p.queued_responses = 0;
+        p.busy.set_idle(now);
+    }
+
+    fn handle_load_bcast(&mut self, pe: PeId) {
+        if self.core.pes[pe.idx()].failed {
+            return;
+        }
+        let LoadInfoMode::Piggyback { period } = self.core.config.load_info else {
+            return;
+        };
+        let load = self.core.current_load_word(pe);
+        self.core.broadcast_packet(pe, Packet::LoadUpdate { load });
+        self.core
+            .events
+            .schedule_after(period, Event::LoadBcast(pe));
+    }
+
+    fn handle_pe_done(&mut self, pe: PeId) {
+        let core = &mut self.core;
+        let p = &mut core.pes[pe.idx()];
+        if p.failed {
+            return; // a completion scheduled before the PE died
+        }
+        let exec = p.executing.take().expect("PeDone with nothing executing");
+        let start = p.exec_start;
+        let now = core.events.now();
+        p.busy.set_idle(now);
+        if core.config.per_pe_series {
+            p.series.add_busy(start, now);
+        }
+        let user_work = !matches!(exec, Executing::Handle { .. } | Executing::TimerWork { .. });
+        if user_work {
+            core.global_series.add_busy(start, now);
+        }
+
+        match exec {
+            Executing::Goal(goal, Expansion::Leaf(value)) => {
+                core.respond(pe, goal.parent, value);
+            }
+            Executing::Goal(goal, Expansion::Split(children)) => {
+                let waiting = Waiting {
+                    spec: goal.spec,
+                    parent: goal.parent,
+                    pending: children.len() as u32,
+                    acc: core.program.combine_init(&goal.spec),
+                    round: 0,
+                    hops: goal.hops,
+                };
+                debug_assert!(waiting.pending > 0, "split with no children");
+                core.pes[pe.idx()].waiting.insert(goal.id, waiting);
+                self.spawn_children(pe, goal.id, children);
+            }
+            Executing::Response { goal, value } => {
+                self.finish_response(pe, goal, value);
+            }
+            Executing::Respawn { goal, children } => {
+                self.spawn_children(pe, goal, children);
+            }
+            Executing::Handle { from, packet } => {
+                self.process_delivery(pe, from, packet);
+            }
+            Executing::TimerWork { tag } => {
+                self.strategy.on_timer(&mut self.core, pe, tag);
+            }
+        }
+
+        self.core.try_start(pe);
+        if self.core.pes[pe.idx()].is_idle() && !self.core.completed() {
+            self.strategy.on_idle(&mut self.core, pe);
+        }
+    }
+
+    /// Combine one response; when the round completes, finish or respawn.
+    fn finish_response(&mut self, pe: PeId, goal: GoalId, value: i64) {
+        let core = &mut self.core;
+        core.responses_processed += 1;
+        let w = core.pes[pe.idx()]
+            .waiting
+            .get_mut(&goal)
+            .expect("response for unknown waiting task");
+        w.acc = core.program.combine(&w.spec, w.acc, value);
+        w.pending -= 1;
+        if w.pending > 0 {
+            return;
+        }
+        let (spec, round, acc) = (w.spec, w.round, w.acc);
+        match core.program.continue_after(&spec, round, acc) {
+            Continuation::Done(result) => {
+                let w = core.pes[pe.idx()].waiting.remove(&goal).unwrap();
+                core.respond(pe, w.parent, result);
+            }
+            Continuation::Spawn(children) => {
+                assert!(!children.is_empty(), "Continuation::Spawn with no children");
+                let w = core.pes[pe.idx()].waiting.get_mut(&goal).unwrap();
+                w.round += 1;
+                w.pending = children.len() as u32;
+                w.acc = core.program.combine_init(&spec);
+                // Charge another split for the respawn round.
+                let mult = core.program.work_multiplier(&spec).max(1);
+                let cost = core.costs.split_cost * mult * core.pes[pe.idx()].cost_factor;
+                core.seq_work += cost;
+                let now = core.events.now();
+                let p = &mut core.pes[pe.idx()];
+                debug_assert!(p.executing.is_none());
+                p.exec_start = now;
+                p.busy_until = now + cost;
+                p.executing = Some(Executing::Respawn { goal, children });
+                p.busy.set_busy(now);
+                core.events.schedule_after(cost, Event::PeDone(pe));
+            }
+        }
+    }
+
+    /// Create goal messages for `children` of the waiting task `parent` on
+    /// `pe` and hand each to the strategy for placement.
+    fn spawn_children(&mut self, pe: PeId, parent: GoalId, children: Vec<TaskSpec>) {
+        for spec in children {
+            let goal = self.core.make_goal(spec, Some((pe, parent)));
+            self.strategy.on_goal_created(&mut self.core, pe, goal);
+        }
+    }
+
+    fn handle_channel_done(&mut self, ch: ChannelId) {
+        let now = self.core.events.now();
+        let costs = self.core.costs; // Copy: needed while the channel is borrowed.
+        let cost_of = |p: &Packet| match p {
+            Packet::Goal(_) => costs.goal_hop_cost,
+            Packet::Response { .. } => costs.response_hop_cost,
+            Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
+        };
+        let (flight, next) = self.core.channels[ch.idx()].complete(now);
+        let next_cost = next.map(|n| cost_of(&n.packet));
+        if let Some(cost) = next_cost {
+            self.core
+                .events
+                .schedule_after(cost, Event::ChannelDone(ch));
+        }
+        self.core.count_traffic(&flight.packet);
+
+        // On a bus, every member sees every transmission: all of them snoop
+        // the piggy-backed load word even when the packet itself is
+        // addressed to one PE. (On a 2-member link this is identical to
+        // updating just the receiver.)
+        if let Some(load) = flight.piggyback_load {
+            let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
+            for m in members {
+                if m != flight.from {
+                    self.core.update_known_load(m, flight.from, load);
+                }
+            }
+        }
+
+        match flight.dest {
+            FlightDest::Unicast(to) => {
+                self.deliver(to, flight.from, flight.piggyback_load, flight.packet)
+            }
+            FlightDest::Broadcast => {
+                let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
+                for to in members {
+                    if to != flight.from {
+                        self.deliver(
+                            to,
+                            flight.from,
+                            flight.piggyback_load,
+                            flight.packet.clone(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A packet reached PE `to` (from neighbour `from`).
+    fn deliver(&mut self, to: PeId, from: PeId, piggyback: Option<u32>, packet: Packet) {
+        if self.core.pes[to.idx()].failed {
+            return; // the dead PE's mailbox is a black hole
+        }
+        if let Some(load) = piggyback {
+            self.core.update_known_load(to, from, load);
+        }
+        if let Packet::LoadUpdate { load } = &packet {
+            self.core.update_known_load(to, from, *load);
+            return; // Updating the load table is free bookkeeping.
+        }
+        if self.core.config.coprocessor {
+            self.process_delivery(to, from, packet);
+        } else {
+            // No co-processor: handling charges PE time, ahead of user work.
+            self.core.pes[to.idx()]
+                .sys_queue
+                .push_back(WorkItem::Handle { from, packet });
+            self.core.try_start(to);
+        }
+    }
+
+    /// Act on an arrived packet (after any software-routing charge).
+    fn process_delivery(&mut self, pe: PeId, from: PeId, packet: Packet) {
+        match packet {
+            Packet::Goal(mut goal) => {
+                goal.hops += 1;
+                self.strategy.on_goal_message(&mut self.core, pe, goal);
+            }
+            Packet::Response {
+                to: (ppe, pgoal),
+                value,
+            } => {
+                if ppe == pe {
+                    self.core.pes[pe.idx()].enqueue(WorkItem::Response { goal: pgoal, value });
+                    self.core.try_start(pe);
+                } else {
+                    let hop = self.core.topo.next_hop(pe, ppe);
+                    self.core.send_unicast(
+                        pe,
+                        hop,
+                        Packet::Response {
+                            to: (ppe, pgoal),
+                            value,
+                        },
+                    );
+                }
+            }
+            Packet::Control(msg) => {
+                self.strategy.on_control(&mut self.core, pe, from, msg);
+            }
+            Packet::LoadUpdate { .. } => unreachable!("load updates handled at delivery"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting.
+    // ------------------------------------------------------------------
+
+    fn build_report(&mut self) -> Report {
+        let core = &mut self.core;
+        let (result, t_done) = core.root_result.expect("report before completion");
+        let horizon = t_done;
+
+        // Close any open busy span (possible only for routing work).
+        for i in 0..core.pes.len() {
+            let p = &mut core.pes[i];
+            if let Some(start) = (p.executing.is_some()).then_some(p.exec_start) {
+                if core.config.per_pe_series && start < horizon {
+                    p.series.add_busy(start, horizon);
+                }
+            }
+        }
+
+        let num_pes = core.pes.len();
+        let t = horizon.units().max(1);
+        let per_pe_utilization: Vec<f64> = core
+            .pes
+            .iter()
+            .map(|p| (p.busy.busy_time(horizon) as f64 / t as f64).min(1.0))
+            .collect();
+        let per_pe_goals: Vec<u64> = core.pes.iter().map(|p| p.goals_executed).collect();
+        let peak_queue_len = core.pes.iter().map(|p| p.peak_queue).max().unwrap_or(0);
+        let avg_utilization = per_pe_utilization.iter().sum::<f64>() / num_pes as f64 * 100.0;
+        let speedup = num_pes as f64 * avg_utilization / 100.0;
+
+        let util_series: Vec<(u64, f64)> = core
+            .global_series
+            .utilization_series(horizon)
+            .into_iter()
+            .map(|(t0, f)| (t0, (f / num_pes as f64).min(1.0)))
+            .collect();
+
+        let per_pe_series = core.config.per_pe_series.then(|| {
+            core.pes
+                .iter()
+                .map(|p| {
+                    p.series
+                        .utilization_series(horizon)
+                        .into_iter()
+                        .map(|(_, f)| f.min(1.0))
+                        .collect()
+                })
+                .collect()
+        });
+
+        let max_channel_backlog = core
+            .channels
+            .iter()
+            .map(|c| c.max_backlog)
+            .max()
+            .unwrap_or(0);
+        // Imbalance: coefficient of variation of per-PE busy time.
+        let mean_u = per_pe_utilization.iter().sum::<f64>() / num_pes as f64;
+        let var_u = per_pe_utilization
+            .iter()
+            .map(|u| (u - mean_u) * (u - mean_u))
+            .sum::<f64>()
+            / num_pes as f64;
+        let imbalance_cv = if mean_u > 0.0 {
+            var_u.sqrt() / mean_u
+        } else {
+            0.0
+        };
+
+        let mut chan_utils: Vec<f64> = core
+            .channels
+            .iter()
+            .map(|c| c.busy.busy_time(horizon) as f64 / t as f64)
+            .collect();
+        let avg_channel_utilization =
+            chan_utils.iter().sum::<f64>() / chan_utils.len().max(1) as f64;
+        let max_channel_utilization = chan_utils.drain(..).fold(0.0f64, f64::max);
+
+        let (hop_histogram, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
+        let dispatch_latency_mean = core.dispatch_latency.mean();
+        let dispatch_latency_max = core.dispatch_latency.max().unwrap_or(0.0);
+        let efficiency = core.seq_work as f64 / (num_pes as u64 * t) as f64 * 100.0;
+
+        Report {
+            strategy: self.strategy.name().to_string(),
+            topology: core.topo.name().to_string(),
+            program: core.program.name(),
+            num_pes,
+            completion_time: horizon.units(),
+            result,
+            goals_created: core.goals_created,
+            goals_executed: core.goals_executed,
+            responses_processed: core.responses_processed,
+            avg_utilization,
+            efficiency,
+            speedup,
+            per_pe_utilization,
+            per_pe_goals,
+            util_series,
+            per_pe_series,
+            hop_histogram,
+            avg_goal_distance,
+            dispatch_latency_mean,
+            dispatch_latency_max,
+            traffic: core.traffic,
+            avg_channel_utilization,
+            max_channel_utilization,
+            max_channel_backlog,
+            peak_queue_len,
+            imbalance_cv,
+            seq_work: core.seq_work,
+            events: core.events.events_processed(),
+            seed: core.config.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oracle_topo::misc::ring;
+
+    /// fib(n) as an inline test program.
+    struct Fib(i64);
+
+    impl Program for Fib {
+        fn name(&self) -> String {
+            format!("fib({})", self.0)
+        }
+        fn root(&self) -> TaskSpec {
+            TaskSpec::new(self.0, 0)
+        }
+        fn expand(&self, spec: &TaskSpec) -> Expansion {
+            if spec.a < 2 {
+                Expansion::Leaf(spec.a)
+            } else {
+                Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+            }
+        }
+        fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+            acc + child
+        }
+    }
+
+    /// Keep every goal on the PE that created it.
+    struct KeepLocal;
+
+    impl Strategy for KeepLocal {
+        fn name(&self) -> &'static str {
+            "keep-local"
+        }
+        fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            core.accept_goal(pe, goal);
+        }
+        fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            core.accept_goal(pe, goal);
+        }
+    }
+
+    /// Scatter every goal to the next PE around a ring, accepting after one
+    /// hop — exercises channels and responses.
+    struct ScatterRing;
+
+    impl Strategy for ScatterRing {
+        fn name(&self) -> &'static str {
+            "scatter-ring"
+        }
+        fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            let next = PeId((pe.0 + 1) % core.num_pes() as u32);
+            core.forward_goal(pe, next, goal);
+        }
+        fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            core.accept_goal(pe, goal);
+        }
+    }
+
+    fn run(n: i64, strategy: Box<dyn Strategy>, seed: u64) -> Report {
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(n)),
+            strategy,
+            CostModel::unit(),
+            MachineConfig::default().with_seed(seed),
+        )
+        .unwrap();
+        machine.run().unwrap()
+    }
+
+    #[test]
+    fn computes_fibonacci_locally() {
+        let r = run(10, Box::new(KeepLocal), 1);
+        assert_eq!(r.result, 55);
+        // fib call-tree size: 2*fib(n+1) - 1.
+        assert_eq!(r.goals_created, 2 * 89 - 1);
+        r.check_invariants();
+        // Everything ran on the root PE.
+        assert_eq!(r.avg_goal_distance, 0.0);
+        assert!(r.per_pe_utilization[1] == 0.0);
+    }
+
+    #[test]
+    fn computes_fibonacci_through_channels() {
+        let r = run(10, Box::new(ScatterRing), 1);
+        assert_eq!(r.result, 55);
+        r.check_invariants();
+        // Every goal travelled exactly one hop.
+        assert_eq!(r.avg_goal_distance, 1.0);
+        assert_eq!(r.hop_histogram, vec![0, r.goals_created]);
+        assert!(r.traffic.goal_hops >= r.goals_created);
+        assert!(r.traffic.response_hops > 0);
+        // Work is spread across the ring.
+        assert!(r.per_pe_utilization.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(12, Box::new(ScatterRing), 7);
+        let b = run(12, Box::new(ScatterRing), 7);
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.hop_histogram, b.hop_histogram);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn local_run_time_is_sequential_work() {
+        // With everything on one PE and unit costs, completion time equals
+        // the sequential work: one unit per goal plus one per response.
+        let r = run(8, Box::new(KeepLocal), 1);
+        let internal = (r.goals_created - (r.goals_created + 1) / 2) as u64;
+        let responses = 2 * internal;
+        assert_eq!(r.seq_work, r.goals_created + responses);
+        assert_eq!(r.completion_time, r.seq_work);
+        assert!((r.per_pe_utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_only_program_completes() {
+        let r = run(1, Box::new(KeepLocal), 1);
+        assert_eq!(r.result, 1);
+        assert_eq!(r.goals_created, 1);
+        assert_eq!(r.completion_time, 1);
+    }
+
+    #[test]
+    fn invalid_root_pe_is_rejected() {
+        let mut cfg = MachineConfig::default();
+        cfg.root_pe = 99;
+        let err = Machine::new(
+            ring(4),
+            Box::new(Fib(3)),
+            Box::new(KeepLocal),
+            CostModel::unit(),
+            cfg,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    /// A strategy that drops goals (violating the conservation contract)
+    /// must produce a stall, not a hang.
+    struct DropAll;
+
+    impl Strategy for DropAll {
+        fn name(&self) -> &'static str {
+            "drop-all"
+        }
+        fn on_goal_created(&mut self, _: &mut Core, _: PeId, _: GoalMsg) {}
+        fn on_goal_message(&mut self, _: &mut Core, _: PeId, _: GoalMsg) {}
+    }
+
+    #[test]
+    fn dropped_goals_stall_cleanly() {
+        let mut cfg = MachineConfig::default();
+        cfg.load_info = LoadInfoMode::Instant; // no broadcast events
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(5)),
+            Box::new(DropAll),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        assert!(matches!(machine.run(), Err(SimError::Stalled { .. })));
+    }
+
+    #[test]
+    fn no_coprocessor_charges_routing_time() {
+        let mut cfg = MachineConfig::default();
+        cfg.coprocessor = false;
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(10)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        let slow = machine.run().unwrap();
+        let fast = run(10, Box::new(ScatterRing), 1);
+        assert_eq!(slow.result, fast.result);
+        assert!(
+            slow.completion_time > fast.completion_time,
+            "software routing should slow the run ({} vs {})",
+            slow.completion_time,
+            fast.completion_time
+        );
+    }
+
+    #[test]
+    fn trace_records_the_goal_lifecycle() {
+        let mut cfg = MachineConfig::default().with_seed(1);
+        cfg.trace_capacity = 10_000;
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(6)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        let (report, trace) = machine.run_traced().unwrap();
+        assert!(trace.enabled());
+        let count = |pred: fn(&crate::trace::TraceEvent) -> bool| {
+            trace.events().iter().filter(|e| pred(e)).count() as u64
+        };
+        let created = count(|e| matches!(e, crate::trace::TraceEvent::GoalCreated { .. }));
+        let accepted = count(|e| matches!(e, crate::trace::TraceEvent::GoalAccepted { .. }));
+        let started = count(|e| matches!(e, crate::trace::TraceEvent::GoalStarted { .. }));
+        assert_eq!(created, report.goals_created);
+        assert_eq!(accepted, report.goals_created, "every goal accepted once");
+        assert_eq!(started, report.goals_executed);
+        // Timestamps are monotone.
+        let times: Vec<u64> = trace.events().iter().map(|e| e.time()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // The root completion appears with the right answer.
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::RootCompleted { result: 8, .. })));
+        assert!(trace.render().contains("result = 8"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_run() {
+        let mut traced_cfg = MachineConfig::default().with_seed(2);
+        traced_cfg.trace_capacity = 1000;
+        let traced = Machine::new(
+            ring(4),
+            Box::new(Fib(9)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            traced_cfg,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let plain = run(9, Box::new(ScatterRing), 2);
+        assert_eq!(traced.completion_time, plain.completion_time);
+        assert_eq!(traced.events, plain.events);
+    }
+
+    #[test]
+    fn backlog_and_imbalance_metrics_are_populated() {
+        let r = run(12, Box::new(ScatterRing), 1);
+        // A scatter onto 4 PEs keeps load fairly even.
+        assert!(r.imbalance_cv < 1.0, "cv = {}", r.imbalance_cv);
+        let local = run(12, Box::new(KeepLocal), 1);
+        assert!(
+            local.imbalance_cv > r.imbalance_cv,
+            "keep-local must be more imbalanced ({} vs {})",
+            local.imbalance_cv,
+            r.imbalance_cv
+        );
+        // Contention existed somewhere on the scatter run (goal traffic on
+        // top of the periodic load words).
+        assert!(r.max_channel_backlog > 0);
+        assert!(
+            local.max_channel_backlog <= r.max_channel_backlog,
+            "keep-local (load words only) should not out-congest the scatter"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_pe_speeds_slow_the_machine() {
+        let mut het = MachineConfig::default().with_seed(4);
+        het.pe_speed_spread = 4;
+        let slow = Machine::new(
+            ring(4),
+            Box::new(Fib(10)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            het,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let fast = run(10, Box::new(ScatterRing), 4);
+        assert_eq!(slow.result, fast.result);
+        assert!(
+            slow.completion_time > fast.completion_time,
+            "mixed-speed PEs must be slower ({} vs {})",
+            slow.completion_time,
+            fast.completion_time
+        );
+        // Deterministic: same seed, same factors.
+        let again = {
+            let mut cfg = MachineConfig::default().with_seed(4);
+            cfg.pe_speed_spread = 4;
+            Machine::new(
+                ring(4),
+                Box::new(Fib(10)),
+                Box::new(ScatterRing),
+                CostModel::unit(),
+                cfg,
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        assert_eq!(slow.completion_time, again.completion_time);
+    }
+
+    #[test]
+    fn util_series_covers_run() {
+        let r = run(10, Box::new(ScatterRing), 3);
+        assert!(!r.util_series.is_empty());
+        // Total busy in the series equals per-PE busy time summed.
+        let total: f64 = r
+            .util_series
+            .iter()
+            .map(|&(t0, f)| {
+                let width = (r.completion_time - t0).min(100);
+                f * width as f64 * r.num_pes as f64
+            })
+            .sum();
+        assert!((total - r.seq_work as f64).abs() < 1e-6);
+    }
+}

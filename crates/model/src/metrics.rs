@@ -1,0 +1,233 @@
+//! Run-level measurement and the final [`Report`].
+//!
+//! Mirrors ORACLE's statistics: "the overall average PE utilization,
+//! average utilization of individual PEs, average and individual
+//! utilizations of communication channels, the time to completion", the
+//! per-interval utilization stream that drove the load monitor, and the
+//! message-distance distribution of the paper's Table 3.
+
+use oracle_des::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Message traffic counters, by message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCounters {
+    /// Goal-message hops (each hop of each goal message counts once).
+    pub goal_hops: u64,
+    /// Response-message hops.
+    pub response_hops: u64,
+    /// Strategy control messages (proximity updates, steal handshake).
+    pub control_msgs: u64,
+    /// Periodic load-word broadcasts.
+    pub load_updates: u64,
+}
+
+impl TrafficCounters {
+    /// Total channel transfers of any kind.
+    pub fn total(&self) -> u64 {
+        self.goal_hops + self.response_hops + self.control_msgs + self.load_updates
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Strategy name.
+    pub strategy: String,
+    /// Topology name.
+    pub topology: String,
+    /// Program name.
+    pub program: String,
+    /// Number of PEs.
+    pub num_pes: usize,
+    /// Time to completion in simulated units (the instant the root task's
+    /// result was produced).
+    pub completion_time: u64,
+    /// The value computed by the simulated program.
+    pub result: i64,
+    /// Goals created during the run.
+    pub goals_created: u64,
+    /// Goals executed (must equal `goals_created` on a successful run).
+    pub goals_executed: u64,
+    /// Responses combined into waiting tasks.
+    pub responses_processed: u64,
+    /// Overall average PE utilization, in percent (the paper's Y axis).
+    /// Without a co-processor this includes message-handling time.
+    pub avg_utilization: f64,
+    /// Useful-work efficiency in percent: user computation (split + leaf +
+    /// combine time) divided by `num_pes * completion_time`. Equals
+    /// `avg_utilization` when a co-processor handles all balancing work.
+    pub efficiency: f64,
+    /// Speedup as the paper defines it: `num_pes * avg_utilization / 100`.
+    pub speedup: f64,
+    /// Per-PE utilization fractions in `[0, 1]`.
+    pub per_pe_utilization: Vec<f64>,
+    /// Goals executed by each PE (the placement distribution itself).
+    pub per_pe_goals: Vec<u64>,
+    /// Average-across-PEs utilization per sampling interval:
+    /// `(interval_start_time, fraction)` — the series of Plots 11–16.
+    pub util_series: Vec<(u64, f64)>,
+    /// Optional per-PE per-interval utilizations (the load-monitor stream);
+    /// `per_pe_series[pe][interval]`.
+    pub per_pe_series: Option<Vec<Vec<f64>>>,
+    /// Distribution of the distance (hops) each goal travelled from its
+    /// creation PE to the PE that executed it — the paper's Table 3.
+    pub hop_histogram: Vec<u64>,
+    /// Mean of that distribution ("Average" column of Table 3).
+    pub avg_goal_distance: f64,
+    /// Mean dispatch latency: time units from a goal's creation to the
+    /// start of its execution (travel + queueing). The agility metric:
+    /// CWN buys its fast rise time by paying placement latency up front.
+    pub dispatch_latency_mean: f64,
+    /// Largest single dispatch latency observed.
+    pub dispatch_latency_max: f64,
+    /// Message traffic by class.
+    pub traffic: TrafficCounters,
+    /// Mean channel utilization fraction across channels.
+    pub avg_channel_utilization: f64,
+    /// Highest single-channel utilization fraction (the bottleneck).
+    pub max_channel_utilization: f64,
+    /// High-water mark of any channel's message backlog — the
+    /// communication-stagnation indicator (the paper chose costs so that
+    /// "communication stagnation does not occur").
+    pub max_channel_backlog: usize,
+    /// High-water mark of any PE's work-queue length — the memory-footprint
+    /// proxy, governed by the queue discipline.
+    pub peak_queue_len: usize,
+    /// Coefficient of variation of per-PE busy time: 0 = perfectly even
+    /// load, larger = more imbalance.
+    pub imbalance_cv: f64,
+    /// Total user computation charged (split + leaf + combine time).
+    pub seq_work: u64,
+    /// Discrete events processed.
+    pub events: u64,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl Report {
+    /// Speedup ratio of this run over `other` (the paper's Table 2 cells:
+    /// speedup of CWN over GM). Both runs should be of the same program and
+    /// topology for the ratio to be meaningful.
+    pub fn speedup_over(&self, other: &Report) -> f64 {
+        assert!(other.speedup > 0.0, "degenerate baseline speedup");
+        self.speedup / other.speedup
+    }
+
+    /// The ideal completion time: sequential work divided by PE count.
+    pub fn ideal_time(&self) -> f64 {
+        self.seq_work as f64 / self.num_pes as f64
+    }
+
+    /// Build the hop fields from a histogram.
+    pub(crate) fn hop_fields(h: &Histogram) -> (Vec<u64>, f64) {
+        let upto = h.max_nonzero_bucket().map_or(0, |b| b + 1);
+        (h.buckets()[..upto].to_vec(), h.mean())
+    }
+
+    /// Internal consistency checks (used by integration tests): goal
+    /// conservation, utilization bounds, speedup bound.
+    pub fn check_invariants(&self) {
+        assert_eq!(
+            self.goals_created, self.goals_executed,
+            "goal conservation violated"
+        );
+        assert!(
+            (0.0..=100.0 + 1e-9).contains(&self.avg_utilization),
+            "utilization out of range: {}",
+            self.avg_utilization
+        );
+        assert!(
+            self.speedup <= self.num_pes as f64 + 1e-9,
+            "speedup exceeds PE count"
+        );
+        for &u in &self.per_pe_utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "per-PE utilization {u}");
+        }
+        let hist_total: u64 = self.hop_histogram.iter().sum();
+        assert_eq!(
+            hist_total, self.goals_executed,
+            "hop histogram does not cover every executed goal"
+        );
+        let pe_total: u64 = self.per_pe_goals.iter().sum();
+        assert_eq!(
+            pe_total, self.goals_executed,
+            "per-PE goal counts do not cover every executed goal"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(speedup: f64) -> Report {
+        Report {
+            strategy: "s".into(),
+            topology: "t".into(),
+            program: "p".into(),
+            num_pes: 4,
+            completion_time: 100,
+            result: 0,
+            goals_created: 3,
+            goals_executed: 3,
+            responses_processed: 2,
+            avg_utilization: speedup / 4.0 * 100.0,
+            efficiency: speedup / 4.0 * 100.0,
+            speedup,
+            per_pe_utilization: vec![0.5; 4],
+            per_pe_goals: vec![1, 1, 1, 0],
+            util_series: vec![],
+            per_pe_series: None,
+            hop_histogram: vec![1, 2],
+            avg_goal_distance: 0.5,
+            dispatch_latency_mean: 1.0,
+            dispatch_latency_max: 2.0,
+            traffic: TrafficCounters::default(),
+            avg_channel_utilization: 0.1,
+            max_channel_utilization: 0.2,
+            max_channel_backlog: 0,
+            peak_queue_len: 2,
+            imbalance_cv: 0.0,
+            seq_work: 200,
+            events: 10,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let a = dummy(2.0);
+        let b = dummy(1.0);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_time() {
+        assert!((dummy(1.0).ideal_time() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariants_pass_on_consistent_report() {
+        dummy(2.0).check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn invariants_catch_lost_goals() {
+        let mut r = dummy(1.0);
+        r.goals_executed = 2;
+        r.check_invariants();
+    }
+
+    #[test]
+    fn traffic_total() {
+        let t = TrafficCounters {
+            goal_hops: 1,
+            response_hops: 2,
+            control_msgs: 3,
+            load_updates: 4,
+        };
+        assert_eq!(t.total(), 10);
+    }
+}

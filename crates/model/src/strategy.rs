@@ -1,0 +1,58 @@
+//! The load-distribution strategy interface.
+//!
+//! A strategy is "dynamic … distributed on all of [the PEs] … each PE should
+//! only use the information provided by its neighbors". The machine drives a
+//! strategy through the callbacks below; the strategy acts on the machine
+//! through the [`Core`] handle (accepting goals,
+//! forwarding them to neighbours, exchanging control messages, setting
+//! timers).
+//!
+//! Conservation contract: every goal handed to `on_goal_created` or
+//! `on_goal_message` must eventually be either accepted on some PE or
+//! forwarded to a neighbour — dropping a goal stalls the simulation (and is
+//! caught by the machine's termination check).
+
+use oracle_topo::PeId;
+
+use crate::machine::Core;
+use crate::message::{ControlMsg, GoalMsg};
+
+/// A dynamic, distributed load-distribution scheme.
+pub trait Strategy: Send {
+    /// Short name used in reports, e.g. `"cwn"`.
+    fn name(&self) -> &'static str;
+
+    /// Whether this scheme consumes neighbour-load information. When
+    /// `false`, the machine skips the periodic load-word broadcasts (the
+    /// Gradient Model maintains its own proximity field instead; oblivious
+    /// baselines need nothing), so a scheme is never charged channel
+    /// bandwidth for information it does not read. Piggy-backed load words
+    /// ride existing messages for free either way.
+    fn needs_load_broadcast(&self) -> bool {
+        true
+    }
+
+    /// Called once before the root goal is injected. Strategies size their
+    /// per-PE state and arm initial timers here.
+    fn init(&mut self, _core: &mut Core) {}
+
+    /// A goal was just created on `pe` (by a task executing there). The
+    /// strategy decides its first placement: accept locally or send to a
+    /// neighbour.
+    fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg);
+
+    /// A goal message arrived at `pe` from a neighbour (its `hops` field has
+    /// already been incremented). The strategy decides: accept here or
+    /// forward onward.
+    fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg);
+
+    /// A control message from neighbour `from` arrived at `pe`.
+    fn on_control(&mut self, _core: &mut Core, _pe: PeId, _from: PeId, _msg: ControlMsg) {}
+
+    /// A timer armed with [`Core::set_timer`] fired on `pe`.
+    fn on_timer(&mut self, _core: &mut Core, _pe: PeId, _tag: u64) {}
+
+    /// `pe` transitioned from busy to idle (no executing item, empty
+    /// queues). Receiver-initiated schemes react here.
+    fn on_idle(&mut self, _core: &mut Core, _pe: PeId) {}
+}

@@ -1,0 +1,255 @@
+//! Structured event tracing.
+//!
+//! ORACLE accepted "form and content of the output information required" as
+//! input; this is the equivalent facility: an optional, bounded log of the
+//! semantically interesting events of a run (goal lifecycle, message
+//! movement, strategy actions). Disabled by default (zero cost beyond one
+//! branch); enable by setting `MachineConfig::trace_capacity`.
+//!
+//! Traces are the debugging companion to the load monitor: where the
+//! monitor shows *where* the machine is busy, the trace shows *why* — which
+//! goal went where, and when.
+
+use oracle_topo::PeId;
+use serde::{Deserialize, Serialize};
+
+use crate::message::GoalId;
+
+/// One traced event. `t` is the simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A goal was created on `pe` (by its parent executing there).
+    GoalCreated {
+        t: u64,
+        goal: GoalId,
+        pe: PeId,
+        parent: Option<GoalId>,
+    },
+    /// A goal message was sent one hop.
+    GoalForwarded {
+        t: u64,
+        goal: GoalId,
+        from: PeId,
+        to: PeId,
+        hops: u32,
+    },
+    /// A goal was accepted (it will execute on `pe`).
+    GoalAccepted {
+        t: u64,
+        goal: GoalId,
+        pe: PeId,
+        hops: u32,
+    },
+    /// A goal started executing.
+    GoalStarted { t: u64, goal: GoalId, pe: PeId },
+    /// A response was produced toward the waiting parent.
+    Responded {
+        t: u64,
+        from_pe: PeId,
+        parent_pe: Option<PeId>,
+        value: i64,
+    },
+    /// A strategy control message was sent.
+    ControlSent {
+        t: u64,
+        from: PeId,
+        to: PeId,
+        tag: u8,
+    },
+    /// A strategy timer fired.
+    TimerFired { t: u64, pe: PeId, tag: u64 },
+    /// The root task completed: the run's answer.
+    RootCompleted { t: u64, result: i64 },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn time(&self) -> u64 {
+        match *self {
+            TraceEvent::GoalCreated { t, .. }
+            | TraceEvent::GoalForwarded { t, .. }
+            | TraceEvent::GoalAccepted { t, .. }
+            | TraceEvent::GoalStarted { t, .. }
+            | TraceEvent::Responded { t, .. }
+            | TraceEvent::ControlSent { t, .. }
+            | TraceEvent::TimerFired { t, .. }
+            | TraceEvent::RootCompleted { t, .. } => t,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TraceEvent::GoalCreated {
+                t,
+                goal,
+                pe,
+                parent,
+            } => match parent {
+                Some(p) => write!(
+                    f,
+                    "[{t:>8}] goal {} created on {pe} (child of {})",
+                    goal.0, p.0
+                ),
+                None => write!(f, "[{t:>8}] root goal {} created on {pe}", goal.0),
+            },
+            TraceEvent::GoalForwarded {
+                t,
+                goal,
+                from,
+                to,
+                hops,
+            } => {
+                write!(
+                    f,
+                    "[{t:>8}] goal {} forwarded {from} -> {to} (hop {hops})",
+                    goal.0
+                )
+            }
+            TraceEvent::GoalAccepted { t, goal, pe, hops } => {
+                write!(
+                    f,
+                    "[{t:>8}] goal {} accepted at {pe} after {hops} hops",
+                    goal.0
+                )
+            }
+            TraceEvent::GoalStarted { t, goal, pe } => {
+                write!(f, "[{t:>8}] goal {} executing on {pe}", goal.0)
+            }
+            TraceEvent::Responded {
+                t,
+                from_pe,
+                parent_pe,
+                value,
+            } => match parent_pe {
+                Some(p) => write!(f, "[{t:>8}] {from_pe} responded {value} toward {p}"),
+                None => write!(f, "[{t:>8}] {from_pe} produced the root result {value}"),
+            },
+            TraceEvent::ControlSent { t, from, to, tag } => {
+                write!(f, "[{t:>8}] control tag {tag} {from} -> {to}")
+            }
+            TraceEvent::TimerFired { t, pe, tag } => {
+                write!(f, "[{t:>8}] timer tag {tag} fired on {pe}")
+            }
+            TraceEvent::RootCompleted { t, result } => {
+                write!(f, "[{t:>8}] run complete: result = {result}")
+            }
+        }
+    }
+}
+
+/// A bounded event log. Once `capacity` events are recorded, further events
+/// are counted but dropped (the prefix of a run is usually what matters for
+/// debugging placement).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events (0 = tracing disabled).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// True if this trace records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record one event (drops beyond capacity).
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else if self.capacity > 0 {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the whole trace as text, one event per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} further events dropped", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        assert!(!t.enabled());
+        t.record(TraceEvent::RootCompleted { t: 1, result: 2 });
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_the_log() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.record(TraceEvent::TimerFired {
+                t: i,
+                pe: PeId(0),
+                tag: 0,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.render().contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::GoalCreated {
+            t: 10,
+            goal: GoalId(5),
+            pe: PeId(3),
+            parent: None,
+        };
+        assert!(e.to_string().contains("root goal 5"));
+        assert_eq!(e.time(), 10);
+        let e = TraceEvent::GoalAccepted {
+            t: 11,
+            goal: GoalId(5),
+            pe: PeId(4),
+            hops: 2,
+        };
+        assert!(e.to_string().contains("after 2 hops"));
+        let e = TraceEvent::Responded {
+            t: 12,
+            from_pe: PeId(4),
+            parent_pe: None,
+            value: 99,
+        };
+        assert!(e.to_string().contains("root result 99"));
+    }
+}

@@ -1,0 +1,123 @@
+//! # oracle-strategies — dynamic load distribution schemes
+//!
+//! The two competitors of the paper plus the extensions its conclusion asks
+//! for and a set of context baselines:
+//!
+//! * [`cwn::Cwn`] — Contracting Within a Neighborhood (Kale): every new goal
+//!   is sent along the steepest load gradient to a local minimum within
+//!   `radius` hops of its source, after travelling at least `horizon` hops.
+//! * [`gradient::GradientModel`] — the Gradient Model (Lin & Keller): goals
+//!   stay local; an asynchronous per-PE process propagates *proximity* (the
+//!   guessed distance to the nearest idle PE) and abundant PEs push work
+//!   down the proximity gradient.
+//! * [`acwn::AdaptiveCwn`] — CWN plus the paper's §5 future-work list:
+//!   saturation control, a future-commitments load metric, and a
+//!   well-controlled redistribution component.
+//! * [`stealing::WorkStealing`] — receiver-initiated neighbour stealing, the
+//!   scheme that eventually displaced both competitors; included for
+//!   context.
+//! * [`diffusion::Diffusion`] — classical nearest-neighbour load diffusion,
+//!   a third period scheme between CWN's push and GM's trickle.
+//! * [`global::GlobalRandom`] — uniform random placement over the whole
+//!   machine: the "global communication" regime §2.1 argues is unscalable.
+//! * [`threshold::ThresholdProbe`] — sender-initiated threshold probing
+//!   (Eager, Lazowska & Zahorjan 1986): ask before you ship.
+//! * [`baselines`] — keep-local, random-walk, round-robin scatter: the
+//!   sanity floor and ceiling for any placement policy.
+
+pub mod acwn;
+pub mod baselines;
+pub mod cwn;
+pub mod diffusion;
+pub mod global;
+pub mod gradient;
+pub mod spec;
+pub mod stealing;
+pub mod threshold;
+
+pub use acwn::AdaptiveCwn;
+pub use baselines::{KeepLocal, RandomWalk, RoundRobin};
+pub use cwn::Cwn;
+pub use diffusion::Diffusion;
+pub use global::GlobalRandom;
+pub use gradient::GradientModel;
+pub use spec::StrategySpec;
+pub use stealing::WorkStealing;
+pub use threshold::ThresholdProbe;
+
+pub(crate) mod util {
+    use oracle_model::Core;
+    use oracle_topo::PeId;
+
+    /// Index of `nbr` in `pe`'s sorted neighbour list.
+    pub fn neighbor_index(core: &Core, pe: PeId, nbr: PeId) -> Option<usize> {
+        core.topology()
+            .neighbors(pe)
+            .binary_search_by_key(&nbr, |n| n.pe)
+            .ok()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared harness for strategy unit tests: run a workload on a small
+    //! topology under a given strategy and return the report.
+
+    use oracle_model::{
+        CostModel, Expansion, Machine, MachineConfig, Program, Report, Strategy, TaskSpec,
+    };
+    use oracle_topo::Topology;
+
+    /// fib(n) as a local test program (avoids a dev-dependency cycle on
+    /// oracle-workloads).
+    pub struct Fib(pub i64);
+
+    impl Program for Fib {
+        fn name(&self) -> String {
+            format!("fib({})", self.0)
+        }
+        fn root(&self) -> TaskSpec {
+            TaskSpec::new(self.0, 0)
+        }
+        fn expand(&self, spec: &TaskSpec) -> Expansion {
+            if spec.a < 2 {
+                Expansion::Leaf(spec.a)
+            } else {
+                Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+            }
+        }
+        fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+            acc + child
+        }
+    }
+
+    /// Exact fib for assertions.
+    pub fn fib(n: i64) -> i64 {
+        let (mut a, mut b) = (0i64, 1i64);
+        for _ in 0..n {
+            (a, b) = (b, a + b);
+        }
+        a
+    }
+
+    /// Run `fib(n)` on `topo` under `strategy` with paper costs.
+    pub fn run_fib(
+        topo: Topology,
+        strategy: Box<dyn Strategy>,
+        n: i64,
+        config: MachineConfig,
+    ) -> Report {
+        let machine = Machine::new(
+            topo,
+            Box::new(Fib(n)),
+            strategy,
+            CostModel::paper_default(),
+            config,
+        )
+        .expect("machine config");
+        let report = machine.run().expect("simulation should complete");
+        assert_eq!(report.result, fib(n), "simulated fib({n}) wrong");
+        report.check_invariants();
+        report
+    }
+}

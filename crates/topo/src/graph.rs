@@ -1,0 +1,424 @@
+//! The concrete topology type: channel sets, adjacency, and routing tables.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processing element, dense in `0..num_pes`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PeId(pub u32);
+
+impl PeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// Identifier of a communication channel (link or bus), dense in
+/// `0..num_channels`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// One entry of a PE's neighbour list: the neighbouring PE and the channel a
+/// message to it travels over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The adjacent PE.
+    pub pe: PeId,
+    /// The channel connecting them (lowest-numbered one if several do).
+    pub channel: ChannelId,
+}
+
+/// An interconnection topology: PEs, channels, adjacency, and shortest-path
+/// routing.
+///
+/// Built via the constructors in [`crate::mesh`], [`crate::dlm`],
+/// [`crate::hypercube`], [`crate::misc`], or generically through
+/// [`Topology::from_channels`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    num_pes: usize,
+    /// Member PEs of each channel, sorted.
+    channels: Vec<Vec<PeId>>,
+    /// Sorted neighbour list per PE (one entry per distinct neighbour).
+    adj: Vec<Vec<Neighbor>>,
+    /// Flattened `[from * num_pes + to]` next hop on a shortest path.
+    next_hop: Vec<PeId>,
+    /// Flattened `[from * num_pes + to]` shortest-path distance in hops.
+    dist: Vec<u16>,
+    diameter: u16,
+}
+
+impl Topology {
+    /// Build a topology from the member sets of its channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`, a channel has fewer than two distinct
+    /// members or an out-of-range member, or the resulting graph is not
+    /// connected — all of those are construction bugs, not runtime
+    /// conditions.
+    pub fn from_channels(
+        name: impl Into<String>,
+        num_pes: usize,
+        channels: Vec<Vec<PeId>>,
+    ) -> Self {
+        let name = name.into();
+        assert!(num_pes > 0, "topology {name:?} has no PEs");
+
+        // Normalize channel member sets.
+        let mut norm: Vec<Vec<PeId>> = Vec::with_capacity(channels.len());
+        for members in channels {
+            let mut m = members;
+            m.sort_unstable();
+            m.dedup();
+            assert!(
+                m.len() >= 2,
+                "channel in {name:?} has fewer than two distinct members"
+            );
+            assert!(
+                m.last().unwrap().idx() < num_pes,
+                "channel member out of range in {name:?}"
+            );
+            norm.push(m);
+        }
+
+        // Adjacency: lowest channel id wins when PEs share several channels.
+        let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); num_pes];
+        for (cid, members) in norm.iter().enumerate() {
+            let channel = ChannelId(cid as u32);
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    for (x, y) in [(a, b), (b, a)] {
+                        if !adj[x.idx()].iter().any(|n| n.pe == y) {
+                            adj[x.idx()].push(Neighbor { pe: y, channel });
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|n| n.pe);
+        }
+
+        // BFS from every source for distances and next hops.
+        let mut dist = vec![u16::MAX; num_pes * num_pes];
+        let mut next_hop = vec![PeId(u32::MAX); num_pes * num_pes];
+        let mut diameter = 0u16;
+        let mut queue = VecDeque::new();
+        for src in 0..num_pes {
+            let base = src * num_pes;
+            dist[base + src] = 0;
+            next_hop[base + src] = PeId(src as u32);
+            queue.clear();
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[base + v];
+                for n in &adj[v] {
+                    let u = n.pe.idx();
+                    if dist[base + u] == u16::MAX {
+                        dist[base + u] = dv + 1;
+                        // First hop from src toward u: if v is the source the
+                        // first hop is u itself, otherwise inherit v's.
+                        next_hop[base + u] = if v == src { n.pe } else { next_hop[base + v] };
+                        diameter = diameter.max(dv + 1);
+                        queue.push_back(u);
+                    }
+                }
+            }
+            assert!(
+                dist[base..base + num_pes].iter().all(|&d| d != u16::MAX),
+                "topology {name:?} is not connected (unreachable from PE {src})"
+            );
+        }
+
+        Topology {
+            name,
+            num_pes,
+            channels: norm,
+            adj,
+            next_hop,
+            dist,
+            diameter,
+        }
+    }
+
+    /// Human-readable name, e.g. `"grid 10x10"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processing elements.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Number of channels (links plus buses).
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// All PE ids.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.num_pes as u32).map(PeId)
+    }
+
+    /// The sorted member PEs of channel `c`.
+    pub fn channel_members(&self, c: ChannelId) -> &[PeId] {
+        &self.channels[c.idx()]
+    }
+
+    /// The sorted neighbour list of `pe`.
+    #[inline]
+    pub fn neighbors(&self, pe: PeId) -> &[Neighbor] {
+        &self.adj[pe.idx()]
+    }
+
+    /// Number of distinct neighbours of `pe`.
+    pub fn degree(&self, pe: PeId) -> usize {
+        self.adj[pe.idx()].len()
+    }
+
+    /// True if `a` and `b` share a channel.
+    pub fn is_neighbor(&self, a: PeId, b: PeId) -> bool {
+        self.adj[a.idx()].iter().any(|n| n.pe == b)
+    }
+
+    /// The channel a single-hop message from `a` to its neighbour `b` uses.
+    pub fn channel_between(&self, a: PeId, b: PeId) -> Option<ChannelId> {
+        self.adj[a.idx()]
+            .iter()
+            .find(|n| n.pe == b)
+            .map(|n| n.channel)
+    }
+
+    /// Shortest-path distance in hops.
+    #[inline]
+    pub fn distance(&self, from: PeId, to: PeId) -> u16 {
+        self.dist[from.idx() * self.num_pes + to.idx()]
+    }
+
+    /// The neighbour of `from` that lies on a shortest path to `to`
+    /// (deterministic: the BFS discovers neighbours in sorted order).
+    /// Returns `from` itself when `from == to`.
+    #[inline]
+    pub fn next_hop(&self, from: PeId, to: PeId) -> PeId {
+        self.next_hop[from.idx() * self.num_pes + to.idx()]
+    }
+
+    /// The network diameter in hops.
+    #[inline]
+    pub fn diameter(&self) -> u16 {
+        self.diameter
+    }
+
+    /// Mean shortest-path distance over ordered pairs of distinct PEs.
+    pub fn mean_distance(&self) -> f64 {
+        if self.num_pes < 2 {
+            return 0.0;
+        }
+        let sum: u64 = self.dist.iter().map(|&d| d as u64).sum();
+        sum as f64 / (self.num_pes * (self.num_pes - 1)) as f64
+    }
+
+    /// Render the topology as Graphviz DOT (links as edges; buses as
+    /// box-shaped hyperedge nodes connected to their members), for
+    /// visual inspection with `dot -Tsvg`.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  node [shape=circle];");
+        for (ci, members) in self.channels.iter().enumerate() {
+            if members.len() == 2 {
+                let _ = writeln!(out, "  p{} -- p{};", members[0].0, members[1].0);
+            } else {
+                let _ = writeln!(out, "  b{ci} [shape=box, label=\"bus {ci}\"];");
+                for m in members {
+                    let _ = writeln!(out, "  b{ci} -- p{};", m.0);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Exhaustive structural self-check, used by tests: adjacency symmetry,
+    /// routing consistency, and the triangle inequality on distances.
+    pub fn check_invariants(&self) {
+        for a in self.pes() {
+            for n in self.neighbors(a) {
+                assert!(self.is_neighbor(n.pe, a), "asymmetric adjacency");
+                assert_eq!(self.distance(a, n.pe), 1, "neighbour at distance != 1");
+                assert!(
+                    self.channel_members(n.channel).contains(&a)
+                        && self.channel_members(n.channel).contains(&n.pe),
+                    "adjacency channel does not contain both endpoints"
+                );
+            }
+            for b in self.pes() {
+                let d = self.distance(a, b);
+                assert!(d <= self.diameter, "distance exceeds diameter");
+                assert_eq!(d, self.distance(b, a), "asymmetric distance");
+                if a == b {
+                    assert_eq!(d, 0);
+                } else {
+                    let hop = self.next_hop(a, b);
+                    assert!(self.is_neighbor(a, hop), "next hop is not a neighbour");
+                    assert_eq!(
+                        self.distance(hop, b),
+                        d - 1,
+                        "next hop does not make progress"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path 0 - 1 - 2 plus a 3-member bus {0, 1, 3}.
+    fn tiny() -> Topology {
+        Topology::from_channels(
+            "tiny",
+            4,
+            vec![
+                vec![PeId(0), PeId(1)],
+                vec![PeId(1), PeId(2)],
+                vec![PeId(0), PeId(1), PeId(3)],
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency_from_links_and_buses() {
+        let t = tiny();
+        assert_eq!(t.num_pes(), 4);
+        assert_eq!(t.num_channels(), 3);
+        let n0: Vec<u32> = t.neighbors(PeId(0)).iter().map(|n| n.pe.0).collect();
+        assert_eq!(n0, vec![1, 3]);
+        assert!(t.is_neighbor(PeId(1), PeId(3)));
+        assert!(!t.is_neighbor(PeId(2), PeId(3)));
+    }
+
+    #[test]
+    fn lowest_channel_wins_for_shared_pairs() {
+        // PEs 0 and 1 share both channel 0 (the link) and channel 2 (the bus).
+        let t = tiny();
+        assert_eq!(t.channel_between(PeId(0), PeId(1)), Some(ChannelId(0)));
+        assert_eq!(t.channel_between(PeId(1), PeId(3)), Some(ChannelId(2)));
+        assert_eq!(t.channel_between(PeId(0), PeId(2)), None);
+    }
+
+    #[test]
+    fn distances_and_diameter() {
+        let t = tiny();
+        assert_eq!(t.distance(PeId(0), PeId(0)), 0);
+        assert_eq!(t.distance(PeId(0), PeId(2)), 2);
+        assert_eq!(t.distance(PeId(3), PeId(2)), 2);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn next_hop_routes_along_shortest_paths() {
+        let t = tiny();
+        assert_eq!(t.next_hop(PeId(3), PeId(2)), PeId(1));
+        assert_eq!(t.next_hop(PeId(0), PeId(2)), PeId(1));
+        assert_eq!(t.next_hop(PeId(2), PeId(3)), PeId(1));
+        assert_eq!(t.next_hop(PeId(1), PeId(1)), PeId(1));
+    }
+
+    #[test]
+    fn invariants_hold() {
+        tiny().check_invariants();
+    }
+
+    #[test]
+    fn mean_distance_of_two_node_graph() {
+        let t = Topology::from_channels("pair", 2, vec![vec![PeId(0), PeId(1)]]);
+        assert_eq!(t.mean_distance(), 1.0);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn duplicate_members_are_deduped() {
+        let t = Topology::from_channels("dup", 2, vec![vec![PeId(0), PeId(1), PeId(1), PeId(0)]]);
+        assert_eq!(t.degree(PeId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_graph_panics() {
+        Topology::from_channels(
+            "split",
+            4,
+            vec![vec![PeId(0), PeId(1)], vec![PeId(2), PeId(3)]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than two")]
+    fn degenerate_channel_panics() {
+        Topology::from_channels(
+            "loop",
+            2,
+            vec![vec![PeId(0), PeId(0)], vec![PeId(0), PeId(1)]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_panics() {
+        Topology::from_channels("oob", 2, vec![vec![PeId(0), PeId(5)]]);
+    }
+
+    #[test]
+    fn dot_export_contains_links_and_buses() {
+        let t = tiny();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("graph \"tiny\""));
+        assert!(dot.contains("p0 -- p1;"), "{dot}");
+        assert!(dot.contains("b2 [shape=box"), "{dot}");
+        assert!(dot.contains("b2 -- p3;"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no PEs")]
+    fn empty_topology_panics() {
+        Topology::from_channels("none", 0, vec![]);
+    }
+}

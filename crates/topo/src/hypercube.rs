@@ -1,0 +1,72 @@
+//! Binary hypercubes (the paper's Appendix I topology).
+
+use crate::graph::{PeId, Topology};
+
+/// Build a binary hypercube of the given dimension (`2^dim` PEs; PEs whose
+/// ids differ in exactly one bit are linked).
+///
+/// # Panics
+///
+/// Panics if `dim == 0` (a single PE has no channels) or `dim > 16`.
+pub fn hypercube(dim: u32) -> Topology {
+    assert!((1..=16).contains(&dim), "hypercube dimension out of range");
+    let n = 1usize << dim;
+    let mut channels = Vec::with_capacity(n * dim as usize / 2);
+    for i in 0..n {
+        for b in 0..dim {
+            let j = i ^ (1 << b);
+            if i < j {
+                channels.push(vec![PeId(i as u32), PeId(j as u32)]);
+            }
+        }
+    }
+    Topology::from_channels(format!("hypercube dim {dim}"), n, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_is_diameter_and_degree() {
+        for dim in 1..=7 {
+            let t = hypercube(dim);
+            assert_eq!(t.num_pes(), 1 << dim);
+            assert_eq!(t.diameter(), dim as u16);
+            for pe in t.pes() {
+                assert_eq!(t.degree(pe), dim as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_hamming_distance() {
+        let t = hypercube(5);
+        for a in t.pes() {
+            for b in t.pes() {
+                assert_eq!(
+                    t.distance(a, b) as u32,
+                    (a.0 ^ b.0).count_ones(),
+                    "distance({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_count() {
+        // d * 2^(d-1) links.
+        assert_eq!(hypercube(6).num_channels(), 6 * 32);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        hypercube(4).check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_dimension_panics() {
+        hypercube(0);
+    }
+}

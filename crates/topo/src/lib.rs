@@ -1,0 +1,25 @@
+//! # oracle-topo — interconnection topologies
+//!
+//! The paper compares load-distribution strategies on three interconnection
+//! schemes: the 2-D nearest-neighbour grid, the double-lattice-mesh (DLM, a
+//! bus-based topology from Kale's "Optimal Communication Neighborhoods",
+//! ICPP 1986), and — in the appendix — hypercubes. This crate builds those
+//! (plus rings, complete graphs, and stars used for testing and ablations)
+//! behind a single concrete [`Topology`] type.
+//!
+//! A topology is a set of *channels*; a channel is either a point-to-point
+//! link (two members) or a bus (more than two members). Two PEs are
+//! *neighbours* iff they share a channel. Every topology carries precomputed
+//! all-pairs shortest-path distances and deterministic next-hop routing
+//! tables, which the machine model uses to route response messages.
+
+pub mod dlm;
+pub mod graph;
+pub mod hypercube;
+pub mod kary;
+pub mod mesh;
+pub mod misc;
+pub mod spec;
+
+pub use graph::{ChannelId, Neighbor, PeId, Topology};
+pub use spec::TopologySpec;

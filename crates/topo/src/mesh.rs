@@ -1,0 +1,121 @@
+//! The 2-D nearest-neighbour grid.
+//!
+//! The paper's text says "the 2-dimensional grid (nearest neighbor grid) with
+//! wrap-around connections", but the diameters it quotes (8 for 5×5 up to 38
+//! for 20×20) are those of the *plain* mesh — a 20×20 torus has diameter 20.
+//! Both variants are provided; the experiment presets follow the quoted
+//! diameters and use `wraparound = false` (see DESIGN.md).
+
+use crate::graph::{PeId, Topology};
+
+/// Build a `width × height` 2-D mesh. With `wraparound`, opposite edges are
+/// joined into a torus.
+///
+/// PEs are numbered row-major: PE at `(x, y)` is `y * width + x`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero, or if the mesh would have a single PE
+/// (no channels).
+pub fn mesh2d(width: usize, height: usize, wraparound: bool) -> Topology {
+    assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+    assert!(width * height > 1, "a 1x1 mesh has no channels");
+    let id = |x: usize, y: usize| PeId((y * width + x) as u32);
+    let mut channels = Vec::with_capacity(2 * width * height);
+    for y in 0..height {
+        for x in 0..width {
+            // Rightward link.
+            if x + 1 < width {
+                channels.push(vec![id(x, y), id(x + 1, y)]);
+            } else if wraparound && width > 2 {
+                channels.push(vec![id(x, y), id(0, y)]);
+            }
+            // Downward link.
+            if y + 1 < height {
+                channels.push(vec![id(x, y), id(x, y + 1)]);
+            } else if wraparound && height > 2 {
+                channels.push(vec![id(x, y), id(x, 0)]);
+            }
+        }
+    }
+    let kind = if wraparound { "torus" } else { "grid" };
+    Topology::from_channels(format!("{kind} {width}x{height}"), width * height, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_5x5_matches_paper_diameter() {
+        let t = mesh2d(5, 5, false);
+        assert_eq!(t.num_pes(), 25);
+        assert_eq!(t.diameter(), 8); // paper: grid diameters range from 8 ...
+        t.check_invariants();
+    }
+
+    #[test]
+    fn grid_20x20_matches_paper_diameter() {
+        let t = mesh2d(20, 20, false);
+        assert_eq!(t.num_pes(), 400);
+        assert_eq!(t.diameter(), 38); // ... to 38
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let t = mesh2d(4, 4, false);
+        assert_eq!(t.degree(PeId(0)), 2); // corner
+        assert_eq!(t.degree(PeId(1)), 3); // edge
+        assert_eq!(t.degree(PeId(5)), 4); // interior
+    }
+
+    #[test]
+    fn torus_every_pe_has_degree_four() {
+        let t = mesh2d(5, 5, true);
+        for pe in t.pes() {
+            assert_eq!(t.degree(pe), 4);
+        }
+        assert_eq!(t.diameter(), 4); // floor(5/2) + floor(5/2)
+        t.check_invariants();
+    }
+
+    #[test]
+    fn torus_10x10_diameter() {
+        assert_eq!(mesh2d(10, 10, true).diameter(), 10);
+    }
+
+    #[test]
+    fn channel_count_grid() {
+        // An n x m grid has n(m-1) + m(n-1) links.
+        let t = mesh2d(3, 4, false);
+        assert_eq!(t.num_channels(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn channel_count_torus() {
+        // A torus (both dims > 2) has 2nm links.
+        let t = mesh2d(4, 5, true);
+        assert_eq!(t.num_channels(), 2 * 20);
+    }
+
+    #[test]
+    fn degenerate_width_two_torus_has_no_duplicate_links() {
+        let t = mesh2d(2, 3, true);
+        // Width 2: wrap link would duplicate the existing horizontal link.
+        assert_eq!(t.degree(PeId(0)), 3); // right + down + wrap-down
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_row_mesh_is_a_path() {
+        let t = mesh2d(6, 1, false);
+        assert_eq!(t.diameter(), 5);
+        assert_eq!(t.num_channels(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        mesh2d(0, 3, false);
+    }
+}

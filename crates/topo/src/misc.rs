@@ -1,0 +1,187 @@
+//! Auxiliary topologies used by tests, examples, and ablation studies:
+//! rings, complete graphs, stars, and a single shared bus.
+
+use crate::graph::{PeId, Topology};
+
+/// A ring of `n` PEs (`n == 2` degenerates to a single link).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 2, "a ring needs at least two PEs");
+    let mut channels: Vec<Vec<PeId>> = (0..n - 1)
+        .map(|i| vec![PeId(i as u32), PeId(i as u32 + 1)])
+        .collect();
+    if n > 2 {
+        channels.push(vec![PeId(n as u32 - 1), PeId(0)]);
+    }
+    Topology::from_channels(format!("ring {n}"), n, channels)
+}
+
+/// The complete graph on `n` PEs: every pair directly linked. Models the
+/// "global communication" regime the paper argues is unscalable.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Topology {
+    assert!(n >= 2, "a complete graph needs at least two PEs");
+    let mut channels = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            channels.push(vec![PeId(i as u32), PeId(j as u32)]);
+        }
+    }
+    Topology::from_channels(format!("complete {n}"), n, channels)
+}
+
+/// A star: PE 0 at the centre, all other PEs linked only to it. A worst case
+/// for channel contention at the hub.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2, "a star needs at least two PEs");
+    let channels = (1..n).map(|i| vec![PeId(0), PeId(i as u32)]).collect();
+    Topology::from_channels(format!("star {n}"), n, channels)
+}
+
+/// A complete `arity`-ary tree of the given depth (depth 0 = a single
+/// root — rejected, since a topology needs at least one channel; depth 1 =
+/// a star). Trees match tree-structured computations well but concentrate
+/// all cross-subtree traffic at the root — the classic bisection
+/// bottleneck.
+///
+/// # Panics
+///
+/// Panics unless `arity >= 2`, `depth >= 1`, and the tree has at most
+/// 65 536 PEs.
+pub fn tree(arity: usize, depth: u32) -> Topology {
+    assert!(arity >= 2, "tree arity must be at least 2");
+    assert!(depth >= 1, "tree depth must be at least 1");
+    // Node count: (arity^(depth+1) - 1) / (arity - 1).
+    let mut size: u64 = 0;
+    let mut level = 1u64;
+    for _ in 0..=depth {
+        size += level;
+        level = level.checked_mul(arity as u64).expect("tree too large");
+    }
+    assert!(size <= 65_536, "tree with {size} PEs exceeds the limit");
+    let size = size as usize;
+    // Breadth-first numbering: children of i are arity*i + 1 ..= arity*i + arity.
+    let mut channels = Vec::with_capacity(size - 1);
+    for i in 0..size {
+        for c in 1..=arity {
+            let child = arity * i + c;
+            if child < size {
+                channels.push(vec![PeId(i as u32), PeId(child as u32)]);
+            }
+        }
+    }
+    Topology::from_channels(format!("tree {arity}^{depth}"), size, channels)
+}
+
+/// All `n` PEs on one shared bus: maximal contention, diameter 1.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn single_bus(n: usize) -> Topology {
+    assert!(n >= 2, "a bus needs at least two PEs");
+    let members = (0..n as u32).map(PeId).collect();
+    Topology::from_channels(format!("bus {n}"), n, vec![members])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_diameter_is_half() {
+        assert_eq!(ring(8).diameter(), 4);
+        assert_eq!(ring(9).diameter(), 4);
+        assert_eq!(ring(2).diameter(), 1);
+        ring(7).check_invariants();
+    }
+
+    #[test]
+    fn ring_degrees() {
+        let t = ring(5);
+        for pe in t.pes() {
+            assert_eq!(t.degree(pe), 2);
+        }
+    }
+
+    #[test]
+    fn complete_diameter_is_one() {
+        let t = complete(6);
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.num_channels(), 15);
+        for pe in t.pes() {
+            assert_eq!(t.degree(pe), 5);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = star(5);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.degree(PeId(0)), 4);
+        assert_eq!(t.degree(PeId(3)), 1);
+        assert_eq!(t.next_hop(PeId(1), PeId(4)), PeId(0));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_bus_is_one_channel() {
+        let t = single_bus(10);
+        assert_eq!(t.num_channels(), 1);
+        assert_eq!(t.diameter(), 1);
+        for pe in t.pes() {
+            assert_eq!(t.degree(pe), 9);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_ring_panics() {
+        ring(1);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let t = tree(2, 3); // 15 nodes
+        assert_eq!(t.num_pes(), 15);
+        assert_eq!(t.num_channels(), 14);
+        assert_eq!(t.diameter(), 6); // leaf -> root -> other leaf
+        assert_eq!(t.degree(PeId(0)), 2);
+        assert_eq!(t.degree(PeId(1)), 3); // parent + 2 children
+        assert_eq!(t.degree(PeId(14)), 1); // leaf
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ternary_tree_counts() {
+        let t = tree(3, 2); // 1 + 3 + 9
+        assert_eq!(t.num_pes(), 13);
+        assert_eq!(t.diameter(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn cross_subtree_routes_pass_the_root() {
+        let t = tree(2, 2); // 7 nodes: 0; 1,2; 3,4,5,6
+        assert_eq!(t.next_hop(PeId(3), PeId(6)), PeId(1));
+        assert_eq!(t.next_hop(PeId(1), PeId(6)), PeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn unary_tree_panics() {
+        tree(1, 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! Declarative topology specifications.
+//!
+//! A [`TopologySpec`] is a small serializable value describing which topology
+//! to build; `build()` turns it into a concrete [`Topology`]. Specs also
+//! parse from compact strings (`"grid:10x10"`, `"dlm:5x20x20"`,
+//! `"hypercube:7"`), which the CLI and benchmark harnesses use.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Topology;
+use crate::{dlm, hypercube, kary, mesh, misc};
+
+/// A description of an interconnection topology.
+///
+/// ```
+/// use oracle_topo::TopologySpec;
+///
+/// let spec: TopologySpec = "grid:10".parse().unwrap();
+/// let topo = spec.build();
+/// assert_eq!(topo.num_pes(), 100);
+/// assert_eq!(topo.diameter(), 18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// 2-D nearest-neighbour mesh; `wraparound` joins opposite edges.
+    Mesh2D {
+        width: usize,
+        height: usize,
+        wraparound: bool,
+    },
+    /// Double-lattice-mesh with buses spanning `span` PEs.
+    DoubleLatticeMesh {
+        span: usize,
+        width: usize,
+        height: usize,
+    },
+    /// Binary hypercube with `2^dim` PEs.
+    Hypercube { dim: u32 },
+    /// A cycle of `n` PEs.
+    Ring { n: usize },
+    /// Every pair of PEs directly linked.
+    Complete { n: usize },
+    /// PE 0 at the hub, all others leaves.
+    Star { n: usize },
+    /// All PEs on one shared bus.
+    SingleBus { n: usize },
+    /// k-ary n-cube (`k^n` PEs; ring/torus/hypercube generalization).
+    KAryNCube { k: usize, n: u32 },
+    /// Complete `arity`-ary tree of the given depth.
+    Tree { arity: usize, depth: u32 },
+}
+
+impl TopologySpec {
+    /// The paper's square grid of `side × side` PEs (no wraparound; see
+    /// DESIGN.md on the grid/torus discrepancy).
+    pub fn grid(side: usize) -> Self {
+        TopologySpec::Mesh2D {
+            width: side,
+            height: side,
+            wraparound: false,
+        }
+    }
+
+    /// The paper's DLM presets: span 5 for sides divisible by 5, span 4
+    /// otherwise (matching the `5 20 20` / `4 16 16` plot headers).
+    pub fn dlm(side: usize) -> Self {
+        let span = if side.is_multiple_of(5) { 5 } else { 4 };
+        TopologySpec::DoubleLatticeMesh {
+            span,
+            width: side,
+            height: side,
+        }
+    }
+
+    /// Number of PEs this spec will produce.
+    pub fn num_pes(&self) -> usize {
+        match *self {
+            TopologySpec::Mesh2D { width, height, .. } => width * height,
+            TopologySpec::DoubleLatticeMesh { width, height, .. } => width * height,
+            TopologySpec::Hypercube { dim } => 1 << dim,
+            TopologySpec::Ring { n }
+            | TopologySpec::Complete { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::SingleBus { n } => n,
+            TopologySpec::KAryNCube { k, n } => k.pow(n),
+            TopologySpec::Tree { arity, depth } => (0..=depth).map(|d| arity.pow(d)).sum(),
+        }
+    }
+
+    /// Construct the topology.
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::Mesh2D {
+                width,
+                height,
+                wraparound,
+            } => mesh::mesh2d(width, height, wraparound),
+            TopologySpec::DoubleLatticeMesh {
+                span,
+                width,
+                height,
+            } => dlm::double_lattice_mesh(span, width, height),
+            TopologySpec::Hypercube { dim } => hypercube::hypercube(dim),
+            TopologySpec::Ring { n } => misc::ring(n),
+            TopologySpec::Complete { n } => misc::complete(n),
+            TopologySpec::Star { n } => misc::star(n),
+            TopologySpec::SingleBus { n } => misc::single_bus(n),
+            TopologySpec::KAryNCube { k, n } => kary::kary_ncube(k, n),
+            TopologySpec::Tree { arity, depth } => misc::tree(arity, depth),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologySpec::Mesh2D {
+                width,
+                height,
+                wraparound,
+            } => {
+                let kind = if wraparound { "torus" } else { "grid" };
+                write!(f, "{kind}:{width}x{height}")
+            }
+            TopologySpec::DoubleLatticeMesh {
+                span,
+                width,
+                height,
+            } => write!(f, "dlm:{span}x{width}x{height}"),
+            TopologySpec::Hypercube { dim } => write!(f, "hypercube:{dim}"),
+            TopologySpec::Ring { n } => write!(f, "ring:{n}"),
+            TopologySpec::Complete { n } => write!(f, "complete:{n}"),
+            TopologySpec::Star { n } => write!(f, "star:{n}"),
+            TopologySpec::SingleBus { n } => write!(f, "bus:{n}"),
+            TopologySpec::KAryNCube { k, n } => write!(f, "kary:{k}x{n}"),
+            TopologySpec::Tree { arity, depth } => write!(f, "tree:{arity}x{depth}"),
+        }
+    }
+}
+
+/// Error parsing a [`TopologySpec`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError(pub String);
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid topology spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl FromStr for TopologySpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpecError(s.to_string());
+        let (kind, args) = s.split_once(':').ok_or_else(err)?;
+        let nums: Vec<usize> = args
+            .split('x')
+            .map(|p| p.parse().map_err(|_| err()))
+            .collect::<Result<_, _>>()?;
+        match (kind, nums.as_slice()) {
+            ("grid", [w, h]) => Ok(TopologySpec::Mesh2D {
+                width: *w,
+                height: *h,
+                wraparound: false,
+            }),
+            ("grid", [side]) => Ok(TopologySpec::grid(*side)),
+            ("torus", [w, h]) => Ok(TopologySpec::Mesh2D {
+                width: *w,
+                height: *h,
+                wraparound: true,
+            }),
+            ("dlm", [span, w, h]) => Ok(TopologySpec::DoubleLatticeMesh {
+                span: *span,
+                width: *w,
+                height: *h,
+            }),
+            ("dlm", [side]) => Ok(TopologySpec::dlm(*side)),
+            ("hypercube", [dim]) => Ok(TopologySpec::Hypercube { dim: *dim as u32 }),
+            ("ring", [n]) => Ok(TopologySpec::Ring { n: *n }),
+            ("complete", [n]) => Ok(TopologySpec::Complete { n: *n }),
+            ("star", [n]) => Ok(TopologySpec::Star { n: *n }),
+            ("bus", [n]) => Ok(TopologySpec::SingleBus { n: *n }),
+            ("kary", [k, n]) => Ok(TopologySpec::KAryNCube {
+                k: *k,
+                n: *n as u32,
+            }),
+            ("tree", [arity, depth]) => Ok(TopologySpec::Tree {
+                arity: *arity,
+                depth: *depth as u32,
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_spec_sizes() {
+        let specs = [
+            TopologySpec::grid(5),
+            TopologySpec::dlm(10),
+            TopologySpec::Hypercube { dim: 5 },
+            TopologySpec::Ring { n: 9 },
+            TopologySpec::Complete { n: 6 },
+            TopologySpec::Star { n: 7 },
+            TopologySpec::SingleBus { n: 4 },
+            TopologySpec::KAryNCube { k: 3, n: 3 },
+            TopologySpec::Tree { arity: 2, depth: 4 },
+        ];
+        for spec in specs {
+            let t = spec.build();
+            assert_eq!(t.num_pes(), spec.num_pes(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn dlm_preset_spans() {
+        assert_eq!(
+            TopologySpec::dlm(20),
+            TopologySpec::DoubleLatticeMesh {
+                span: 5,
+                width: 20,
+                height: 20
+            }
+        );
+        assert_eq!(
+            TopologySpec::dlm(16),
+            TopologySpec::DoubleLatticeMesh {
+                span: 4,
+                width: 16,
+                height: 16
+            }
+        );
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let specs = [
+            TopologySpec::grid(10),
+            TopologySpec::Mesh2D {
+                width: 4,
+                height: 6,
+                wraparound: true,
+            },
+            TopologySpec::dlm(20),
+            TopologySpec::Hypercube { dim: 7 },
+            TopologySpec::Ring { n: 12 },
+            TopologySpec::Complete { n: 5 },
+            TopologySpec::Star { n: 9 },
+            TopologySpec::SingleBus { n: 16 },
+            TopologySpec::KAryNCube { k: 4, n: 3 },
+            TopologySpec::Tree { arity: 3, depth: 2 },
+        ];
+        for spec in specs {
+            let parsed: TopologySpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec);
+        }
+    }
+
+    #[test]
+    fn parse_shorthand_forms() {
+        assert_eq!(
+            "grid:8".parse::<TopologySpec>().unwrap(),
+            TopologySpec::grid(8)
+        );
+        assert_eq!(
+            "dlm:10".parse::<TopologySpec>().unwrap(),
+            TopologySpec::dlm(10)
+        );
+        assert_eq!(
+            "dlm:5x20x20".parse::<TopologySpec>().unwrap(),
+            TopologySpec::DoubleLatticeMesh {
+                span: 5,
+                width: 20,
+                height: 20
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        for bad in ["", "grid", "grid:", "grid:axb", "blah:3", "hypercube:1x2"] {
+            assert!(bad.parse::<TopologySpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+}

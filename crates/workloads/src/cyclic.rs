@@ -1,0 +1,160 @@
+//! A multi-phase computation whose parallelism rises and falls in cycles
+//! (extension workload).
+//!
+//! "In real life computations, the parallelism may rise and fall in cycles."
+//! The paper's dc/fib trees have a single rise and fall; this workload
+//! chains `phases` rounds: in each round the root task spawns `width`
+//! independent dc-style subtrees of `leaves` leaves each and waits for all
+//! of them before launching the next round. Between rounds the machine
+//! drains — exactly the regime where CWN's inability to redistribute old
+//! work and GM's slow restart should differ.
+
+use oracle_model::{Continuation, Expansion, Program, TaskSpec};
+
+/// Tag value marking the root task.
+const TAG_ROOT: u32 = 0;
+/// Tag value marking in-phase dc subtree tasks.
+const TAG_DC: u32 = 1;
+
+/// A computation of `phases` sequential rounds of `width` parallel dc trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cyclic {
+    phases: u32,
+    width: u32,
+    leaves: i64,
+}
+
+impl Cyclic {
+    /// Build a cyclic computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are at least 1.
+    pub fn new(phases: u32, width: u32, leaves: i64) -> Self {
+        assert!(phases >= 1, "need at least one phase");
+        assert!(width >= 1, "need at least one subtree per phase");
+        assert!(leaves >= 1, "need at least one leaf per subtree");
+        Cyclic {
+            phases,
+            width,
+            leaves,
+        }
+    }
+
+    /// The `width` subtree specs of one phase.
+    fn phase_children(&self, root: &TaskSpec) -> Vec<TaskSpec> {
+        (0..self.width)
+            .map(|_| {
+                let mut c = root.child(1, self.leaves);
+                c.tag = TAG_DC;
+                c
+            })
+            .collect()
+    }
+}
+
+impl Program for Cyclic {
+    fn name(&self) -> String {
+        format!("cyclic({}x{}x{})", self.phases, self.width, self.leaves)
+    }
+
+    fn root(&self) -> TaskSpec {
+        TaskSpec::new(0, 0) // tag = TAG_ROOT
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        match spec.tag {
+            TAG_ROOT => Expansion::Split(self.phase_children(spec)),
+            TAG_DC => {
+                if spec.a == spec.b {
+                    Expansion::Leaf(spec.a)
+                } else {
+                    let mid = (spec.a + spec.b) / 2;
+                    Expansion::Split(vec![spec.child(spec.a, mid), spec.child(mid + 1, spec.b)])
+                }
+            }
+            t => unreachable!("unknown cyclic task tag {t}"),
+        }
+    }
+
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+
+    fn continue_after(&self, spec: &TaskSpec, round: u32, acc: i64) -> Continuation {
+        if spec.tag == TAG_ROOT && round + 1 < self.phases {
+            Continuation::Spawn(self.phase_children(spec))
+        } else {
+            Continuation::Done(acc)
+        }
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        // Root + phases * width * (2*leaves - 1) dc-subtree nodes.
+        Some(1 + self.phases as u64 * self.width as u64 * (2 * self.leaves as u64 - 1))
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        // Every phase yields width * sum(1..=leaves); the root reports the
+        // final phase's total.
+        Some(self.width as i64 * self.leaves * (self.leaves + 1) / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn goal_count_and_result_match_formulas() {
+        for (phases, width, leaves) in [(1, 1, 1), (3, 4, 8), (5, 2, 21)] {
+            let p = Cyclic::new(phases, width, leaves);
+            let (goals, result) = reference_run(&p);
+            assert_eq!(Some(goals), p.expected_goals(), "{phases}x{width}x{leaves}");
+            assert_eq!(
+                Some(result),
+                p.expected_result(),
+                "{phases}x{width}x{leaves}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_respawns_exactly_phases_times() {
+        let p = Cyclic::new(3, 2, 4);
+        let root = p.root();
+        assert!(matches!(
+            p.continue_after(&root, 0, 0),
+            Continuation::Spawn(_)
+        ));
+        assert!(matches!(
+            p.continue_after(&root, 1, 0),
+            Continuation::Spawn(_)
+        ));
+        assert!(matches!(
+            p.continue_after(&root, 2, 99),
+            Continuation::Done(99)
+        ));
+    }
+
+    #[test]
+    fn subtree_tasks_never_respawn() {
+        let p = Cyclic::new(3, 2, 4);
+        let mut dc = p.root().child(1, 4);
+        dc.tag = 1;
+        assert!(matches!(
+            p.continue_after(&dc, 0, 10),
+            Continuation::Done(10)
+        ));
+    }
+
+    #[test]
+    fn phase_width_is_respected() {
+        let p = Cyclic::new(2, 7, 3);
+        match p.expand(&p.root()) {
+            Expansion::Split(c) => assert_eq!(c.len(), 7),
+            Expansion::Leaf(_) => panic!("root must split"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's divide-and-conquer program:
+//! `dc(M,N) ← if M = N then M else dc(M,(M+N)/2) + dc(1+(M+N)/2, N)`.
+//!
+//! "The dc computation provides a well balanced tree." Its result is the sum
+//! `M + (M+1) + … + N`, which the simulated machine must reproduce exactly.
+
+use oracle_model::{Expansion, Program, TaskSpec};
+
+/// The `dc(M, N)` divide-and-conquer computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivideConquer {
+    m: i64,
+    n: i64,
+}
+
+impl DivideConquer {
+    /// Build `dc(m, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > n`.
+    pub fn new(m: i64, n: i64) -> Self {
+        assert!(m <= n, "dc requires M <= N, got ({m}, {n})");
+        DivideConquer { m, n }
+    }
+
+    /// The paper's standard instance `dc(1, x)`.
+    pub fn paper(x: i64) -> Self {
+        DivideConquer::new(1, x)
+    }
+
+    /// Number of leaves (`N - M + 1`).
+    pub fn leaves(&self) -> u64 {
+        (self.n - self.m + 1) as u64
+    }
+}
+
+impl Program for DivideConquer {
+    fn name(&self) -> String {
+        format!("dc({},{})", self.m, self.n)
+    }
+
+    fn root(&self) -> TaskSpec {
+        TaskSpec::new(self.m, self.n)
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        if spec.a == spec.b {
+            Expansion::Leaf(spec.a)
+        } else {
+            let mid = (spec.a + spec.b) / 2;
+            Expansion::Split(vec![spec.child(spec.a, mid), spec.child(mid + 1, spec.b)])
+        }
+    }
+
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        // A binary tree with L leaves has 2L - 1 nodes.
+        Some(2 * self.leaves() - 1)
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        // Sum of the arithmetic series M..=N.
+        Some((self.m + self.n) * (self.n - self.m + 1) / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn small_tree_shape() {
+        let p = DivideConquer::new(1, 4);
+        match p.expand(&p.root()) {
+            Expansion::Split(c) => {
+                assert_eq!(c[0].a, 1);
+                assert_eq!(c[0].b, 2);
+                assert_eq!(c[1].a, 3);
+                assert_eq!(c[1].b, 4);
+                assert_eq!(c[0].depth, 1);
+            }
+            Expansion::Leaf(_) => panic!("should split"),
+        }
+        assert_eq!(p.expand(&TaskSpec::new(3, 3)), Expansion::Leaf(3));
+    }
+
+    #[test]
+    fn reference_matches_analytic_formulas() {
+        for x in [1, 2, 3, 21, 55, 144] {
+            let p = DivideConquer::paper(x);
+            let (goals, result) = reference_run(&p);
+            assert_eq!(Some(goals), p.expected_goals(), "goals of dc(1,{x})");
+            assert_eq!(Some(result), p.expected_result(), "result of dc(1,{x})");
+        }
+    }
+
+    #[test]
+    fn offset_range() {
+        let p = DivideConquer::new(10, 19);
+        let (goals, result) = reference_run(&p);
+        assert_eq!(goals, 19);
+        assert_eq!(result, 145);
+        assert_eq!(p.expected_result(), Some(145));
+    }
+
+    #[test]
+    fn singleton_is_a_leaf() {
+        let p = DivideConquer::new(7, 7);
+        let (goals, result) = reference_run(&p);
+        assert_eq!((goals, result), (1, 7));
+    }
+
+    #[test]
+    fn tree_is_balanced() {
+        // Max depth of dc(1, 2^k) is exactly k.
+        fn max_depth(p: &DivideConquer, spec: &TaskSpec) -> u32 {
+            match p.expand(spec) {
+                Expansion::Leaf(_) => spec.depth,
+                Expansion::Split(c) => c.iter().map(|s| max_depth(p, s)).max().unwrap(),
+            }
+        }
+        let p = DivideConquer::new(1, 64);
+        assert_eq!(max_depth(&p, &p.root()), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "M <= N")]
+    fn inverted_range_panics() {
+        DivideConquer::new(5, 4);
+    }
+}

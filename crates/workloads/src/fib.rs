@@ -1,0 +1,124 @@
+//! The paper's naive Fibonacci program:
+//! `fib(M) ← if M < 2 then M else fib(M-1) + fib(M-2)`.
+//!
+//! "The fibonacci yields a not-so-well-balanced tree." The paper is explicit
+//! that the point is the computation *tree*, not an efficient Fibonacci.
+
+use oracle_model::{Expansion, Program, TaskSpec};
+
+/// Closed-form `fib(n)` for validation (iterative, exact for `n <= 90`).
+pub fn fib_value(n: i64) -> i64 {
+    assert!((0..=90).contains(&n), "fib({n}) out of supported range");
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        (a, b) = (b, a + b);
+    }
+    a
+}
+
+/// Number of calls the naive doubly-recursive fib(n) makes: `2*fib(n+1)-1`.
+pub fn fib_call_tree_size(n: i64) -> u64 {
+    (2 * fib_value(n + 1) - 1) as u64
+}
+
+/// The naive doubly-recursive Fibonacci computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fibonacci {
+    n: i64,
+}
+
+impl Fibonacci {
+    /// Build `fib(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is negative or large enough to overflow `i64`.
+    pub fn new(n: i64) -> Self {
+        assert!((0..=90).contains(&n), "fib({n}) out of supported range");
+        Fibonacci { n }
+    }
+}
+
+impl Program for Fibonacci {
+    fn name(&self) -> String {
+        format!("fib({})", self.n)
+    }
+
+    fn root(&self) -> TaskSpec {
+        TaskSpec::new(self.n, 0)
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        if spec.a < 2 {
+            Expansion::Leaf(spec.a)
+        } else {
+            Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+        }
+    }
+
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        Some(fib_call_tree_size(self.n))
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        Some(fib_value(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn fib_values() {
+        assert_eq!(fib_value(0), 0);
+        assert_eq!(fib_value(1), 1);
+        assert_eq!(fib_value(10), 55);
+        assert_eq!(fib_value(18), 2584);
+        assert_eq!(fib_value(90), 2880067194370816120);
+    }
+
+    #[test]
+    fn call_tree_sizes_match_paper_goal_counts() {
+        // fib(18) generates 8361 goals — the paper's Table-3 histogram for
+        // GM sums to exactly this.
+        assert_eq!(fib_call_tree_size(18), 8361);
+        assert_eq!(fib_call_tree_size(7), 41);
+    }
+
+    #[test]
+    fn reference_matches_analytic() {
+        for n in [0, 1, 2, 7, 11, 15] {
+            let p = Fibonacci::new(n);
+            let (goals, result) = reference_run(&p);
+            assert_eq!(Some(goals), p.expected_goals(), "goals of fib({n})");
+            assert_eq!(Some(result), p.expected_result(), "result of fib({n})");
+        }
+    }
+
+    #[test]
+    fn tree_is_unbalanced() {
+        // fib's left subtree (n-1) is much deeper than the right (n-2):
+        // depth along the left spine is n-1 while a balanced tree of the
+        // same size would have depth ~log2.
+        fn max_depth(p: &Fibonacci, spec: &TaskSpec) -> u32 {
+            match p.expand(spec) {
+                Expansion::Leaf(_) => spec.depth,
+                Expansion::Split(c) => c.iter().map(|s| max_depth(p, s)).max().unwrap(),
+            }
+        }
+        let p = Fibonacci::new(12);
+        assert_eq!(max_depth(&p, &p.root()), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of supported range")]
+    fn overflow_guard() {
+        Fibonacci::new(91);
+    }
+}

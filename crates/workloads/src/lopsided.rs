@@ -1,0 +1,148 @@
+//! A deliberately skewed task tree (extension workload).
+//!
+//! Each task carries a *budget* `n` of descendants-plus-self; a splitting
+//! task gives a fraction `skew_pct`% of the remaining budget to its left
+//! child and the rest to the right. At `skew_pct = 50` this resembles the
+//! paper's balanced dc tree; at 90 it degenerates toward a deep left spine,
+//! stressing a load distributor far harder than fib's mild imbalance.
+//!
+//! Every task returns the node count of its subtree, so the root's result
+//! must equal the number of goals generated — a built-in conservation check.
+
+use oracle_model::{Expansion, Program, TaskSpec};
+
+/// A skewed binary task tree with an exact node budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lopsided {
+    budget: i64,
+    skew_pct: i64,
+}
+
+impl Lopsided {
+    /// A tree of exactly `budget` tasks, splitting `skew_pct`% of each
+    /// remaining budget to the left child.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `budget >= 1` and `1 <= skew_pct <= 99`.
+    pub fn new(budget: i64, skew_pct: i64) -> Self {
+        assert!(budget >= 1, "budget must be at least 1");
+        assert!(
+            (1..=99).contains(&skew_pct),
+            "skew_pct must be in 1..=99, got {skew_pct}"
+        );
+        Lopsided { budget, skew_pct }
+    }
+
+    /// Split a remaining budget into (left, right) child budgets.
+    fn split_budget(&self, rest: i64) -> (i64, i64) {
+        debug_assert!(rest >= 1);
+        let left = (rest * self.skew_pct / 100).clamp(0, rest);
+        (left, rest - left)
+    }
+}
+
+impl Program for Lopsided {
+    fn name(&self) -> String {
+        format!("lopsided({},{}%)", self.budget, self.skew_pct)
+    }
+
+    fn root(&self) -> TaskSpec {
+        TaskSpec::new(self.budget, 0)
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        let n = spec.a;
+        if n <= 1 {
+            return Expansion::Leaf(1);
+        }
+        let (left, right) = self.split_budget(n - 1);
+        let mut children = Vec::with_capacity(2);
+        if left >= 1 {
+            children.push(spec.child(left, 0));
+        }
+        if right >= 1 {
+            children.push(spec.child(right, 0));
+        }
+        debug_assert!(!children.is_empty());
+        Expansion::Split(children)
+    }
+
+    fn combine_init(&self, _spec: &TaskSpec) -> i64 {
+        1 // count this node itself
+    }
+
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        // The budget is exact: every unit of budget becomes exactly one task.
+        Some(self.budget as u64)
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        Some(self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn budget_is_exact_across_skews() {
+        for skew in [1, 25, 50, 75, 99] {
+            for budget in [1, 2, 3, 10, 257, 1000] {
+                let p = Lopsided::new(budget, skew);
+                let (goals, result) = reference_run(&p);
+                assert_eq!(goals, budget as u64, "goals at skew {skew}");
+                assert_eq!(result, budget, "result at skew {skew}");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_controls_depth() {
+        fn max_depth(p: &Lopsided, spec: &TaskSpec) -> u32 {
+            match p.expand(spec) {
+                Expansion::Leaf(_) => spec.depth,
+                Expansion::Split(c) => c.iter().map(|s| max_depth(p, s)).max().unwrap(),
+            }
+        }
+        let balanced = Lopsided::new(1023, 50);
+        let skewed = Lopsided::new(1023, 90);
+        let d_bal = max_depth(&balanced, &balanced.root());
+        let d_skew = max_depth(&skewed, &skewed.root());
+        assert!(
+            d_skew > 2 * d_bal,
+            "skewed depth {d_skew} not much deeper than balanced {d_bal}"
+        );
+    }
+
+    #[test]
+    fn unit_budget_is_single_leaf() {
+        let p = Lopsided::new(1, 50);
+        assert_eq!(p.expand(&p.root()), Expansion::Leaf(1));
+    }
+
+    #[test]
+    fn extreme_skew_produces_single_child_chains() {
+        // skew 1% with small budgets: left child gets 0, so the node has a
+        // single right child — a chain, which the machine must handle.
+        let p = Lopsided::new(5, 1);
+        match p.expand(&p.root()) {
+            Expansion::Split(c) => assert_eq!(c.len(), 1),
+            Expansion::Leaf(_) => panic!("budget 5 must split"),
+        }
+        let (goals, result) = reference_run(&p);
+        assert_eq!((goals, result), (5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew_pct")]
+    fn bad_skew_panics() {
+        Lopsided::new(10, 0);
+    }
+}

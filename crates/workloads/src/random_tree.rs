@@ -1,0 +1,201 @@
+//! A seeded random task tree with heterogeneous grain sizes (extension
+//! workload).
+//!
+//! The paper's workloads have uniform grains and fixed fan-out. Real
+//! symbolic computations do not, so this workload draws each task's fan-out
+//! and its execution-cost multiplier from a deterministic hash of the task's
+//! position (so the *same* tree is generated regardless of execution order
+//! or placement — a requirement for comparing strategies on identical work).
+//!
+//! Like [`crate::Lopsided`], every task returns its subtree's node count, so
+//! the root result must equal the number of goals generated.
+
+use oracle_model::{Expansion, Program, TaskSpec};
+
+/// SplitMix64 finalizer — the per-task hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random task tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomTree {
+    budget: i64,
+    max_children: u32,
+    grain_spread: u64,
+    seed: u64,
+}
+
+impl RandomTree {
+    /// A tree of exactly `budget` tasks; splitting tasks have 1 to
+    /// `max_children` children; task cost multipliers are uniform in
+    /// `1..=grain_spread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `budget >= 1`, `max_children >= 2`, `grain_spread >= 1`.
+    pub fn new(budget: i64, max_children: u32, grain_spread: u64, seed: u64) -> Self {
+        assert!(budget >= 1, "budget must be at least 1");
+        assert!(max_children >= 2, "max_children must be at least 2");
+        assert!(grain_spread >= 1, "grain_spread must be at least 1");
+        RandomTree {
+            budget,
+            max_children,
+            grain_spread,
+            seed,
+        }
+    }
+
+    /// The per-task hash: position (encoded in `b`) mixed with the seed.
+    fn task_hash(&self, spec: &TaskSpec) -> u64 {
+        mix(self.seed ^ spec.b as u64)
+    }
+}
+
+impl Program for RandomTree {
+    fn name(&self) -> String {
+        format!(
+            "random({},{},{},seed={})",
+            self.budget, self.max_children, self.grain_spread, self.seed
+        )
+    }
+
+    fn root(&self) -> TaskSpec {
+        // `a` is the remaining budget; `b` is the path hash.
+        TaskSpec::new(self.budget, mix(self.seed) as i64)
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        let n = spec.a;
+        if n <= 1 {
+            return Expansion::Leaf(1);
+        }
+        let h = self.task_hash(spec);
+        let rest = n - 1;
+        let k = 1 + (h % self.max_children as u64).min(rest as u64 - 1) as i64;
+        // Distribute `rest` over k children: base share plus remainder to
+        // the first few, each child perturbed hash-deterministically.
+        let base = rest / k;
+        let extra = rest % k;
+        let mut children = Vec::with_capacity(k as usize);
+        for i in 0..k {
+            let share = base + i64::from(i < extra);
+            if share >= 1 {
+                let mut c = spec.child(share, 0);
+                c.b = mix(h ^ (i as u64 + 1)) as i64;
+                children.push(c);
+            }
+        }
+        debug_assert!(!children.is_empty());
+        Expansion::Split(children)
+    }
+
+    fn combine_init(&self, _spec: &TaskSpec) -> i64 {
+        1
+    }
+
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+
+    fn work_multiplier(&self, spec: &TaskSpec) -> u64 {
+        1 + self.task_hash(spec).rotate_left(17) % self.grain_spread
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        Some(self.budget as u64)
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        Some(self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn budget_is_exact() {
+        for seed in 0..8 {
+            let p = RandomTree::new(500, 4, 3, seed);
+            let (goals, result) = reference_run(&p);
+            assert_eq!(goals, 500, "seed {seed}");
+            assert_eq!(result, 500, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let a = RandomTree::new(100, 4, 1, 1);
+        let b = RandomTree::new(100, 4, 1, 2);
+        // Compare the children of the two roots.
+        let ea = a.expand(&a.root());
+        let eb = b.expand(&b.root());
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = RandomTree::new(300, 3, 5, 42);
+        let b = RandomTree::new(300, 3, 5, 42);
+        // Walk both trees in lockstep.
+        fn collect(p: &RandomTree, spec: &TaskSpec, out: &mut Vec<(i64, i64, u64)>) {
+            out.push((spec.a, spec.b, p.work_multiplier(spec)));
+            if let Expansion::Split(c) = p.expand(spec) {
+                for s in c {
+                    collect(p, &s, out);
+                }
+            }
+        }
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        collect(&a, &a.root(), &mut va);
+        collect(&b, &b.root(), &mut vb);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn fanout_respects_bounds() {
+        let p = RandomTree::new(1000, 4, 1, 7);
+        fn walk(p: &RandomTree, spec: &TaskSpec) {
+            if let Expansion::Split(c) = p.expand(spec) {
+                assert!((1..=4).contains(&c.len()), "fanout {}", c.len());
+                for s in &c {
+                    assert!(s.a >= 1);
+                    walk(p, s);
+                }
+            }
+        }
+        walk(&p, &p.root());
+    }
+
+    #[test]
+    fn multipliers_span_the_spread() {
+        let p = RandomTree::new(2000, 4, 3, 9);
+        let mut seen = [false; 3];
+        fn walk(p: &RandomTree, spec: &TaskSpec, seen: &mut [bool; 3]) {
+            seen[(p.work_multiplier(spec) - 1) as usize] = true;
+            if let Expansion::Split(c) = p.expand(spec) {
+                for s in c {
+                    walk(p, &s, seen);
+                }
+            }
+        }
+        walk(&p, &p.root(), &mut seen);
+        assert!(
+            seen.iter().all(|&s| s),
+            "multiplier values missing: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn unit_budget_is_leaf() {
+        let p = RandomTree::new(1, 4, 1, 0);
+        assert_eq!(p.expand(&p.root()), Expansion::Leaf(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! The Takeuchi function (extension workload).
+//!
+//! `tak(x,y,z) = if y < x then tak(tak(x-1,y,z), tak(y-1,z,x), tak(z-1,x,y))
+//! else z` — the classic symbolic-computation benchmark of the paper's era
+//! (Lisp systems were routinely compared on it). Unlike dc and fib, a tak
+//! task cannot finish when its first round of children responds: the three
+//! results become the *arguments of a fourth recursive call*, so the task
+//! spawns again — exercising the machine's multi-round continuation path
+//! ("when it receives a response, it repeats the same cycle") on a real
+//! computation rather than a synthetic phase structure.
+//!
+//! The simulated machine must produce the true Takeuchi value; the program
+//! carries a memoized reference table (also used to generate the
+//! continuation call's argument specs, since those are semantically the
+//! values the first round will compute).
+
+use std::collections::HashMap;
+
+use oracle_model::{Continuation, Expansion, Program, TaskSpec};
+
+type Args = (i32, i32, i32);
+
+/// Reference Takeuchi value with memoization.
+fn tak_memo(args: Args, values: &mut HashMap<Args, i32>) -> i32 {
+    if let Some(&v) = values.get(&args) {
+        return v;
+    }
+    let (x, y, z) = args;
+    let v = if y >= x {
+        z
+    } else {
+        let a = tak_memo((x - 1, y, z), values);
+        let b = tak_memo((y - 1, z, x), values);
+        let c = tak_memo((z - 1, x, y), values);
+        tak_memo((a, b, c), values)
+    };
+    values.insert(args, v);
+    v
+}
+
+/// Call-tree size (goals generated) with memoization over *distinct
+/// argument triples*; the simulation revisits equal triples as separate
+/// goals, so sizes are combined per call, not shared.
+fn tree_size(args: Args, values: &mut HashMap<Args, i32>, sizes: &mut HashMap<Args, u64>) -> u64 {
+    if let Some(&s) = sizes.get(&args) {
+        return s;
+    }
+    let (x, y, z) = args;
+    let s = if y >= x {
+        1
+    } else {
+        let a = tak_memo((x - 1, y, z), values);
+        let b = tak_memo((y - 1, z, x), values);
+        let c = tak_memo((z - 1, x, y), values);
+        1 + tree_size((x - 1, y, z), values, sizes)
+            + tree_size((y - 1, z, x), values, sizes)
+            + tree_size((z - 1, x, y), values, sizes)
+            + tree_size((a, b, c), values, sizes)
+    };
+    sizes.insert(args, s);
+    s
+}
+
+/// Pack `(y, z)` into the spec's second parameter.
+fn pack(y: i32, z: i32) -> i64 {
+    (((y as u32 as u64) << 32) | (z as u32 as u64)) as i64
+}
+
+/// Unpack a spec into its argument triple.
+fn unpack(spec: &TaskSpec) -> Args {
+    let x = spec.a as i32;
+    let y = (spec.b as u64 >> 32) as u32 as i32;
+    let z = (spec.b as u64 & 0xFFFF_FFFF) as u32 as i32;
+    (x, y, z)
+}
+
+/// The Takeuchi computation `tak(x, y, z)`.
+#[derive(Debug, Clone)]
+pub struct Tak {
+    args: Args,
+    /// Memoized reference values (needed to build continuation specs).
+    values: HashMap<Args, i32>,
+    /// Total goals the computation will generate.
+    goals: u64,
+}
+
+impl Tak {
+    /// Build `tak(x, y, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is outside `-64..=64` (keeps the memo table
+    /// and the call tree to benchmark-sized instances).
+    pub fn new(x: i64, y: i64, z: i64) -> Self {
+        for v in [x, y, z] {
+            assert!((-64..=64).contains(&v), "tak argument {v} out of range");
+        }
+        let args = (x as i32, y as i32, z as i32);
+        let mut values = HashMap::new();
+        let mut sizes = HashMap::new();
+        tak_memo(args, &mut values); // populate every reachable triple
+        let goals = tree_size(args, &mut values, &mut sizes);
+        Tak {
+            args,
+            values,
+            goals,
+        }
+    }
+
+    /// The paper-era benchmark instance `tak(18, 12, 6)` (63,609 calls).
+    pub fn benchmark() -> Self {
+        Tak::new(18, 12, 6)
+    }
+
+    fn spec_of(args: Args) -> TaskSpec {
+        TaskSpec::new(args.0 as i64, pack(args.1, args.2))
+    }
+
+    fn child_of(parent: &TaskSpec, args: Args) -> TaskSpec {
+        let mut c = parent.child(args.0 as i64, pack(args.1, args.2));
+        c.tag = 0;
+        c
+    }
+}
+
+impl Program for Tak {
+    fn name(&self) -> String {
+        format!("tak({},{},{})", self.args.0, self.args.1, self.args.2)
+    }
+
+    fn root(&self) -> TaskSpec {
+        Self::spec_of(self.args)
+    }
+
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        let (x, y, z) = unpack(spec);
+        if y >= x {
+            Expansion::Leaf(z as i64)
+        } else {
+            Expansion::Split(vec![
+                Self::child_of(spec, (x - 1, y, z)),
+                Self::child_of(spec, (y - 1, z, x)),
+                Self::child_of(spec, (z - 1, x, y)),
+            ])
+        }
+    }
+
+    fn combine(&self, _spec: &TaskSpec, _acc: i64, child: i64) -> i64 {
+        // Round 0's three argument values are regenerated from the memo for
+        // the continuation call; round 1 has exactly one child, whose value
+        // *is* this task's value.
+        child
+    }
+
+    fn continue_after(&self, spec: &TaskSpec, round: u32, acc: i64) -> Continuation {
+        if round == 0 {
+            let (x, y, z) = unpack(spec);
+            let a = self.values[&(x - 1, y, z)];
+            let b = self.values[&(y - 1, z, x)];
+            let c = self.values[&(z - 1, x, y)];
+            Continuation::Spawn(vec![Self::child_of(spec, (a, b, c))])
+        } else {
+            Continuation::Done(acc)
+        }
+    }
+
+    fn expected_goals(&self) -> Option<u64> {
+        Some(self.goals)
+    }
+
+    fn expected_result(&self) -> Option<i64> {
+        Some(self.values[&self.args] as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_run;
+
+    #[test]
+    fn classic_values() {
+        assert_eq!(Tak::new(18, 12, 6).expected_result(), Some(7));
+        assert_eq!(Tak::new(10, 5, 0).expected_result(), Some(5));
+        assert_eq!(Tak::new(0, 0, 0).expected_result(), Some(0));
+        // Leaf case: y >= x answers z immediately.
+        assert_eq!(Tak::new(1, 2, 3).expected_result(), Some(3));
+    }
+
+    #[test]
+    fn benchmark_instance_size() {
+        // The classic instrumentation result: tak(18,12,6) makes 63,609
+        // calls.
+        assert_eq!(Tak::benchmark().expected_goals(), Some(63_609));
+    }
+
+    #[test]
+    fn reference_executor_matches_memo() {
+        for (x, y, z) in [(7, 4, 2), (10, 5, 0), (8, 4, 0), (1, 2, 3)] {
+            let p = Tak::new(x, y, z);
+            let (goals, result) = reference_run(&p);
+            assert_eq!(Some(result), p.expected_result(), "tak({x},{y},{z})");
+            assert_eq!(Some(goals), p.expected_goals(), "tak({x},{y},{z}) size");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_negatives() {
+        for (y, z) in [(0, 0), (-1, 5), (12, -3), (-64, 64)] {
+            let spec = TaskSpec::new(7, pack(y, z));
+            assert_eq!(unpack(&spec), (7, y, z));
+        }
+    }
+
+    #[test]
+    fn continuation_structure() {
+        let p = Tak::new(5, 2, 1);
+        let root = p.root();
+        match p.expand(&root) {
+            Expansion::Split(c) => assert_eq!(c.len(), 3),
+            Expansion::Leaf(_) => panic!("tak(5,2,1) must recurse"),
+        }
+        match p.continue_after(&root, 0, 0) {
+            Continuation::Spawn(c) => assert_eq!(c.len(), 1),
+            Continuation::Done(_) => panic!("round 0 must respawn"),
+        }
+        assert!(matches!(
+            p.continue_after(&root, 1, 9),
+            Continuation::Done(9)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_arguments_panic() {
+        Tak::new(100, 0, 0);
+    }
+}

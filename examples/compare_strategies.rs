@@ -1,0 +1,86 @@
+//! Compare every load-distribution scheme on one scenario.
+//!
+//! ```sh
+//! cargo run --release --example compare_strategies [topology] [workload]
+//! cargo run --release --example compare_strategies dlm:10 fib:15
+//! ```
+//!
+//! Runs the floor baseline (keep-local), the oblivious baselines, the
+//! paper's two competitors, and the extensions (Adaptive CWN, work
+//! stealing) on the same topology and workload, and tabulates the outcome.
+
+use oracle::builder::paper_strategies;
+use oracle::prelude::*;
+use oracle::table::{f1, f2};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let topology: TopologySpec = args
+        .next()
+        .unwrap_or_else(|| "grid:10".into())
+        .parse()
+        .expect("bad topology spec (try grid:10, dlm:10, hypercube:6)");
+    let workload: WorkloadSpec = args
+        .next()
+        .unwrap_or_else(|| "fib:15".into())
+        .parse()
+        .expect("bad workload spec (try fib:15, dc:987, lopsided:1000x80)");
+
+    let (cwn, gm) = paper_strategies(&topology);
+    let (radius, horizon) = match cwn {
+        StrategySpec::Cwn { radius, horizon } => (radius, horizon),
+        _ => unreachable!(),
+    };
+    let strategies: Vec<(&str, StrategySpec)> = vec![
+        ("keep-local (floor)", StrategySpec::Local),
+        ("round-robin", StrategySpec::RoundRobin),
+        ("random-walk (2 hops)", StrategySpec::RandomWalk { hops: 2 }),
+        ("CWN (paper)", cwn),
+        ("Gradient Model (paper)", gm),
+        (
+            "Adaptive CWN (paper's future work)",
+            StrategySpec::AdaptiveCwn {
+                radius,
+                horizon,
+                saturation: 3,
+                redistribute: true,
+            },
+        ),
+        (
+            "work stealing",
+            StrategySpec::WorkStealing { retry_delay: 40 },
+        ),
+    ];
+
+    let specs: Vec<RunSpec> = strategies
+        .iter()
+        .map(|(name, s)| {
+            RunSpec::new(
+                *name,
+                SimulationBuilder::new()
+                    .topology(topology)
+                    .strategy(*s)
+                    .workload(workload)
+                    .seed(7)
+                    .config(),
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(
+        format!("{workload} on {topology} ({} PEs)", topology.num_pes()),
+        &["strategy", "speedup", "util %", "time", "avg dist", "msgs"],
+    );
+    for (name, result) in run_batch(&specs) {
+        let r = result.expect("run failed");
+        table.row(vec![
+            name,
+            f2(r.speedup),
+            f1(r.avg_utilization),
+            r.completion_time.to_string(),
+            f2(r.avg_goal_distance),
+            r.traffic.total().to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,81 @@
+//! Reproduce the paper's §3.1 parameter-optimization methodology on a small
+//! scale: sweep CWN's radius × horizon and GM's water-marks × interval on a
+//! sample point, and print the full sweep plus the winners.
+//!
+//! ```sh
+//! cargo run --release --example parameter_study [topology] [workload]
+//! ```
+
+use oracle::prelude::*;
+use oracle::table::f2;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let topology: TopologySpec = args
+        .next()
+        .unwrap_or_else(|| "grid:8".into())
+        .parse()
+        .expect("bad topology spec");
+    let workload: WorkloadSpec = args
+        .next()
+        .unwrap_or_else(|| "fib:13".into())
+        .parse()
+        .expect("bad workload spec");
+
+    // CWN sweep.
+    let mut cwn_specs = Vec::new();
+    for radius in [2u32, 3, 5, 7, 9, 12] {
+        for horizon in [0u32, 1, 2, 3] {
+            if horizon < radius {
+                cwn_specs.push(StrategySpec::Cwn { radius, horizon });
+            }
+        }
+    }
+    // GM sweep.
+    let mut gm_specs = Vec::new();
+    for lwm in [1u32, 2] {
+        for hwm in [1u32, 2, 3] {
+            if hwm >= lwm {
+                for interval in [10u64, 20, 40, 80] {
+                    gm_specs.push(StrategySpec::Gradient {
+                        low_water_mark: lwm,
+                        high_water_mark: hwm,
+                        interval,
+                    });
+                }
+            }
+        }
+    }
+
+    for (title, specs) in [("CWN sweep", cwn_specs), ("Gradient Model sweep", gm_specs)] {
+        let runs: Vec<RunSpec> = specs
+            .iter()
+            .map(|s| {
+                RunSpec::new(
+                    s.to_string(),
+                    SimulationBuilder::new()
+                        .topology(topology)
+                        .strategy(*s)
+                        .workload(workload)
+                        .seed(11)
+                        .config(),
+                )
+            })
+            .collect();
+        let mut results: Vec<(String, f64)> = run_batch(&runs)
+            .into_iter()
+            .map(|(label, r)| (label, r.expect("run failed").speedup))
+            .collect();
+        results.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        let mut table = Table::new(
+            format!("{title}: {workload} on {topology}"),
+            &["parameters", "speedup"],
+        );
+        for (label, speedup) in &results {
+            table.row(vec![label.clone(), f2(*speedup)]);
+        }
+        println!("{table}");
+        println!("winner: {}\n", results[0].0);
+    }
+}

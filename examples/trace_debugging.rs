@@ -1,0 +1,83 @@
+//! Debugging a placement decision with the event trace.
+//!
+//! ```sh
+//! cargo run --release --example trace_debugging
+//! ```
+//!
+//! ORACLE's authors "found this facility particularly useful for debugging
+//! the load balancing strategies". This example runs a small CWN simulation
+//! with tracing enabled and then *analyses* the trace: it follows one goal's
+//! journey hop by hop, and derives per-goal travel statistics directly from
+//! the event log (cross-checking them against the report's histogram).
+
+use oracle::model::TraceEvent;
+use oracle::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let config = SimulationBuilder::new()
+        .topology(TopologySpec::grid(5))
+        .strategy(StrategySpec::Cwn {
+            radius: 6,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(10))
+        .trace_capacity(100_000)
+        .seed(7)
+        .config();
+    let (report, trace) = config.run_traced().expect("run failed");
+
+    println!(
+        "traced {} events from a {}-goal run (result {})\n",
+        trace.events().len(),
+        report.goals_executed,
+        report.result
+    );
+
+    // 1. Follow the journey of one interesting goal: the one that travelled
+    //    furthest.
+    let (furthest, hops) = trace
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::GoalAccepted { goal, hops, .. } => Some((goal, hops)),
+            _ => None,
+        })
+        .max_by_key(|&(_, hops)| hops)
+        .expect("some goal was accepted");
+    println!("furthest-travelling goal: {} ({hops} hops)", furthest.0);
+    for e in trace.events() {
+        let relevant = match *e {
+            TraceEvent::GoalCreated { goal, .. }
+            | TraceEvent::GoalForwarded { goal, .. }
+            | TraceEvent::GoalAccepted { goal, .. }
+            | TraceEvent::GoalStarted { goal, .. } => goal == furthest,
+            _ => false,
+        };
+        if relevant {
+            println!("  {e}");
+        }
+    }
+
+    // 2. Rebuild the hop histogram from the trace and cross-check it
+    //    against the report.
+    let mut hops_of: HashMap<u64, u32> = HashMap::new();
+    for e in trace.events() {
+        if let TraceEvent::GoalAccepted { goal, hops, .. } = *e {
+            hops_of.insert(goal.0, hops); // last acceptance wins
+        }
+    }
+    let mut histogram = vec![0u64; report.hop_histogram.len()];
+    for &h in hops_of.values() {
+        histogram[h as usize] += 1;
+    }
+    assert_eq!(
+        histogram, report.hop_histogram,
+        "trace-derived histogram must equal the report's"
+    );
+    println!("\ntrace-derived hop histogram matches the report: {histogram:?}");
+    println!(
+        "mean dispatch latency {:.1} units (max {:.0})",
+        report.dispatch_latency_mean, report.dispatch_latency_max
+    );
+}

@@ -1,0 +1,211 @@
+//! Error paths: the simulator must fail loudly and informatively, never
+//! hang or silently produce a wrong answer.
+
+use oracle::model::{Core, Expansion, GoalMsg, LoadInfoMode};
+use oracle::model::{CostModel, Machine, MachineConfig, Program, SimError, Strategy, TaskSpec};
+use oracle::prelude::*;
+use oracle::topo::PeId;
+
+struct Fib(i64);
+
+impl Program for Fib {
+    fn name(&self) -> String {
+        format!("fib({})", self.0)
+    }
+    fn root(&self) -> TaskSpec {
+        TaskSpec::new(self.0, 0)
+    }
+    fn expand(&self, spec: &TaskSpec) -> Expansion {
+        if spec.a < 2 {
+            Expansion::Leaf(spec.a)
+        } else {
+            Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+        }
+    }
+    fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+        acc + child
+    }
+}
+
+/// A buggy strategy that silently drops every fifth goal.
+struct Leaky {
+    count: u64,
+}
+
+impl Strategy for Leaky {
+    fn name(&self) -> &'static str {
+        "leaky"
+    }
+    fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+        self.count += 1;
+        if self.count % 5 != 0 {
+            core.accept_goal(pe, goal);
+        }
+    }
+    fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+        core.accept_goal(pe, goal);
+    }
+}
+
+fn machine_with(strategy: Box<dyn Strategy>, cfg: MachineConfig) -> Machine {
+    Machine::new(
+        TopologySpec::grid(4).build(),
+        Box::new(Fib(10)),
+        strategy,
+        CostModel::paper_default(),
+        cfg,
+    )
+    .unwrap()
+}
+
+#[test]
+fn dropped_goals_are_reported_as_a_stall() {
+    let mut cfg = MachineConfig::default();
+    cfg.load_info = LoadInfoMode::Instant; // no periodic events to keep the clock alive
+    let err = machine_with(Box::new(Leaky { count: 0 }), cfg)
+        .run()
+        .unwrap_err();
+    match err {
+        SimError::Stalled {
+            goals_created,
+            goals_executed,
+            ..
+        } => assert!(goals_executed < goals_created),
+        other => panic!("expected a stall, got {other}"),
+    }
+}
+
+/// A strategy that endlessly reschedules timers without making progress
+/// must trip the progress watchdog rather than spin forever.
+struct Spinner;
+
+impl Strategy for Spinner {
+    fn name(&self) -> &'static str {
+        "spinner"
+    }
+    fn init(&mut self, core: &mut Core) {
+        core.set_timer(PeId(0), 1, 0);
+    }
+    fn on_goal_created(&mut self, _: &mut Core, _: PeId, _: GoalMsg) {
+        // Dropped: the only event source left is the timer below.
+    }
+    fn on_goal_message(&mut self, _: &mut Core, _: PeId, _: GoalMsg) {}
+    fn on_timer(&mut self, core: &mut Core, pe: PeId, _tag: u64) {
+        core.set_timer(pe, 1, 0);
+    }
+}
+
+#[test]
+fn watchdog_catches_event_churn_without_progress() {
+    let mut cfg = MachineConfig::default();
+    cfg.load_info = LoadInfoMode::Instant;
+    let err = machine_with(Box::new(Spinner), cfg).run().unwrap_err();
+    assert!(
+        matches!(err, SimError::Stalled { .. } | SimError::EventLimit { .. }),
+        "expected stall/limit, got {err}"
+    );
+}
+
+#[test]
+fn event_limit_is_enforced() {
+    let mut cfg = MachineConfig::default();
+    cfg.max_events = 50;
+    let err = SimulationBuilder::new()
+        .topology(TopologySpec::grid(5))
+        .workload(WorkloadSpec::fib(15))
+        .machine(cfg)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimError::EventLimit { events, .. } if events >= 50));
+}
+
+#[test]
+fn invalid_configurations_are_rejected_up_front() {
+    // Root PE out of range.
+    let mut cfg = MachineConfig::default();
+    cfg.root_pe = 1000;
+    let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+
+    // Zero-cost operations.
+    let mut costs = CostModel::paper_default();
+    costs.split_cost = 0;
+    let err = SimulationBuilder::new().costs(costs).run().unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+
+    // Zero sampling interval.
+    let mut cfg = MachineConfig::default();
+    cfg.sampling_interval = 0;
+    let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn oversubscribed_bus_reports_stagnation() {
+    // A 64-member single bus cannot carry 64 load broadcasts per period:
+    // the backlog grows without bound and the watchdog must name the cause.
+    let err = SimulationBuilder::new()
+        .topology(TopologySpec::SingleBus { n: 64 })
+        .strategy(StrategySpec::Cwn {
+            radius: 5,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(15))
+        .run()
+        .unwrap_err();
+    match err {
+        SimError::Stagnation { backlog, .. } => assert!(backlog > 100),
+        other => panic!("expected stagnation, got {other}"),
+    }
+}
+
+#[test]
+fn killing_a_loaded_pe_is_detected_as_a_stall() {
+    // Kill PE 0 (the root's home, holding waiting tasks) mid-run: the lost
+    // work must surface as a stall, never as a wrong answer.
+    let mut cfg = MachineConfig::default();
+    cfg.fail_pe = Some((0, 200));
+    cfg.load_info = LoadInfoMode::Instant;
+    let err = SimulationBuilder::new()
+        .topology(TopologySpec::grid(4))
+        .strategy(StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(13))
+        .machine(cfg)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::Stalled { .. }),
+        "expected a stall from the lost work, got {err}"
+    );
+}
+
+#[test]
+fn killing_an_idle_pe_is_harmless() {
+    // Keep-local leaves PE 15 idle forever; killing it must not affect the
+    // result.
+    let mut cfg = MachineConfig::default();
+    cfg.fail_pe = Some((15, 100));
+    let r = SimulationBuilder::new()
+        .topology(TopologySpec::grid(4))
+        .strategy(StrategySpec::Local)
+        .workload(WorkloadSpec::fib(12))
+        .machine(cfg)
+        .run_validated()
+        .expect("losing an unused PE must not matter");
+    assert_eq!(r.result, 144);
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let mut cfg = MachineConfig::default();
+    cfg.root_pe = 1000;
+    let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("1000"),
+        "message should name the bad value: {msg}"
+    );
+}

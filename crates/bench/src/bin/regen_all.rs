@@ -12,7 +12,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use oracle::builder::paper_strategies;
-use oracle::experiments::{ablations, appendix, plots, table1, table2, table3, Fidelity};
+use oracle::experiments::{
+    ablations, appendix, plots, resilience, table1, table2, table3, Fidelity,
+};
 use oracle::prelude::*;
 use oracle::runner::seed_sweep;
 use oracle::table::f2;
@@ -230,6 +232,22 @@ fn main() {
             out.push('\n');
         }
         save("ablations.txt", out);
+    }
+
+    // Resilience under faults (extension).
+    {
+        let cells = resilience::run(fidelity, seed);
+        let completed = cells.iter().filter(|c| c.completed).count();
+        let mut out = resilience::render(&cells).to_string();
+        let _ = writeln!(
+            out,
+            "\n{completed}/{} runs completed with the correct result",
+            cells.len()
+        );
+        out.push('\n');
+        out += &resilience::to_json(&cells);
+        out.push('\n');
+        save("resilience.txt", out);
     }
 
     // Seed robustness.

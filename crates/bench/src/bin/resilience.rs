@@ -1,0 +1,35 @@
+//! Resilience extension: CWN vs GM under injected faults (PE crashes and
+//! message loss) with the recovery layer enabled. Not a paper table — the
+//! paper assumes a fault-free machine — but the same comparison question
+//! asked of a machine that misbehaves.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin resilience [--quick] [--csv] [--json]
+//! ```
+
+use oracle::experiments::resilience;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    // `--json` is specific to this harness: the full per-cell fault
+    // counters do not fit an aligned table.
+    let json = std::env::args().any(|a| a == "--json");
+    let args = HarnessArgs::parse_with(&["--json"]);
+    let cells = resilience::run(args.fidelity, args.seed);
+    if json {
+        println!("{}", resilience::to_json(&cells));
+        return;
+    }
+    args.emit(&resilience::render(&cells));
+    if !args.csv {
+        let completed = cells.iter().filter(|c| c.completed).count();
+        let respawned: u64 = cells.iter().map(|c| c.faults.goals_respawned).sum();
+        let dropped: u64 = cells.iter().map(|c| c.faults.messages_dropped).sum();
+        println!(
+            "{completed}/{} runs completed with the correct result; \
+             {respawned} goals re-spawned, {dropped} messages dropped in total",
+            cells.len()
+        );
+        println!("(--json for per-cell fault counters)");
+    }
+}

@@ -24,6 +24,12 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parse `std::env::args`. Unknown flags abort with a usage message.
     pub fn parse() -> Self {
+        Self::parse_with(&[])
+    }
+
+    /// Parse, additionally accepting (and skipping) harness-specific flags —
+    /// the caller inspects those itself via `std::env::args`.
+    pub fn parse_with(extra: &[&str]) -> Self {
         let mut out = HarnessArgs {
             fidelity: Fidelity::Paper,
             csv: false,
@@ -39,6 +45,7 @@ impl HarnessArgs {
                     out.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
                 }
                 "--help" | "-h" => usage(""),
+                other if extra.contains(&other) => {}
                 other => usage(&format!("unknown flag {other}")),
             }
         }

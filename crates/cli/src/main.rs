@@ -50,16 +50,18 @@ oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
 
 commands:
   run       --topology T --strategy S --workload W [--seed N] [--csv]
-            [--series] [--trace N] [--heatmap FILE.ppm]
+            [--series] [--trace N] [--heatmap FILE.ppm] [--faults PLAN]
             run one simulation and print its report
   compare   --topology T --workload W [--seed N]
             run CWN vs the Gradient Model with the paper's parameters
   batch FILE [--csv]
-            run a suite file (lines of: TOPOLOGY STRATEGY WORKLOAD [seed=N])
+            run a suite file (lines of:
+            TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN])
   experiment NAME [--quick] [--seed N]
             regenerate a paper table/figure: table1 | table2 | table3 |
             plots-dc-grid | plots-dc-dlm | plots-fib | plots-time-grid |
-            plots-time-dlm | appendix | ablations
+            plots-time-dlm | appendix | ablations |
+            resilience [--json] (fault-injection extension)
   topo-info T [T ...] [--dot]
             print PEs, channels, diameter, mean distance — or Graphviz DOT
   list      list the available spec grammars
@@ -73,7 +75,9 @@ spec grammars:
             diffusion[:INTERVALxTHRESHOLDxMAX] | global
   workload: fib:18 | dc:4181 | dc:1x4181 | lopsided:BUDGETxSKEW% |
             random:BUDGETxMAXCHILDxGRAINxSEED | cyclic:PHASESxWIDTHxLEAVES |
-            tak:18x12x6";
+            tak:18x12x6
+  faults:   `+`-separated terms of crash:PE@T | link:CH@DOWN..UP | loss:P% |
+            slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none";
 
 /// Pull `--flag value` pairs and boolean flags out of an argument list.
 struct Flags<'a> {
@@ -110,6 +114,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let strategy: StrategySpec = flags.parse("--strategy", StrategySpec::cwn_paper(true))?;
     let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
     let seed: u64 = flags.parse("--seed", 1)?;
+    let faults: oracle::model::FaultPlan =
+        flags.parse("--faults", oracle::model::FaultPlan::none())?;
 
     let trace_cap: usize = flags.parse("--trace", 0)?;
     let heatmap_path = flags.value_of("--heatmap");
@@ -120,6 +126,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .per_pe_series(flags.has("--series") || heatmap_path.is_some())
         .trace_capacity(trace_cap)
         .seed(seed)
+        .fault_plan(faults)
         .config();
     let (report, trace) = config.run_traced().map_err(|e| e.to_string())?;
     if let Some(path) = heatmap_path {
@@ -154,6 +161,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("control_msgs,{}", report.traffic.control_msgs);
         println!("load_updates,{}", report.traffic.load_updates);
         println!("events,{}", report.events);
+        if report.faults.any() {
+            println!("pes_crashed,{}", report.faults.pes_crashed);
+            println!("goals_lost,{}", report.faults.goals_lost);
+            println!("goals_respawned,{}", report.faults.goals_respawned);
+            println!("messages_dropped,{}", report.faults.messages_dropped);
+            println!("duplicate_responses,{}", report.faults.duplicate_responses);
+            println!("retries_exhausted,{}", report.faults.retries_exhausted);
+        }
     } else {
         println!(
             "{} on {} under {}",
@@ -176,6 +191,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             report.traffic.load_updates
         );
         println!("  events processed  {}", report.events);
+        if report.faults.any() {
+            println!(
+                "  faults            {} PE crash(es), {} goals lost, {} re-spawned, \
+                 {} messages dropped",
+                report.faults.pes_crashed,
+                report.faults.goals_lost,
+                report.faults.goals_respawned,
+                report.faults.messages_dropped
+            );
+        }
     }
     if flags.has("--series") {
         println!("\nutilization over time (interval start, %):");
@@ -191,7 +216,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
-    use oracle::experiments::{ablations, appendix, plots, table1, table2, table3, Fidelity};
+    use oracle::experiments::{
+        ablations, appendix, plots, resilience, table1, table2, table3, Fidelity,
+    };
     use oracle::topo::TopologySpec as T;
 
     let Some(name) = args.first() else {
@@ -223,6 +250,20 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         "table3" => {
             let d = table3::run(fidelity, seed);
             println!("{}", table3::render(&d));
+        }
+        "resilience" => {
+            let cells = resilience::run(fidelity, seed);
+            if flags.has("--json") {
+                println!("{}", resilience::to_json(&cells));
+            } else {
+                println!("{}", resilience::render(&cells));
+                let completed = cells.iter().filter(|c| c.completed).count();
+                println!(
+                    "{completed}/{} runs completed with the correct result \
+                     (--json for per-cell fault counters)",
+                    cells.len()
+                );
+            }
         }
         "plots-dc-grid" | "plots-dc-dlm" | "plots-fib" => {
             let fib = name == "plots-fib";
@@ -526,5 +567,31 @@ mod tests {
     #[test]
     fn experiment_table3_quick_smoke() {
         cmd_experiment(&flags(&["table3", "--quick"])).expect("table3 quick");
+    }
+
+    #[test]
+    fn run_command_with_faults_smoke() {
+        let a = flags(&[
+            "--topology",
+            "ring:4",
+            "--strategy",
+            "local",
+            "--workload",
+            "fib:8",
+            "--faults",
+            "crash:3@100",
+            "--csv",
+        ]);
+        cmd_run(&a).expect("an idle-PE crash must not break the run");
+        let bad = flags(&["--faults", "crash:zz"]);
+        assert!(cmd_run(&bad).is_err());
+    }
+
+    #[test]
+    fn batch_command_accepts_fault_plans() {
+        let path = std::env::temp_dir().join("oracle_cli_fault_suite_test.txt");
+        std::fs::write(&path, "ring:4 local fib:8 faults=crash:3@100\n").unwrap();
+        cmd_batch(&flags(&[path.to_str().unwrap(), "--csv"])).expect("fault suite runs");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -8,7 +8,7 @@ use oracle_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// A fully specified simulation run: everything needed to reproduce it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Interconnection topology.
     pub topology: TopologySpec,
@@ -24,7 +24,7 @@ pub struct RunConfig {
 
 impl RunConfig {
     fn machine(&self) -> Result<Machine, SimError> {
-        let mut machine_cfg = self.machine;
+        let mut machine_cfg = self.machine.clone();
         self.strategy.apply_config(&mut machine_cfg);
         Machine::new(
             self.topology.build(),
@@ -58,12 +58,17 @@ impl RunConfig {
                 )));
             }
         }
-        if let Some(goals) = self.workload.build().expected_goals() {
-            if report.goals_created != goals {
-                return Err(SimError::InvalidConfig(format!(
-                    "created {} goals, expected {goals} for {}",
-                    report.goals_created, self.workload
-                )));
+        // Under a fault plan the goal count legitimately diverges (lost
+        // goals, re-spawned subtrees) — only the result check applies.
+        let faults_planned = !self.machine.fault_plan.is_empty() || self.machine.fail_pe.is_some();
+        if !faults_planned {
+            if let Some(goals) = self.workload.build().expected_goals() {
+                if report.goals_created != goals {
+                    return Err(SimError::InvalidConfig(format!(
+                        "created {} goals, expected {goals} for {}",
+                        report.goals_created, self.workload
+                    )));
+                }
             }
         }
         Ok(report)
@@ -173,9 +178,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Inject a deterministic fault plan (PE crashes, link windows, message
+    /// loss, slowdowns — and optionally the recovery layer).
+    pub fn fault_plan(mut self, plan: oracle_model::FaultPlan) -> Self {
+        self.config.machine.fault_plan = plan;
+        self
+    }
+
     /// The assembled configuration (for batching via [`crate::runner`]).
     pub fn config(&self) -> RunConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Execute the run.

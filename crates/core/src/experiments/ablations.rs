@@ -52,7 +52,7 @@ pub struct Point {
 fn run_points(configs: Vec<(String, RunConfig)>) -> Vec<Point> {
     let specs: Vec<RunSpec> = configs
         .iter()
-        .map(|(label, config)| RunSpec::new(label.clone(), *config))
+        .map(|(label, config)| RunSpec::new(label.clone(), config.clone()))
         .collect();
     run_batch(&specs)
         .into_iter()

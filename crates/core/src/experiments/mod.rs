@@ -10,6 +10,7 @@
 //! | Plots 11–16 (utilization vs time, fib) | [`plots::util_vs_time`] |
 //! | Appendix A-1..A-8 (hypercubes) | [`appendix`] |
 //! | §5 design-choice ablations | [`ablations`] |
+//! | Resilience under faults (extension) | [`resilience`] |
 //!
 //! Every function takes a [`Fidelity`]: `Paper` reruns the full
 //! configuration grid (minutes), `Quick` a miniature that exercises the same
@@ -18,6 +19,7 @@
 pub mod ablations;
 pub mod appendix;
 pub mod plots;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -135,7 +135,7 @@ pub fn seed_sweep(config: RunConfig, base_seed: u64, n_seeds: u64) -> SeedSummar
     assert!(n_seeds > 0, "need at least one seed");
     let specs: Vec<RunSpec> = (0..n_seeds)
         .map(|i| {
-            let mut c = config;
+            let mut c = config.clone();
             c.machine.seed = base_seed + i;
             RunSpec::new(format!("seed {}", base_seed + i), c)
         })
@@ -161,10 +161,11 @@ pub fn seed_sweep(config: RunConfig, base_seed: u64, n_seeds: u64) -> SeedSummar
 /// One run per non-empty, non-`#` line:
 ///
 /// ```text
-/// # topology   strategy   workload   [seed=N]
+/// # topology   strategy   workload   [seed=N] [faults=PLAN]
 /// grid:10      cwn:9x1    fib:15
 /// grid:10      gm:1x2x20  fib:15     seed=7
 /// dlm:10       cwn:5x1    dc:987
+/// grid:6       cwn:5x1    fib:12     seed=3   faults=crash:7@400+loss:1%+recover:500x8
 /// ```
 ///
 /// Labels are generated from the three specs. Errors name the offending
@@ -177,9 +178,9 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if !(3..=4).contains(&fields.len()) {
+        if !(3..=5).contains(&fields.len()) {
             return Err(format!(
-                "line {}: expected `topology strategy workload [seed=N]`, got {raw:?}",
+                "line {}: expected `topology strategy workload [seed=N] [faults=PLAN]`, got {raw:?}",
                 lineno + 1
             ));
         }
@@ -204,15 +205,28 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
             .strategy(strategy)
             .workload(workload)
             .config();
-        if let Some(extra) = fields.get(3) {
-            let seed = extra
-                .strip_prefix("seed=")
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| err("seed", format!("{extra:?} (expected seed=N)")))?;
-            config.machine.seed = seed;
+        let mut label_suffix = String::new();
+        for extra in &fields[3..] {
+            if let Some(v) = extra.strip_prefix("seed=") {
+                config.machine.seed = v
+                    .parse()
+                    .map_err(|_| err("seed", format!("{extra:?} (expected seed=N)")))?;
+            } else if let Some(v) = extra.strip_prefix("faults=") {
+                config.machine.fault_plan =
+                    v.parse()
+                        .map_err(|e: oracle_model::faults::ParseFaultPlanError| {
+                            err("faults", format!("{v:?}: {e}"))
+                        })?;
+                label_suffix = format!(" faults={v}");
+            } else {
+                return Err(err(
+                    "field",
+                    format!("{extra:?} (expected seed=N or faults=PLAN)"),
+                ));
+            }
         }
         specs.push(RunSpec::new(
-            format!("{} {} {}", fields[0], fields[1], fields[2]),
+            format!("{} {} {}{label_suffix}", fields[0], fields[1], fields[2]),
             config,
         ));
     }
@@ -302,8 +316,8 @@ mod tests {
             })
             .workload(WorkloadSpec::fib(10))
             .config();
-        let few = seed_sweep(config, 1, 3);
-        let many = seed_sweep(config, 1, 12);
+        let few = seed_sweep(config.clone(), 1, 3);
+        let many = seed_sweep(config.clone(), 1, 12);
         assert!(many.confidence95() < few.confidence95() * 1.5);
         assert!(few.confidence95() > 0.0);
         assert_eq!(seed_sweep(config, 1, 1).confidence95(), 0.0);
@@ -329,7 +343,24 @@ mod tests {
         let err = parse_suite("nonsense:4 cwn:4x1 fib:10").unwrap_err();
         assert!(err.contains("bad topology"), "{err}");
         let err = parse_suite("grid:4 cwn:4x1 fib:10 sneed=2").unwrap_err();
-        assert!(err.contains("bad seed"), "{err}");
+        assert!(err.contains("seed=N or faults=PLAN"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:10 faults=crash:zz").unwrap_err();
+        assert!(err.contains("bad faults"), "{err}");
+    }
+
+    #[test]
+    fn parse_suite_accepts_fault_plans() {
+        let text = "grid:6 cwn:5x1 fib:10 seed=3 faults=crash:7@400+recover:500x8\n";
+        let specs = parse_suite(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].config.machine.seed, 3);
+        assert_eq!(specs[0].config.machine.fault_plan.pe_crashes.len(), 1);
+        assert!(specs[0].config.machine.fault_plan.recovery.is_some());
+        assert!(specs[0].label.contains("faults="), "{}", specs[0].label);
+        // Order of the trailing fields must not matter.
+        let swapped =
+            parse_suite("grid:6 cwn:5x1 fib:10 faults=crash:7@400+recover:500x8 seed=3\n").unwrap();
+        assert_eq!(swapped[0].config, specs[0].config);
     }
 
     #[test]

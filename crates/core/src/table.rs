@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn float_formats() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(1.23456), "1.23");
         assert_eq!(f1(99.96), "100.0");
     }
 }

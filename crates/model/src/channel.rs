@@ -23,6 +23,10 @@ pub struct Channel {
     pub transfers: u64,
     /// High-water mark of the backlog length — the stagnation indicator.
     pub max_backlog: usize,
+    /// True while a fault-plan link window holds the channel down: new
+    /// offers queue in the backlog, and nothing is promoted until the
+    /// channel comes back up.
+    pub down: bool,
 }
 
 impl Channel {
@@ -34,6 +38,7 @@ impl Channel {
             busy: BusyTracker::new(),
             transfers: 0,
             max_backlog: 0,
+            down: false,
         }
     }
 
@@ -46,7 +51,7 @@ impl Channel {
     /// message and the caller must schedule its completion (returns `true`);
     /// otherwise it joins the backlog (returns `false`).
     pub fn offer(&mut self, flight: Flight, now: SimTime) -> bool {
-        if self.in_flight.is_none() {
+        if self.in_flight.is_none() && !self.down {
             self.in_flight = Some(flight);
             self.busy.set_busy(now);
             true
@@ -70,6 +75,12 @@ impl Channel {
             .take()
             .expect("channel completion with nothing in flight");
         self.transfers += 1;
+        if self.down {
+            // A transfer already on the wire when the link dropped finishes,
+            // but nothing new starts until the link comes back up.
+            self.busy.set_idle(now);
+            return (done, None);
+        }
         match self.backlog.pop_front() {
             Some(next) => {
                 self.in_flight = Some(next);
@@ -80,6 +91,19 @@ impl Channel {
                 (done, None)
             }
         }
+    }
+
+    /// Promote the next backlog entry to in-flight (used when a link comes
+    /// back up). Returns the promoted flight, whose completion the caller
+    /// must schedule; `None` if the channel is busy or the backlog is empty.
+    pub fn promote(&mut self, now: SimTime) -> Option<&Flight> {
+        if self.down || self.in_flight.is_some() {
+            return None;
+        }
+        let next = self.backlog.pop_front()?;
+        self.in_flight = Some(next);
+        self.busy.set_busy(now);
+        self.in_flight.as_ref()
     }
 }
 
@@ -148,5 +172,31 @@ mod tests {
     #[should_panic(expected = "nothing in flight")]
     fn completing_idle_channel_panics() {
         Channel::new().complete(SimTime(0));
+    }
+
+    #[test]
+    fn down_channel_backlogs_offers_until_promoted() {
+        let mut ch = Channel::new();
+        ch.down = true;
+        assert!(!ch.offer(flight(1), SimTime(0)), "down channel must queue");
+        assert!(!ch.is_busy());
+        assert!(ch.promote(SimTime(1)).is_none(), "no promote while down");
+        ch.down = false;
+        let next = ch.promote(SimTime(2)).unwrap();
+        assert!(matches!(next.packet, Packet::LoadUpdate { load: 1 }));
+        assert!(ch.is_busy());
+    }
+
+    #[test]
+    fn in_flight_completes_but_does_not_promote_while_down() {
+        let mut ch = Channel::new();
+        ch.offer(flight(1), SimTime(0));
+        ch.offer(flight(2), SimTime(0));
+        ch.down = true;
+        let (done, next) = ch.complete(SimTime(5));
+        assert!(matches!(done.packet, Packet::LoadUpdate { load: 1 }));
+        assert!(next.is_none(), "backlog must wait for LinkUp");
+        assert_eq!(ch.backlog.len(), 1);
+        assert!(!ch.busy.is_busy());
     }
 }

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultPlan;
+
 /// How PEs learn their neighbours' loads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LoadInfoMode {
@@ -31,7 +33,7 @@ pub enum QueueDiscipline {
 
 /// Configuration of the simulated machine (everything that is not the
 /// topology, the program, the strategy, or the cost model).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Seed for all randomness in the run.
     pub seed: u64,
@@ -78,11 +80,16 @@ pub struct MachineConfig {
     pub trace_capacity: usize,
     /// Order in which each PE picks its next work item.
     pub queue_discipline: QueueDiscipline,
-    /// Failure injection: kill one PE at a simulated instant — it stops
-    /// executing, its queued and waiting work is lost, and messages
-    /// addressed to it vanish. Runs that depended on the lost work end in
-    /// [`crate::SimError::Stalled`] rather than a silent wrong answer.
+    /// Failure injection shorthand: kill one PE at a simulated instant.
+    /// Folded into [`MachineConfig::fault_plan`] at machine construction;
+    /// kept as a convenience knob for single-crash experiments. Runs that
+    /// depended on the lost work end in [`crate::SimError::GoalsLost`]
+    /// rather than a silent wrong answer.
     pub fail_pe: Option<(u32, u64)>,
+    /// Deterministic fault schedule: PE crashes, link down windows,
+    /// message loss, slowdowns, and the recovery layer. The empty plan
+    /// (the default) adds no events and draws no random numbers.
+    pub fault_plan: FaultPlan,
     /// Heterogeneous-machine extension: each PE's execution costs are
     /// multiplied by a seeded per-PE factor drawn uniformly from
     /// `1..=pe_speed_spread`. 1 (the default) models the paper's uniform
@@ -108,6 +115,7 @@ impl Default for MachineConfig {
             trace_capacity: 0,
             queue_discipline: QueueDiscipline::Fifo,
             fail_pe: None,
+            fault_plan: FaultPlan::default(),
             pe_speed_spread: 1,
         }
     }
@@ -131,6 +139,9 @@ impl MachineConfig {
         if self.pe_speed_spread == 0 {
             return Err("pe_speed_spread must be at least 1".into());
         }
+        if !(0.0..1.0).contains(&self.fault_plan.message_loss) {
+            return Err("fault_plan.message_loss must be in [0, 1)".into());
+        }
         Ok(())
     }
 }
@@ -146,8 +157,10 @@ mod tests {
 
     #[test]
     fn zero_sampling_interval_rejected() {
-        let mut c = MachineConfig::default();
-        c.sampling_interval = 0;
+        let c = MachineConfig {
+            sampling_interval: 0,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

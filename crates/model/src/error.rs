@@ -35,6 +35,25 @@ pub enum SimError {
         /// Simulated time reached.
         time: u64,
     },
+    /// Goals were destroyed by injected faults (PE crashes, black-holed
+    /// deliveries, dropped transfers) and the run could not finish without
+    /// them — either recovery was disabled or its retry budget ran out.
+    /// Distinct from [`SimError::Stalled`] so that planned fault losses
+    /// are attributable while a leaky strategy (losing goals with *no*
+    /// fault plan) still fails loudly as a stall.
+    GoalsLost {
+        /// Whether a fault plan (or `fail_pe`) was active — i.e. the loss
+        /// was scheduled rather than a simulator bug.
+        expected_by_plan: bool,
+        /// Goals destroyed by faults.
+        goals_lost: u64,
+        /// Channel transfers dropped by the loss process.
+        messages_dropped: u64,
+        /// Goal slots whose recovery retry budget ran out.
+        retries_exhausted: u64,
+        /// Simulated time at which the run gave up.
+        time: u64,
+    },
     /// Configuration rejected before the run started.
     InvalidConfig(String),
 }
@@ -62,6 +81,23 @@ impl fmt::Display for SimError {
                 f,
                 "communication stagnation at t={time}: channel {channel} has {backlog} \
                  messages backlogged and growing"
+            ),
+            SimError::GoalsLost {
+                expected_by_plan,
+                goals_lost,
+                messages_dropped,
+                retries_exhausted,
+                time,
+            } => write!(
+                f,
+                "run failed at t={time}: {goals_lost} goals lost to {}faults \
+                 ({messages_dropped} transfers dropped, {retries_exhausted} retry budgets \
+                 exhausted)",
+                if *expected_by_plan {
+                    "injected "
+                } else {
+                    "UNPLANNED "
+                }
             ),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -97,5 +133,22 @@ mod tests {
         };
         assert!(e.to_string().contains("stagnation"));
         assert!(e.to_string().contains("5000"));
+        let e = SimError::GoalsLost {
+            expected_by_plan: true,
+            goals_lost: 4,
+            messages_dropped: 2,
+            retries_exhausted: 1,
+            time: 900,
+        };
+        assert!(e.to_string().contains("4 goals lost"));
+        assert!(e.to_string().contains("injected"));
+        let e = SimError::GoalsLost {
+            expected_by_plan: false,
+            goals_lost: 1,
+            messages_dropped: 0,
+            retries_exhausted: 0,
+            time: 10,
+        };
+        assert!(e.to_string().contains("UNPLANNED"));
     }
 }

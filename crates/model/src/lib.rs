@@ -25,6 +25,7 @@ pub mod channel;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod machine;
 pub mod message;
 pub mod metrics;
@@ -36,9 +37,10 @@ pub mod trace;
 pub use config::{LoadInfoMode, MachineConfig};
 pub use cost::CostModel;
 pub use error::SimError;
+pub use faults::{FaultPlan, LinkWindow, PeCrash, RecoveryParams, Slowdown};
 pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
-pub use metrics::Report;
+pub use metrics::{FaultMetrics, Report};
 pub use program::{Continuation, Expansion, Program, TaskSpec};
 pub use strategy::Strategy;
 pub use trace::{Trace, TraceEvent};

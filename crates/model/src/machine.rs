@@ -6,6 +6,8 @@
 //! without a communication co-processor — message handling), and each
 //! channel transfers one message at a time, with FIFO backlogs on both.
 
+use std::collections::HashMap;
+
 use oracle_des::{EventQueue, Histogram, IntervalSeries, OnlineStats, Rng, SimTime};
 use oracle_topo::{ChannelId, PeId, Topology};
 
@@ -13,8 +15,9 @@ use crate::channel::Channel;
 use crate::config::{LoadInfoMode, MachineConfig};
 use crate::cost::CostModel;
 use crate::error::SimError;
+use crate::faults::{FaultPlan, PeCrash};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
-use crate::metrics::{Report, TrafficCounters};
+use crate::metrics::{FaultMetrics, Report, TrafficCounters};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
 use crate::program::{Continuation, Expansion, Program, TaskSpec};
 use crate::strategy::Strategy;
@@ -33,6 +36,75 @@ enum Event {
     LoadBcast(PeId),
     /// Failure injection: the PE dies now.
     FailPe(PeId),
+    /// Fault plan: the channel goes down now.
+    LinkDown(ChannelId),
+    /// Fault plan: the channel comes back up now.
+    LinkUp(ChannelId),
+    /// Fault plan: a transient slowdown window opens on the PE.
+    SlowStart(PeId, u64),
+    /// Fault plan: the slowdown window on the PE closes.
+    SlowEnd(PeId),
+    /// Recovery: the tracked goal has been silent for its whole ack
+    /// window — re-spawn it if its response has still not combined.
+    AckTimeout(GoalId),
+}
+
+/// Recovery bookkeeping for one spawned goal: enough to re-create it from
+/// the parent's side if it is lost or silent.
+struct Outstanding {
+    /// Where the parent task waits (`None` for the root goal).
+    parent: Option<(PeId, GoalId)>,
+    /// The task to re-spawn.
+    spec: TaskSpec,
+    /// Re-spawn attempts already made for this goal slot.
+    attempts: u32,
+    /// When the slot's first attempt was created (for recovery-latency
+    /// accounting).
+    first_created: u64,
+    /// The PE the goal was last accepted on, if known — lets a crash
+    /// trigger immediate re-spawn of everything resident on the dead PE.
+    resident: Option<PeId>,
+}
+
+/// Fault-injection and recovery state of a run.
+struct FaultState {
+    /// Goals the recovery layer is tracking, keyed by goal id.
+    outstanding: HashMap<GoalId, Outstanding>,
+    pes_crashed: u32,
+    goals_lost: u64,
+    messages_dropped: u64,
+    goals_respawned: u64,
+    duplicate_responses: u64,
+    retries_exhausted: u64,
+    recovery_latency: OnlineStats,
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            outstanding: HashMap::new(),
+            pes_crashed: 0,
+            goals_lost: 0,
+            messages_dropped: 0,
+            goals_respawned: 0,
+            duplicate_responses: 0,
+            retries_exhausted: 0,
+            recovery_latency: OnlineStats::new(),
+        }
+    }
+
+    fn metrics(&self) -> FaultMetrics {
+        FaultMetrics {
+            pes_crashed: self.pes_crashed,
+            goals_lost: self.goals_lost,
+            messages_dropped: self.messages_dropped,
+            goals_respawned: self.goals_respawned,
+            duplicate_responses: self.duplicate_responses,
+            retries_exhausted: self.retries_exhausted,
+            recovery_latency_mean: self.recovery_latency.mean(),
+            recovery_latency_max: self.recovery_latency.max().unwrap_or(0.0),
+        }
+    }
 }
 
 /// Window (in events) of the progress watchdog: if no goal is created,
@@ -63,6 +135,13 @@ pub struct Core {
     global_series: IntervalSeries,
     root_result: Option<(i64, SimTime)>,
     trace: Trace,
+    /// The effective fault plan (`config.fault_plan` with the legacy
+    /// `fail_pe` shorthand folded in).
+    plan: FaultPlan,
+    /// Dedicated RNG stream for fault decisions (message-loss draws), so a
+    /// fault plan never perturbs the strategy's random stream.
+    fault_rng: Rng,
+    faults: FaultState,
 }
 
 impl Core {
@@ -150,22 +229,84 @@ impl Core {
         }
     }
 
-    /// The least-loaded neighbour of `pe` under its current knowledge, ties
-    /// broken uniformly at random (deterministically, from the run's seed).
-    /// Without randomized tie-breaking, the load plateaus of an idle machine
-    /// funnel every goal down the same lowest-id path — a single saturated
-    /// channel and a sequential execution. Optionally exclude one neighbour
-    /// (e.g. the PE a goal just came from).
+    /// True once `pe` has been killed by fault injection. Strategies use
+    /// this to skip dead neighbours when they pick targets themselves.
+    #[inline]
+    pub fn is_pe_failed(&self, pe: PeId) -> bool {
+        self.pes[pe.idx()].failed
+    }
+
+    /// True when the neighbour `nbr` of `pe` is reachable: alive, and the
+    /// connecting channel is not in a fault-plan down window.
+    pub fn neighbor_reachable(&self, pe: PeId, nbr: PeId) -> bool {
+        if self.pes[nbr.idx()].failed {
+            return false;
+        }
+        match self.topo.channel_between(pe, nbr) {
+            Some(ch) => !self.channels[ch.idx()].down,
+            None => false,
+        }
+    }
+
+    /// Next hop for a software-routed packet from `from` toward `to`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `pe` has no neighbours (or only the excluded one).
-    pub fn least_loaded_neighbor(&mut self, pe: PeId, exclude: Option<PeId>) -> (PeId, u32) {
+    /// Without faults this is the topology's precomputed shortest-path hop.
+    /// Under a fault plan, a hop into a dead PE or a down link is replaced
+    /// by a detour to the reachable neighbour closest to the target (ties
+    /// to the lowest PE id, so routing stays deterministic), never straight
+    /// back to `prev` unless that is the only live exit. A dead *target*
+    /// is not detoured around — the packet black-holes at the corpse and
+    /// the loss is accounted, which is what tells the recovery layer to
+    /// re-spawn.
+    fn route_hop(&self, from: PeId, to: PeId, prev: Option<PeId>) -> PeId {
+        let hop = self.topo.next_hop(from, to);
+        if self.plan.is_empty() || self.is_pe_failed(to) {
+            return hop;
+        }
+        if self.neighbor_reachable(from, hop) && prev != Some(hop) {
+            return hop;
+        }
+        let mut best: Option<(u16, u32)> = None;
+        for n in self.topo.neighbors(from) {
+            if Some(n.pe) == prev || !self.neighbor_reachable(from, n.pe) {
+                continue;
+            }
+            let key = (self.topo.distance(n.pe, to), n.pe.0);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        match best {
+            Some((_, pe)) => PeId(pe),
+            // Back the way it came, if even that is still open.
+            None => match prev {
+                Some(p) if self.neighbor_reachable(from, p) => p,
+                _ => hop,
+            },
+        }
+    }
+
+    /// The least-loaded reachable neighbour of `pe` under its current
+    /// knowledge, ties broken uniformly at random (deterministically, from
+    /// the run's seed). Without randomized tie-breaking, the load plateaus
+    /// of an idle machine funnel every goal down the same lowest-id path —
+    /// a single saturated channel and a sequential execution. Optionally
+    /// exclude one neighbour (e.g. the PE a goal just came from). Returns
+    /// `None` when every candidate is excluded, dead, or cut off — the
+    /// caller should then keep the goal local.
+    pub fn least_loaded_neighbor(
+        &mut self,
+        pe: PeId,
+        exclude: Option<PeId>,
+    ) -> Option<(PeId, u32)> {
         let mut best: Option<(PeId, u32)> = None;
         let mut ties = 0u64;
         for i in 0..self.topo.neighbors(pe).len() {
             let n = self.topo.neighbors(pe)[i];
             if Some(n.pe) == exclude {
+                continue;
+            }
+            if self.pes[n.pe.idx()].failed || self.channels[n.channel.idx()].down {
                 continue;
             }
             let load = match self.config.load_info {
@@ -187,28 +328,35 @@ impl Core {
                 }
             }
         }
-        best.expect("least_loaded_neighbor: no candidate neighbour")
+        best
     }
 
-    /// Minimum load among `pe`'s neighbours under its current knowledge.
+    /// Minimum load among `pe`'s reachable neighbours under its current
+    /// knowledge. `u32::MAX` when no neighbour is reachable (so a local
+    /// minimum test degenerates to "accept locally").
     pub fn min_known_neighbor_load(&self, pe: PeId) -> u32 {
         let p = &self.pes[pe.idx()];
         self.topo
             .neighbors(pe)
             .iter()
             .enumerate()
+            .filter(|(_, n)| !self.pes[n.pe.idx()].failed && !self.channels[n.channel.idx()].down)
             .map(|(i, n)| match self.config.load_info {
                 LoadInfoMode::Instant => self.load(n.pe),
                 LoadInfoMode::Piggyback { .. } => p.known_load[i],
             })
             .min()
-            .expect("min_known_neighbor_load: PE has no neighbours")
+            .unwrap_or(u32::MAX)
     }
 
-    /// The most-loaded neighbour of `pe` under its current knowledge.
-    pub fn most_loaded_neighbor(&self, pe: PeId) -> (PeId, u32) {
+    /// The most-loaded reachable neighbour of `pe` under its current
+    /// knowledge, or `None` when every neighbour is dead or cut off.
+    pub fn most_loaded_neighbor(&self, pe: PeId) -> Option<(PeId, u32)> {
         let mut best: Option<(PeId, u32)> = None;
         for (i, n) in self.topo.neighbors(pe).iter().enumerate() {
+            if self.pes[n.pe.idx()].failed || self.channels[n.channel.idx()].down {
+                continue;
+            }
             let load = match self.config.load_info {
                 LoadInfoMode::Instant => self.load(n.pe),
                 LoadInfoMode::Piggyback { .. } => self.pes[pe.idx()].known_load[i],
@@ -218,7 +366,7 @@ impl Core {
                 _ => best = Some((n.pe, load)),
             }
         }
-        best.expect("most_loaded_neighbor: PE has no neighbours")
+        best
     }
 
     // ------------------------------------------------------------------
@@ -230,6 +378,7 @@ impl Core {
     /// [`Core::take_newest_goal`]).
     pub fn accept_goal(&mut self, pe: PeId, goal: GoalMsg) {
         if self.pes[pe.idx()].failed {
+            self.note_goal_lost(goal.id, pe);
             return; // goal lost to the failed PE
         }
         if self.trace.enabled() {
@@ -239,6 +388,11 @@ impl Core {
                 pe,
                 hops: goal.hops,
             });
+        }
+        if self.plan.recovery.is_some() {
+            if let Some(o) = self.faults.outstanding.get_mut(&goal.id) {
+                o.resident = Some(pe);
+            }
         }
         self.pes[pe.idx()].enqueue(WorkItem::Goal(goal));
         self.try_start(pe);
@@ -264,6 +418,12 @@ impl Core {
             if let Some(idx) = self.neighbor_index(from, to) {
                 self.pes[from.idx()].known_load[idx] =
                     self.pes[from.idx()].known_load[idx].saturating_add(1);
+            }
+        }
+        if self.plan.recovery.is_some() {
+            // In flight again: a crash of the old host must not re-spawn it.
+            if let Some(o) = self.faults.outstanding.get_mut(&goal.id) {
+                o.resident = None;
             }
         }
         self.send_unicast(from, to, Packet::Goal(goal));
@@ -419,8 +579,16 @@ impl Core {
         }
     }
 
-    /// Deliver `value` to the waiting parent, or record the root result.
-    fn respond(&mut self, from_pe: PeId, parent: Option<(PeId, GoalId)>, value: i64) {
+    /// Deliver `value` from the completed goal `child` to the waiting
+    /// parent, or record the root result. The child id travels with the
+    /// response: it is the acknowledgment key of the recovery layer.
+    fn respond(
+        &mut self,
+        from_pe: PeId,
+        child: GoalId,
+        parent: Option<(PeId, GoalId)>,
+        value: i64,
+    ) {
         if self.trace.enabled() {
             self.trace.record(TraceEvent::Responded {
                 t: self.events.now().units(),
@@ -431,6 +599,9 @@ impl Core {
         }
         match parent {
             None => {
+                if self.plan.recovery.is_some() {
+                    self.faults.outstanding.remove(&child);
+                }
                 self.root_result = Some((value, self.events.now()));
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent::RootCompleted {
@@ -440,19 +611,82 @@ impl Core {
                 }
             }
             Some((ppe, pgoal)) if ppe == from_pe => {
-                self.pes[from_pe.idx()].enqueue(WorkItem::Response { goal: pgoal, value });
+                self.pes[from_pe.idx()].enqueue(WorkItem::Response {
+                    goal: pgoal,
+                    child,
+                    value,
+                });
                 self.try_start(from_pe);
             }
             Some((ppe, pgoal)) => {
-                let hop = self.topo.next_hop(from_pe, ppe);
+                let hop = self.route_hop(from_pe, ppe, None);
                 self.send_unicast(
                     from_pe,
                     hop,
                     Packet::Response {
                         to: (ppe, pgoal),
+                        child,
                         value,
                     },
                 );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection and recovery bookkeeping.
+    // ------------------------------------------------------------------
+
+    /// Register a freshly created goal with the recovery layer (no-op
+    /// unless the plan enables recovery) and arm its acknowledgment
+    /// timeout, widened exponentially with each re-spawn attempt.
+    fn track_goal(&mut self, goal: &GoalMsg, attempts: u32, first_created: u64) {
+        let Some(rec) = self.plan.recovery else {
+            return;
+        };
+        self.faults.outstanding.insert(
+            goal.id,
+            Outstanding {
+                parent: goal.parent,
+                spec: goal.spec,
+                attempts,
+                first_created,
+                resident: None,
+            },
+        );
+        let window = rec.ack_timeout.saturating_mul(1u64 << attempts.min(5));
+        self.events
+            .schedule_after(window, Event::AckTimeout(goal.id));
+    }
+
+    /// Record a goal swallowed by a fault (dead PE, dropped transfer). If
+    /// the recovery layer is tracking it, trigger an immediate re-spawn
+    /// instead of waiting out the ack window — the simulator knows the
+    /// loss happened.
+    fn note_goal_lost(&mut self, goal: GoalId, pe: PeId) {
+        self.faults.goals_lost += 1;
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::GoalLost {
+                t: self.events.now().units(),
+                goal,
+                pe,
+            });
+        }
+        if self.plan.recovery.is_some() {
+            if let Some(o) = self.faults.outstanding.get_mut(&goal) {
+                o.resident = None; // the loss voids any acceptance
+                self.events.schedule_after(0, Event::AckTimeout(goal));
+            }
+        }
+    }
+
+    /// A response for `child` was swallowed by a fault: re-spawn the child
+    /// immediately if it is still tracked (the re-run re-sends the value).
+    fn note_response_lost(&mut self, child: GoalId) {
+        if self.plan.recovery.is_some() {
+            if let Some(o) = self.faults.outstanding.get_mut(&child) {
+                o.resident = None; // the computed value is gone with the response
+                self.events.schedule_after(0, Event::AckTimeout(child));
             }
         }
     }
@@ -466,7 +700,7 @@ impl Core {
         let Some(item) = self.pes[pe.idx()].dequeue(discipline) else {
             return;
         };
-        let speed = self.pes[pe.idx()].cost_factor;
+        let speed = self.pes[pe.idx()].cost_factor * self.pes[pe.idx()].transient_factor;
         let (exec, cost, is_user_work) = match item {
             WorkItem::Goal(goal) => {
                 let expansion = self.program.expand(&goal.spec);
@@ -490,8 +724,8 @@ impl Core {
                 }
                 (Executing::Goal(goal, expansion), base * mult * speed, true)
             }
-            WorkItem::Response { goal, value } => (
-                Executing::Response { goal, value },
+            WorkItem::Response { goal, child, value } => (
+                Executing::Response { goal, child, value },
                 self.costs.combine_cost * speed,
                 true,
             ),
@@ -541,6 +775,10 @@ impl Machine {
     ) -> Result<Self, SimError> {
         costs.validate().map_err(SimError::InvalidConfig)?;
         config.validate().map_err(SimError::InvalidConfig)?;
+        config
+            .fault_plan
+            .validate(topo.num_pes(), topo.num_channels())
+            .map_err(SimError::InvalidConfig)?;
         if (config.root_pe as usize) >= topo.num_pes() {
             return Err(SimError::InvalidConfig(format!(
                 "root PE {} out of range (topology has {} PEs)",
@@ -561,6 +799,18 @@ impl Machine {
         }
         let channels = (0..topo.num_channels()).map(|_| Channel::new()).collect();
         let max_hops = topo.diameter() as usize + 2;
+        // Fold the legacy `fail_pe` shorthand into the effective plan
+        // (leniently: an out-of-range PE is ignored, as it always was).
+        let mut plan = config.fault_plan.clone();
+        if let Some((pe, at)) = config.fail_pe {
+            if (pe as usize) < topo.num_pes() {
+                plan.pe_crashes.push(PeCrash { pe, at });
+            }
+        }
+        // Fault decisions draw from their own stream so that an empty plan
+        // leaves the strategy's randomness bit-identical to a run without
+        // fault support at all.
+        let fault_rng = Rng::seed_from_u64(config.seed ^ 0xD0E5_F00D_5EED_CAFE);
         Ok(Machine {
             core: Core {
                 rng,
@@ -578,6 +828,9 @@ impl Machine {
                 global_series: IntervalSeries::new(sampling),
                 root_result: None,
                 trace: Trace::new(config.trace_capacity),
+                plan,
+                fault_rng,
+                faults: FaultState::new(),
                 topo,
                 costs,
                 config,
@@ -611,18 +864,35 @@ impl Machine {
             }
         }
 
-        // Arm failure injection.
-        if let Some((pe, at)) = self.core.config.fail_pe {
-            if (pe as usize) < self.core.num_pes() {
-                self.core
-                    .events
-                    .schedule_at(SimTime(at), Event::FailPe(PeId(pe)));
-            }
+        // Arm the fault plan: crashes, link windows, slowdown windows.
+        // (The legacy `fail_pe` shorthand was folded in at construction.)
+        let plan = self.core.plan.clone();
+        for c in &plan.pe_crashes {
+            self.core
+                .events
+                .schedule_at(SimTime(c.at), Event::FailPe(PeId(c.pe)));
+        }
+        for w in &plan.link_windows {
+            self.core
+                .events
+                .schedule_at(SimTime(w.down_at), Event::LinkDown(ChannelId(w.channel)));
+            self.core
+                .events
+                .schedule_at(SimTime(w.up_at), Event::LinkUp(ChannelId(w.channel)));
+        }
+        for s in &plan.slowdowns {
+            self.core
+                .events
+                .schedule_at(SimTime(s.from), Event::SlowStart(PeId(s.pe), s.factor));
+            self.core
+                .events
+                .schedule_at(SimTime(s.until), Event::SlowEnd(PeId(s.pe)));
         }
 
         // Inject the root goal.
         let root_spec = self.core.program.root();
         let root_goal = self.core.make_goal(root_spec, None);
+        self.core.track_goal(&root_goal, 0, 0);
         self.strategy
             .on_goal_created(&mut self.core, root_pe, root_goal);
 
@@ -660,11 +930,7 @@ impl Machine {
                             });
                         }
                     }
-                    return Err(SimError::Stalled {
-                        time: self.core.now().units(),
-                        goals_created: self.core.goals_created,
-                        goals_executed: self.core.goals_executed,
-                    });
+                    return Err(self.stall_error());
                 }
                 last_progress = progress;
                 next_check = n + PROGRESS_WINDOW;
@@ -678,14 +944,33 @@ impl Machine {
         }
 
         if !self.core.completed() {
-            return Err(SimError::Stalled {
-                time: self.core.now().units(),
-                goals_created: self.core.goals_created,
-                goals_executed: self.core.goals_executed,
-            });
+            return Err(self.stall_error());
         }
         let report = self.build_report();
         Ok((report, std::mem::take(&mut self.core.trace)))
+    }
+
+    /// The error for a run that cannot make progress any more. When faults
+    /// swallowed goals or transfers, attribute the failure to them (and
+    /// flag whether a plan made that expected); a fault-free stall keeps
+    /// the loud [`SimError::Stalled`] that flags leaky strategies.
+    fn stall_error(&self) -> SimError {
+        let f = &self.core.faults;
+        if f.goals_lost > 0 || f.messages_dropped > 0 || f.retries_exhausted > 0 {
+            SimError::GoalsLost {
+                expected_by_plan: !self.core.plan.is_empty(),
+                goals_lost: f.goals_lost,
+                messages_dropped: f.messages_dropped,
+                retries_exhausted: f.retries_exhausted,
+                time: self.core.now().units(),
+            }
+        } else {
+            SimError::Stalled {
+                time: self.core.now().units(),
+                goals_created: self.core.goals_created,
+                goals_executed: self.core.goals_executed,
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -721,13 +1006,69 @@ impl Machine {
             }
             Event::LoadBcast(pe) => self.handle_load_bcast(pe),
             Event::FailPe(pe) => self.handle_fail_pe(pe),
+            Event::LinkDown(ch) => self.handle_link_down(ch),
+            Event::LinkUp(ch) => self.handle_link_up(ch),
+            Event::SlowStart(pe, factor) => {
+                if self.core.pes[pe.idx()].failed {
+                    return;
+                }
+                self.core.pes[pe.idx()].transient_factor = factor;
+                if self.core.trace.enabled() {
+                    self.core.trace.record(TraceEvent::PeSlowed {
+                        t: self.core.events.now().units(),
+                        pe,
+                        factor,
+                    });
+                }
+            }
+            Event::SlowEnd(pe) => {
+                if self.core.pes[pe.idx()].failed {
+                    return;
+                }
+                self.core.pes[pe.idx()].transient_factor = 1;
+                if self.core.trace.enabled() {
+                    self.core.trace.record(TraceEvent::PeRestored {
+                        t: self.core.events.now().units(),
+                        pe,
+                    });
+                }
+            }
+            Event::AckTimeout(goal) => {
+                // Acceptance at a live PE is the acknowledgment: a goal
+                // resident somewhere healthy is making progress (long-lived
+                // subtrees legitimately outlive any fixed window), so re-arm
+                // rather than duplicate the whole subtree. Only goals in
+                // limbo — in transit past the window, or flagged by a known
+                // loss (which clears residency) — are re-spawned.
+                if let Some(o) = self.core.faults.outstanding.get(&goal) {
+                    match o.resident {
+                        Some(pe) if !self.core.pes[pe.idx()].failed => {
+                            let rec = self.core.plan.recovery.expect("tracked implies recovery");
+                            let window = rec.ack_timeout.saturating_mul(1u64 << o.attempts.min(5));
+                            self.core
+                                .events
+                                .schedule_after(window, Event::AckTimeout(goal));
+                        }
+                        _ => self.respawn(goal),
+                    }
+                }
+            }
         }
     }
 
-    /// Kill `pe`: everything it held is lost; it never executes again.
+    /// Kill `pe`: everything it held is lost; it never executes again. The
+    /// recovery layer re-spawns the goals that were resident there and
+    /// orphans the ones whose waiting parents died with it (the
+    /// grandparent's retry recreates those subtrees).
     fn handle_fail_pe(&mut self, pe: PeId) {
+        if self.core.pes[pe.idx()].failed {
+            return; // double crash in the plan
+        }
         let now = self.core.events.now();
         let p = &mut self.core.pes[pe.idx()];
+        let lost = p.queued_goals as u64
+            + matches!(p.executing, Some(Executing::Goal(..))) as u64
+            + p.waiting.len() as u64;
         p.failed = true;
         p.executing = None;
         p.queue.clear();
@@ -736,6 +1077,160 @@ impl Machine {
         p.queued_goals = 0;
         p.queued_responses = 0;
         p.busy.set_idle(now);
+        self.core.faults.pes_crashed += 1;
+        self.core.faults.goals_lost += lost;
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::PeCrashed {
+                t: now.units(),
+                pe,
+                goals_lost: lost,
+            });
+        }
+        if self.core.plan.recovery.is_some() {
+            // Sweep the tracked goals. Sorted ids: HashMap iteration order
+            // must never leak into the event sequence.
+            let mut orphans: Vec<GoalId> = Vec::new();
+            let mut respawns: Vec<GoalId> = Vec::new();
+            for (&id, o) in &self.core.faults.outstanding {
+                if matches!(o.parent, Some((ppe, _)) if ppe == pe) {
+                    orphans.push(id);
+                } else if o.resident == Some(pe) {
+                    respawns.push(id);
+                }
+            }
+            orphans.sort();
+            respawns.sort();
+            for id in orphans {
+                self.core.faults.outstanding.remove(&id);
+            }
+            for id in respawns {
+                self.respawn(id);
+            }
+        }
+        // Live neighbours learn of the crash (the physical machine would
+        // detect it via keep-alives; the simulator is omniscient).
+        let nbrs: Vec<PeId> = self.core.topo.neighbors(pe).iter().map(|n| n.pe).collect();
+        for nbr in nbrs {
+            if !self.core.pes[nbr.idx()].failed {
+                self.strategy.on_neighbor_down(&mut self.core, nbr, pe);
+            }
+        }
+    }
+
+    /// Re-spawn the tracked goal `old` on the parent's side: a fresh goal
+    /// id, the same task, one more attempt on the slot's budget.
+    fn respawn(&mut self, old: GoalId) {
+        let Some(rec) = self.core.plan.recovery else {
+            return;
+        };
+        let Some(entry) = self.core.faults.outstanding.remove(&old) else {
+            return;
+        };
+        if entry.attempts >= rec.max_retries {
+            self.core.faults.retries_exhausted += 1;
+            return;
+        }
+        let home = match entry.parent {
+            Some((ppe, _)) => {
+                if self.core.pes[ppe.idx()].failed {
+                    return; // orphan: the grandparent's retry covers it
+                }
+                ppe
+            }
+            None => {
+                // The root goal re-enters at the root PE, or at the lowest
+                // surviving PE if the root died.
+                let root = PeId(self.core.config.root_pe);
+                if !self.core.pes[root.idx()].failed {
+                    root
+                } else {
+                    let Some(i) = (0..self.core.pes.len()).find(|&i| !self.core.pes[i].failed)
+                    else {
+                        return; // every PE is dead
+                    };
+                    PeId(i as u32)
+                }
+            }
+        };
+        let goal = self.core.make_goal(entry.spec, entry.parent);
+        self.core.faults.goals_respawned += 1;
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::GoalRespawned {
+                t: self.core.events.now().units(),
+                old,
+                new: goal.id,
+                pe: home,
+                attempt: entry.attempts + 1,
+            });
+        }
+        self.core
+            .track_goal(&goal, entry.attempts + 1, entry.first_created);
+        self.strategy.on_goal_created(&mut self.core, home, goal);
+    }
+
+    /// A fault-plan link window opens: the channel stops starting
+    /// transfers, and both sides treat each other as unreachable.
+    fn handle_link_down(&mut self, ch: ChannelId) {
+        if self.core.channels[ch.idx()].down {
+            return;
+        }
+        self.core.channels[ch.idx()].down = true;
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::LinkDown {
+                t: self.core.events.now().units(),
+                channel: ch.0,
+            });
+        }
+        let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
+        for &a in &members {
+            if self.core.pes[a.idx()].failed {
+                continue;
+            }
+            for &b in &members {
+                if b != a {
+                    self.strategy.on_neighbor_down(&mut self.core, a, b);
+                }
+            }
+        }
+    }
+
+    /// The link window closes: resume the backlog and tell both sides.
+    fn handle_link_up(&mut self, ch: ChannelId) {
+        if !self.core.channels[ch.idx()].down {
+            return;
+        }
+        self.core.channels[ch.idx()].down = false;
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::LinkUp {
+                t: self.core.events.now().units(),
+                channel: ch.0,
+            });
+        }
+        let now = self.core.events.now();
+        let costs = self.core.costs;
+        let promoted_cost = self.core.channels[ch.idx()]
+            .promote(now)
+            .map(|f| match &f.packet {
+                Packet::Goal(_) => costs.goal_hop_cost,
+                Packet::Response { .. } => costs.response_hop_cost,
+                Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
+            });
+        if let Some(cost) = promoted_cost {
+            self.core
+                .events
+                .schedule_after(cost, Event::ChannelDone(ch));
+        }
+        let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
+        for &a in &members {
+            if self.core.pes[a.idx()].failed {
+                continue;
+            }
+            for &b in &members {
+                if b != a && !self.core.pes[b.idx()].failed {
+                    self.strategy.on_neighbor_up(&mut self.core, a, b);
+                }
+            }
+        }
     }
 
     fn handle_load_bcast(&mut self, pe: PeId) {
@@ -772,7 +1267,7 @@ impl Machine {
 
         match exec {
             Executing::Goal(goal, Expansion::Leaf(value)) => {
-                core.respond(pe, goal.parent, value);
+                core.respond(pe, goal.id, goal.parent, value);
             }
             Executing::Goal(goal, Expansion::Split(children)) => {
                 let waiting = Waiting {
@@ -787,8 +1282,8 @@ impl Machine {
                 core.pes[pe.idx()].waiting.insert(goal.id, waiting);
                 self.spawn_children(pe, goal.id, children);
             }
-            Executing::Response { goal, value } => {
-                self.finish_response(pe, goal, value);
+            Executing::Response { goal, child, value } => {
+                self.finish_response(pe, goal, child, value);
             }
             Executing::Respawn { goal, children } => {
                 self.spawn_children(pe, goal, children);
@@ -808,8 +1303,33 @@ impl Machine {
     }
 
     /// Combine one response; when the round completes, finish or respawn.
-    fn finish_response(&mut self, pe: PeId, goal: GoalId, value: i64) {
+    fn finish_response(&mut self, pe: PeId, goal: GoalId, child: GoalId, value: i64) {
         let core = &mut self.core;
+        if core.plan.recovery.is_some() {
+            // A response is the child's acknowledgment: clear its tracking.
+            // An untracked child means a superseded attempt (the slot was
+            // already acknowledged or re-spawned) — discard the duplicate
+            // so the parent never combines the same slot twice.
+            match core.faults.outstanding.remove(&child) {
+                Some(entry) => {
+                    if entry.attempts > 0 {
+                        let latency = core.events.now().units() - entry.first_created;
+                        core.faults.recovery_latency.record(latency as f64);
+                    }
+                }
+                None => {
+                    core.faults.duplicate_responses += 1;
+                    if core.trace.enabled() {
+                        core.trace.record(TraceEvent::DuplicateResponse {
+                            t: core.events.now().units(),
+                            goal: child,
+                            pe,
+                        });
+                    }
+                    return;
+                }
+            }
+        }
         core.responses_processed += 1;
         let w = core.pes[pe.idx()]
             .waiting
@@ -824,7 +1344,7 @@ impl Machine {
         match core.program.continue_after(&spec, round, acc) {
             Continuation::Done(result) => {
                 let w = core.pes[pe.idx()].waiting.remove(&goal).unwrap();
-                core.respond(pe, w.parent, result);
+                core.respond(pe, goal, w.parent, result);
             }
             Continuation::Spawn(children) => {
                 assert!(!children.is_empty(), "Continuation::Spawn with no children");
@@ -834,7 +1354,10 @@ impl Machine {
                 w.acc = core.program.combine_init(&spec);
                 // Charge another split for the respawn round.
                 let mult = core.program.work_multiplier(&spec).max(1);
-                let cost = core.costs.split_cost * mult * core.pes[pe.idx()].cost_factor;
+                let cost = core.costs.split_cost
+                    * mult
+                    * core.pes[pe.idx()].cost_factor
+                    * core.pes[pe.idx()].transient_factor;
                 core.seq_work += cost;
                 let now = core.events.now();
                 let p = &mut core.pes[pe.idx()];
@@ -853,6 +1376,7 @@ impl Machine {
     fn spawn_children(&mut self, pe: PeId, parent: GoalId, children: Vec<TaskSpec>) {
         for spec in children {
             let goal = self.core.make_goal(spec, Some((pe, parent)));
+            self.core.track_goal(&goal, 0, goal.created_at);
             self.strategy.on_goal_created(&mut self.core, pe, goal);
         }
     }
@@ -873,6 +1397,33 @@ impl Machine {
                 .schedule_after(cost, Event::ChannelDone(ch));
         }
         self.core.count_traffic(&flight.packet);
+
+        // Fault plan: each completed transfer may be lost in delivery. The
+        // draw comes from the dedicated fault stream and is skipped
+        // entirely at zero loss, so an empty plan changes nothing.
+        if self.core.plan.message_loss > 0.0
+            && self.core.fault_rng.chance(self.core.plan.message_loss)
+        {
+            self.core.faults.messages_dropped += 1;
+            if self.core.trace.enabled() {
+                self.core.trace.record(TraceEvent::MessageDropped {
+                    t: now.units(),
+                    channel: ch.0,
+                });
+            }
+            match &flight.packet {
+                Packet::Goal(g) => {
+                    let id = g.id;
+                    self.core.note_goal_lost(id, flight.from);
+                }
+                Packet::Response { child, .. } => {
+                    let child = *child;
+                    self.core.note_response_lost(child);
+                }
+                _ => {}
+            }
+            return;
+        }
 
         // On a bus, every member sees every transmission: all of them snoop
         // the piggy-backed load word even when the packet itself is
@@ -910,7 +1461,20 @@ impl Machine {
     /// A packet reached PE `to` (from neighbour `from`).
     fn deliver(&mut self, to: PeId, from: PeId, piggyback: Option<u32>, packet: Packet) {
         if self.core.pes[to.idx()].failed {
-            return; // the dead PE's mailbox is a black hole
+            // The dead PE's mailbox is a black hole — but the recovery
+            // layer gets to notice what fell in.
+            match &packet {
+                Packet::Goal(g) => {
+                    let id = g.id;
+                    self.core.note_goal_lost(id, to);
+                }
+                Packet::Response { child, .. } => {
+                    let child = *child;
+                    self.core.note_response_lost(child);
+                }
+                _ => {}
+            }
+            return;
         }
         if let Some(load) = piggyback {
             self.core.update_known_load(to, from, load);
@@ -939,18 +1503,24 @@ impl Machine {
             }
             Packet::Response {
                 to: (ppe, pgoal),
+                child,
                 value,
             } => {
                 if ppe == pe {
-                    self.core.pes[pe.idx()].enqueue(WorkItem::Response { goal: pgoal, value });
+                    self.core.pes[pe.idx()].enqueue(WorkItem::Response {
+                        goal: pgoal,
+                        child,
+                        value,
+                    });
                     self.core.try_start(pe);
                 } else {
-                    let hop = self.core.topo.next_hop(pe, ppe);
+                    let hop = self.core.route_hop(pe, ppe, Some(from));
                     self.core.send_unicast(
                         pe,
                         hop,
                         Packet::Response {
                             to: (ppe, pgoal),
+                            child,
                             value,
                         },
                     );
@@ -1077,6 +1647,7 @@ impl Machine {
             seq_work: core.seq_work,
             events: core.events.events_processed(),
             seed: core.config.seed,
+            faults: core.faults.metrics(),
         }
     }
 }
@@ -1193,7 +1764,7 @@ mod tests {
         // With everything on one PE and unit costs, completion time equals
         // the sequential work: one unit per goal plus one per response.
         let r = run(8, Box::new(KeepLocal), 1);
-        let internal = (r.goals_created - (r.goals_created + 1) / 2) as u64;
+        let internal = r.goals_created - r.goals_created.div_ceil(2);
         let responses = 2 * internal;
         assert_eq!(r.seq_work, r.goals_created + responses);
         assert_eq!(r.completion_time, r.seq_work);
@@ -1210,8 +1781,10 @@ mod tests {
 
     #[test]
     fn invalid_root_pe_is_rejected() {
-        let mut cfg = MachineConfig::default();
-        cfg.root_pe = 99;
+        let cfg = MachineConfig {
+            root_pe: 99,
+            ..MachineConfig::default()
+        };
         let err = Machine::new(
             ring(4),
             Box::new(Fib(3)),
@@ -1238,8 +1811,10 @@ mod tests {
 
     #[test]
     fn dropped_goals_stall_cleanly() {
-        let mut cfg = MachineConfig::default();
-        cfg.load_info = LoadInfoMode::Instant; // no broadcast events
+        let cfg = MachineConfig {
+            load_info: LoadInfoMode::Instant, // no broadcast events
+            ..MachineConfig::default()
+        };
         let machine = Machine::new(
             ring(4),
             Box::new(Fib(5)),
@@ -1253,8 +1828,10 @@ mod tests {
 
     #[test]
     fn no_coprocessor_charges_routing_time() {
-        let mut cfg = MachineConfig::default();
-        cfg.coprocessor = false;
+        let cfg = MachineConfig {
+            coprocessor: false,
+            ..MachineConfig::default()
+        };
         let machine = Machine::new(
             ring(4),
             Box::new(Fib(10)),
@@ -1402,5 +1979,124 @@ mod tests {
             })
             .sum();
         assert!((total - r.seq_work as f64).abs() < 1e-6);
+    }
+
+    fn run_with_plan(
+        n: i64,
+        strategy: Box<dyn Strategy>,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Result<Report, SimError> {
+        let mut config = MachineConfig::default().with_seed(seed);
+        config.fault_plan = plan;
+        Machine::new(
+            ring(4),
+            Box::new(Fib(n)),
+            strategy,
+            CostModel::unit(),
+            config,
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn crash_without_recovery_is_attributed_to_the_plan() {
+        // KeepLocal puts everything on PE 0; killing it mid-run strands the
+        // whole computation, and the error says the plan did it.
+        let plan = FaultPlan::none().crash(0, 50);
+        let err = run_with_plan(10, Box::new(KeepLocal), 1, plan).unwrap_err();
+        match err {
+            SimError::GoalsLost {
+                expected_by_plan,
+                goals_lost,
+                ..
+            } => {
+                assert!(expected_by_plan);
+                assert!(goals_lost > 0);
+            }
+            other => panic!("expected GoalsLost, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crash_with_recovery_still_computes_the_right_answer() {
+        // Same crash, but the recovery layer re-spawns the lost subtree on
+        // a surviving PE: the run completes and the value is exact.
+        let plan = FaultPlan::none()
+            .crash(0, 50)
+            .with_recovery(crate::faults::RecoveryParams {
+                ack_timeout: 50_000, // generous: only the crash sweep re-spawns
+                max_retries: 6,
+            });
+        let r = run_with_plan(10, Box::new(KeepLocal), 1, plan).unwrap();
+        assert_eq!(r.result, 55);
+        assert_eq!(r.faults.pes_crashed, 1);
+        assert!(r.faults.goals_lost > 0, "the dead PE held work");
+        assert!(
+            r.faults.goals_respawned > 0,
+            "recovery must have re-spawned"
+        );
+        r.check_invariants();
+    }
+
+    #[test]
+    fn message_loss_with_recovery_still_computes_the_right_answer() {
+        // ScatterRing pushes every goal through a channel; with 5% loss
+        // the retry layer must re-spawn the dropped ones until fib comes
+        // out exact.
+        let plan = FaultPlan::none()
+            .with_loss(0.05)
+            .with_recovery(crate::faults::RecoveryParams {
+                ack_timeout: 5_000,
+                max_retries: 8,
+            });
+        let r = run_with_plan(10, Box::new(ScatterRing), 3, plan).unwrap();
+        assert_eq!(r.result, 55);
+        assert!(
+            r.faults.messages_dropped > 0,
+            "5% loss over hundreds of transfers should drop something"
+        );
+        r.check_invariants();
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let plain = run(10, Box::new(ScatterRing), 7);
+        let with_empty = run_with_plan(10, Box::new(ScatterRing), 7, FaultPlan::none()).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{with_empty:?}"));
+    }
+
+    #[test]
+    fn link_window_delays_but_does_not_lose_work() {
+        // Take one ring link down for a while: backlogged flights resume
+        // when it comes up, nothing is lost, and completion is late.
+        let plain = run(10, Box::new(ScatterRing), 5);
+        let plan = FaultPlan::none().link_down(0, 10, 400);
+        let r = run_with_plan(10, Box::new(ScatterRing), 5, plan).unwrap();
+        assert_eq!(r.result, 55);
+        assert_eq!(r.faults.goals_lost, 0);
+        assert!(
+            r.completion_time >= plain.completion_time,
+            "a down window cannot speed the run up ({} vs {})",
+            r.completion_time,
+            plain.completion_time
+        );
+        r.check_invariants();
+    }
+
+    #[test]
+    fn transient_slowdown_stretches_the_run() {
+        let plain = run(10, Box::new(KeepLocal), 1);
+        // KeepLocal runs everything on PE 0: slow it 4x for a long window.
+        let plan = FaultPlan::none().slow(0, 0, 1_000_000, 4);
+        let r = run_with_plan(10, Box::new(KeepLocal), 1, plan).unwrap();
+        assert_eq!(r.result, 55);
+        assert!(
+            r.completion_time > plain.completion_time * 3,
+            "4x slowdown barely moved completion: {} vs {}",
+            r.completion_time,
+            plain.completion_time
+        );
     }
 }

@@ -52,6 +52,10 @@ pub enum Packet {
     Response {
         /// The PE and goal awaiting this response.
         to: (PeId, GoalId),
+        /// The responding child goal — the acknowledgment key the recovery
+        /// layer uses to clear its retry tracking and to discard duplicate
+        /// responses from superseded attempts.
+        child: GoalId,
         /// The child's result.
         value: i64,
     },
@@ -106,6 +110,7 @@ mod tests {
         assert!(Packet::LoadUpdate { load: 0 }.is_control_plane());
         assert!(!Packet::Response {
             to: (PeId(0), GoalId(0)),
+            child: GoalId(1),
             value: 0
         }
         .is_control_plane());

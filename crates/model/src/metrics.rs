@@ -29,6 +29,44 @@ impl TrafficCounters {
     }
 }
 
+/// Fault-injection and recovery counters for one run. All zero on a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// PEs killed by the plan during the run.
+    pub pes_crashed: u32,
+    /// Goals destroyed by faults: resident on a crashed PE, black-holed at
+    /// a dead PE, or dropped in transit.
+    pub goals_lost: u64,
+    /// Channel transfers dropped by the message-loss process (all message
+    /// classes).
+    pub messages_dropped: u64,
+    /// Goals re-spawned by the recovery layer (each is also counted in
+    /// `goals_created`).
+    pub goals_respawned: u64,
+    /// Responses discarded because a newer attempt already filled the slot.
+    pub duplicate_responses: u64,
+    /// Goal slots whose retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Mean time from a recovered goal's first spawn to its response
+    /// finally combining (only goals that needed >= 1 respawn).
+    pub recovery_latency_mean: f64,
+    /// Largest such recovery latency.
+    pub recovery_latency_max: f64,
+}
+
+impl FaultMetrics {
+    /// True when any fault touched the run.
+    pub fn any(&self) -> bool {
+        self.pes_crashed > 0
+            || self.goals_lost > 0
+            || self.messages_dropped > 0
+            || self.goals_respawned > 0
+            || self.duplicate_responses > 0
+            || self.retries_exhausted > 0
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -103,6 +141,9 @@ pub struct Report {
     pub events: u64,
     /// Seed the run used.
     pub seed: u64,
+    /// Fault-injection and recovery counters (all zero on a fault-free
+    /// run).
+    pub faults: FaultMetrics,
 }
 
 impl Report {
@@ -126,12 +167,22 @@ impl Report {
     }
 
     /// Internal consistency checks (used by integration tests): goal
-    /// conservation, utilization bounds, speedup bound.
+    /// conservation, utilization bounds, speedup bound. Under injected
+    /// faults exact goal conservation cannot hold (lost goals never
+    /// execute; superseded attempts may still be in queues at completion),
+    /// so the equality relaxes to an upper bound there.
     pub fn check_invariants(&self) {
-        assert_eq!(
-            self.goals_created, self.goals_executed,
-            "goal conservation violated"
-        );
+        if self.faults.any() {
+            assert!(
+                self.goals_executed <= self.goals_created,
+                "more goals executed than created"
+            );
+        } else {
+            assert_eq!(
+                self.goals_created, self.goals_executed,
+                "goal conservation violated"
+            );
+        }
         assert!(
             (0.0..=100.0 + 1e-9).contains(&self.avg_utilization),
             "utilization out of range: {}",
@@ -192,6 +243,7 @@ mod tests {
             seq_work: 200,
             events: 10,
             seed: 1,
+            faults: FaultMetrics::default(),
         }
     }
 
@@ -218,6 +270,21 @@ mod tests {
         let mut r = dummy(1.0);
         r.goals_executed = 2;
         r.check_invariants();
+    }
+
+    #[test]
+    fn invariants_relax_conservation_under_faults() {
+        let mut r = dummy(1.0);
+        r.goals_created = 5; // 2 lost to a crash, never executed
+        r.faults.pes_crashed = 1;
+        r.faults.goals_lost = 2;
+        assert!(r.faults.any());
+        r.check_invariants();
+    }
+
+    #[test]
+    fn fault_metrics_default_is_quiet() {
+        assert!(!FaultMetrics::default().any());
     }
 
     #[test]

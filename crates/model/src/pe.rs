@@ -18,6 +18,9 @@ pub enum WorkItem {
     Response {
         /// The waiting task this response belongs to.
         goal: GoalId,
+        /// The child goal that produced the response (the recovery layer's
+        /// acknowledgment key).
+        child: GoalId,
         /// The child's result.
         value: i64,
     },
@@ -45,7 +48,11 @@ pub enum Executing {
     /// Running a goal whose expansion has been determined.
     Goal(GoalMsg, Expansion),
     /// Combining one response into a waiting task.
-    Response { goal: GoalId, value: i64 },
+    Response {
+        goal: GoalId,
+        child: GoalId,
+        value: i64,
+    },
     /// A waiting task spawning its next round of subgoals.
     Respawn {
         goal: GoalId,
@@ -114,6 +121,10 @@ pub struct Pe {
     pub cost_factor: u64,
     /// True once the PE has been killed by failure injection.
     pub failed: bool,
+    /// Transient cost multiplier from an open fault-plan slowdown window
+    /// (1 = nominal). Applied on top of `cost_factor` to work started
+    /// while the window is open.
+    pub transient_factor: u64,
     /// High-water mark of the work queue length (the memory-footprint
     /// proxy; depth-first disciplines keep it small on tree workloads).
     pub peak_queue: usize,
@@ -139,6 +150,7 @@ impl Pe {
             goals_executed: 0,
             cost_factor: 1,
             failed: false,
+            transient_factor: 1,
             peak_queue: 0,
         }
     }
@@ -282,6 +294,7 @@ mod tests {
         pe.enqueue(WorkItem::Goal(goal(1)));
         pe.enqueue(WorkItem::Response {
             goal: GoalId(9),
+            child: GoalId(10),
             value: 0,
         });
         assert_eq!(pe.load(true), 2);
@@ -330,6 +343,7 @@ mod tests {
         pe.enqueue(WorkItem::Goal(goal(2)));
         pe.enqueue(WorkItem::Response {
             goal: GoalId(7),
+            child: GoalId(8),
             value: 3,
         });
         let taken = pe.take_newest_goal().unwrap();
@@ -351,6 +365,7 @@ mod tests {
         let mut pe = Pe::new(PeId(0), 0, 10);
         pe.enqueue(WorkItem::Response {
             goal: GoalId(7),
+            child: GoalId(8),
             value: 3,
         });
         pe.enqueue(WorkItem::Goal(goal(5)));
@@ -385,6 +400,7 @@ mod tests {
         pe.enqueue(WorkItem::Goal(deep));
         pe.enqueue(WorkItem::Response {
             goal: GoalId(9),
+            child: GoalId(10),
             value: 1,
         });
         assert!(matches!(

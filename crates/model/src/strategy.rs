@@ -55,4 +55,16 @@ pub trait Strategy: Send {
     /// `pe` transitioned from busy to idle (no executing item, empty
     /// queues). Receiver-initiated schemes react here.
     fn on_idle(&mut self, _core: &mut Core, _pe: PeId) {}
+
+    /// `pe` lost contact with neighbour `down`: the neighbour crashed, or
+    /// the link between them went down. Strategies that cache per-neighbour
+    /// state (the Gradient Model's proximity field, steal targets) should
+    /// invalidate it here so they stop routing work into a black hole. The
+    /// machine already excludes dead neighbours from
+    /// [`Core::least_loaded_neighbor`] and friends.
+    fn on_neighbor_down(&mut self, _core: &mut Core, _pe: PeId, _down: PeId) {}
+
+    /// The link between `pe` and `up` was restored (links recover; crashed
+    /// PEs never do). Strategies may reset their view of the neighbour.
+    fn on_neighbor_up(&mut self, _core: &mut Core, _pe: PeId, _up: PeId) {}
 }

@@ -60,6 +60,32 @@ pub enum TraceEvent {
     TimerFired { t: u64, pe: PeId, tag: u64 },
     /// The root task completed: the run's answer.
     RootCompleted { t: u64, result: i64 },
+    /// A PE failed (fail-stop), destroying `goals_lost` resident goals.
+    PeCrashed { t: u64, pe: PeId, goals_lost: u64 },
+    /// A goal was destroyed by a fault (crash, black-holed delivery, or
+    /// dropped transfer).
+    GoalLost { t: u64, goal: GoalId, pe: PeId },
+    /// A channel transfer was dropped by the message-loss process.
+    MessageDropped { t: u64, channel: u32 },
+    /// A channel went down per the fault plan.
+    LinkDown { t: u64, channel: u32 },
+    /// A downed channel came back up.
+    LinkUp { t: u64, channel: u32 },
+    /// The recovery layer re-spawned a lost or silent goal as `new`.
+    GoalRespawned {
+        t: u64,
+        old: GoalId,
+        new: GoalId,
+        pe: PeId,
+        attempt: u32,
+    },
+    /// A response arrived for a goal slot already filled by a newer
+    /// attempt; it was discarded instead of combined twice.
+    DuplicateResponse { t: u64, goal: GoalId, pe: PeId },
+    /// A transient slowdown window opened on `pe`.
+    PeSlowed { t: u64, pe: PeId, factor: u64 },
+    /// The slowdown window on `pe` closed.
+    PeRestored { t: u64, pe: PeId },
 }
 
 impl TraceEvent {
@@ -73,7 +99,16 @@ impl TraceEvent {
             | TraceEvent::Responded { t, .. }
             | TraceEvent::ControlSent { t, .. }
             | TraceEvent::TimerFired { t, .. }
-            | TraceEvent::RootCompleted { t, .. } => t,
+            | TraceEvent::RootCompleted { t, .. }
+            | TraceEvent::PeCrashed { t, .. }
+            | TraceEvent::GoalLost { t, .. }
+            | TraceEvent::MessageDropped { t, .. }
+            | TraceEvent::LinkDown { t, .. }
+            | TraceEvent::LinkUp { t, .. }
+            | TraceEvent::GoalRespawned { t, .. }
+            | TraceEvent::DuplicateResponse { t, .. }
+            | TraceEvent::PeSlowed { t, .. }
+            | TraceEvent::PeRestored { t, .. } => t,
         }
     }
 }
@@ -134,6 +169,41 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::RootCompleted { t, result } => {
                 write!(f, "[{t:>8}] run complete: result = {result}")
+            }
+            TraceEvent::PeCrashed { t, pe, goals_lost } => {
+                write!(f, "[{t:>8}] {pe} crashed, {goals_lost} goals lost")
+            }
+            TraceEvent::GoalLost { t, goal, pe } => {
+                write!(f, "[{t:>8}] goal {} lost at {pe}", goal.0)
+            }
+            TraceEvent::MessageDropped { t, channel } => {
+                write!(f, "[{t:>8}] transfer dropped on ch{channel}")
+            }
+            TraceEvent::LinkDown { t, channel } => {
+                write!(f, "[{t:>8}] ch{channel} down")
+            }
+            TraceEvent::LinkUp { t, channel } => {
+                write!(f, "[{t:>8}] ch{channel} up")
+            }
+            TraceEvent::GoalRespawned {
+                t,
+                old,
+                new,
+                pe,
+                attempt,
+            } => write!(
+                f,
+                "[{t:>8}] goal {} respawned as {} from {pe} (attempt {attempt})",
+                old.0, new.0
+            ),
+            TraceEvent::DuplicateResponse { t, goal, pe } => {
+                write!(f, "[{t:>8}] duplicate response for goal {} at {pe}", goal.0)
+            }
+            TraceEvent::PeSlowed { t, pe, factor } => {
+                write!(f, "[{t:>8}] {pe} slowed x{factor}")
+            }
+            TraceEvent::PeRestored { t, pe } => {
+                write!(f, "[{t:>8}] {pe} back to full speed")
             }
         }
     }
@@ -251,5 +321,79 @@ mod tests {
             value: 99,
         };
         assert!(e.to_string().contains("root result 99"));
+    }
+
+    #[test]
+    fn fault_events_format_and_report_time() {
+        let e = TraceEvent::PeCrashed {
+            t: 40,
+            pe: PeId(7),
+            goals_lost: 3,
+        };
+        assert_eq!(e.time(), 40);
+        assert!(e.to_string().contains("PE7 crashed"));
+        assert!(e.to_string().contains("3 goals lost"));
+
+        let e = TraceEvent::GoalLost {
+            t: 41,
+            goal: GoalId(9),
+            pe: PeId(7),
+        };
+        assert_eq!(e.time(), 41);
+        assert!(e.to_string().contains("goal 9 lost"));
+
+        let e = TraceEvent::MessageDropped { t: 42, channel: 5 };
+        assert_eq!(e.time(), 42);
+        assert!(e.to_string().contains("ch5"));
+
+        let down = TraceEvent::LinkDown { t: 43, channel: 2 };
+        let up = TraceEvent::LinkUp { t: 44, channel: 2 };
+        assert_eq!(down.time(), 43);
+        assert_eq!(up.time(), 44);
+        assert!(down.to_string().contains("ch2 down"));
+        assert!(up.to_string().contains("ch2 up"));
+
+        let e = TraceEvent::GoalRespawned {
+            t: 45,
+            old: GoalId(9),
+            new: GoalId(31),
+            pe: PeId(1),
+            attempt: 2,
+        };
+        assert_eq!(e.time(), 45);
+        assert!(e.to_string().contains("respawned as 31"));
+        assert!(e.to_string().contains("attempt 2"));
+
+        let e = TraceEvent::DuplicateResponse {
+            t: 46,
+            goal: GoalId(9),
+            pe: PeId(1),
+        };
+        assert_eq!(e.time(), 46);
+        assert!(e.to_string().contains("duplicate response"));
+
+        let slowed = TraceEvent::PeSlowed {
+            t: 47,
+            pe: PeId(2),
+            factor: 4,
+        };
+        let restored = TraceEvent::PeRestored { t: 48, pe: PeId(2) };
+        assert_eq!(slowed.time(), 47);
+        assert_eq!(restored.time(), 48);
+        assert!(slowed.to_string().contains("slowed x4"));
+        assert!(restored.to_string().contains("full speed"));
+    }
+
+    #[test]
+    fn fault_events_respect_bounded_capacity() {
+        let mut t = Trace::new(3);
+        for i in 0..6 {
+            t.record(TraceEvent::MessageDropped { t: i, channel: 0 });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("transfer dropped"));
+        assert!(rendered.contains("3 further events dropped"));
     }
 }

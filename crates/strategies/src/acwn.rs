@@ -103,9 +103,12 @@ impl AdaptiveCwn {
         if self.outstanding[pe.idx()] {
             return;
         }
-        let (victim, known) = core.most_loaded_neighbor(pe);
+        // Nobody reachable is known to have queued work: try again later.
+        let Some((victim, known)) = core.most_loaded_neighbor(pe) else {
+            core.set_timer(pe, self.params.retry_delay, TIMER_RETRY);
+            return;
+        };
         if known == 0 {
-            // Nobody is known to have queued work; try again later.
             core.set_timer(pe, self.params.retry_delay, TIMER_RETRY);
             return;
         }
@@ -135,8 +138,10 @@ impl Strategy for AdaptiveCwn {
             core.accept_goal(pe, goal);
             return;
         }
-        let (to, _) = core.least_loaded_neighbor(pe, None);
-        core.forward_goal(pe, to, goal);
+        match core.least_loaded_neighbor(pe, None) {
+            Some((to, _)) => core.forward_goal(pe, to, goal),
+            None => core.accept_goal(pe, goal),
+        }
     }
 
     fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
@@ -160,8 +165,10 @@ impl Strategy for AdaptiveCwn {
             core.accept_goal(pe, goal);
             return;
         }
-        let (to, _) = core.least_loaded_neighbor(pe, None);
-        core.forward_goal(pe, to, goal);
+        match core.least_loaded_neighbor(pe, None) {
+            Some((to, _)) => core.forward_goal(pe, to, goal),
+            None => core.accept_goal(pe, goal),
+        }
     }
 
     fn on_control(&mut self, core: &mut Core, pe: PeId, from: PeId, msg: ControlMsg) {

@@ -90,8 +90,12 @@ impl Strategy for Cwn {
             core.accept_goal(pe, goal);
             return;
         }
-        let (to, _) = core.least_loaded_neighbor(pe, None);
-        core.forward_goal(pe, to, goal);
+        // With every neighbour dead or cut off, keep the goal: a wrong
+        // placement beats routing work into a black hole.
+        match core.least_loaded_neighbor(pe, None) {
+            Some((to, _)) => core.forward_goal(pe, to, goal),
+            None => core.accept_goal(pe, goal),
+        }
     }
 
     fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
@@ -114,8 +118,10 @@ impl Strategy for Cwn {
                 return;
             }
         }
-        let (to, _) = core.least_loaded_neighbor(pe, None);
-        core.forward_goal(pe, to, goal);
+        match core.least_loaded_neighbor(pe, None) {
+            Some((to, _)) => core.forward_goal(pe, to, goal),
+            None => core.accept_goal(pe, goal),
+        }
     }
 }
 

@@ -140,10 +140,16 @@ impl GradientModel {
         }
 
         // Abundant PEs push one goal toward the nearest inferred idle PE.
+        // Dead or cut-off neighbours never receive exports: their proximity
+        // was pinned past the diameter in on_neighbor_down, and the
+        // reachability check below covers the race before that hook fires.
         if load > self.params.high_water_mark {
             let st = &self.state[pe.idx()];
             let mut best: Option<(PeId, u16)> = None;
             for (i, n) in core.topology().neighbors(pe).iter().enumerate() {
+                if !core.neighbor_reachable(pe, n.pe) {
+                    continue;
+                }
                 let prox = st.neighbor_prox[i];
                 match best {
                     Some((_, b)) if b <= prox => {}
@@ -214,6 +220,22 @@ impl Strategy for GradientModel {
     fn on_timer(&mut self, core: &mut Core, pe: PeId, tag: u64) {
         if tag == TIMER_CYCLE {
             self.gradient_cycle(core, pe);
+        }
+    }
+
+    fn on_neighbor_down(&mut self, core: &mut Core, pe: PeId, down: PeId) {
+        // The stale proximity of a dead neighbour is a phantom demand
+        // signal: pin it past the cap so the gradient stops pointing there.
+        if let Some(idx) = neighbor_index(core, pe, down) {
+            self.state[pe.idx()].neighbor_prox[idx] = core.diameter() + 1;
+        }
+    }
+
+    fn on_neighbor_up(&mut self, core: &mut Core, pe: PeId, up: PeId) {
+        // Back to the initial assumption ("proximities of their neighbors
+        // are 0") until the neighbour's next real update arrives.
+        if let Some(idx) = neighbor_index(core, pe, up) {
+            self.state[pe.idx()].neighbor_prox[idx] = 0;
         }
     }
 }

@@ -52,13 +52,20 @@ impl WorkStealing {
         if self.outstanding[pe.idx()] {
             return;
         }
-        // Prefer the most-loaded known neighbour; if nobody is known to
-        // have work, probe a random neighbour (knowledge may be stale).
-        let (mut victim, known) = core.most_loaded_neighbor(pe);
+        // Prefer the most-loaded reachable neighbour; if nobody is known
+        // to have work, probe a random neighbour (knowledge may be stale).
+        // With every neighbour dead or cut off, stay idle and retry later.
+        let Some((mut victim, known)) = core.most_loaded_neighbor(pe) else {
+            core.set_timer(pe, self.retry_delay, TIMER_RETRY);
+            return;
+        };
         if known == 0 {
             let degree = core.topology().degree(pe);
             let pick = core.rng().below(degree as u64) as usize;
-            victim = core.topology().neighbors(pe)[pick].pe;
+            let probe = core.topology().neighbors(pe)[pick].pe;
+            if core.neighbor_reachable(pe, probe) {
+                victim = probe;
+            }
         }
         self.outstanding[pe.idx()] = true;
         core.send_control(

@@ -102,6 +102,74 @@ fn parallel_batch_equals_sequential_batch() {
 }
 
 #[test]
+fn fault_plans_are_deterministic_across_thread_counts() {
+    // Same seed + same plan must reproduce byte-for-byte, whether the
+    // batch runs on one thread or many: the full report (fault metrics,
+    // respawn counts, recovery latencies included) is part of the contract.
+    use oracle::model::FaultPlan;
+    let plans: Vec<FaultPlan> = vec![
+        "crash:5@300+loss:1%+recover:800x4".parse().unwrap(),
+        "link:3@100..400+recover:1000x3".parse().unwrap(),
+        "slow:2@50..500x4+loss:2%+recover:600x5".parse().unwrap(),
+        "crash:0@250+crash:7@600+recover:900x6".parse().unwrap(),
+    ];
+    let specs: Vec<RunSpec> = plans
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, plan)| {
+            strategies().into_iter().map(move |s| {
+                RunSpec::new(
+                    format!("{s} under faults #{i}"),
+                    SimulationBuilder::new()
+                        .topology(TopologySpec::grid(4))
+                        .strategy(s)
+                        .workload(WorkloadSpec::fib(11))
+                        .seed(7 + i as u64)
+                        .fault_plan(plan.clone())
+                        .config(),
+                )
+            })
+        })
+        .collect();
+    let par = run_batch_with_threads(&specs, 8);
+    let seq = run_batch_with_threads(&specs, 1);
+    for ((la, a), (lb, b)) in par.iter().zip(&seq) {
+        assert_eq!(la, lb);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "{la}");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "{la}");
+            }
+            _ => panic!("{la}: one thread count completed, the other failed"),
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    // The fault subsystem must be invisible until a plan asks for it: no
+    // extra events, no extra RNG draws, identical reports.
+    for strategy in strategies() {
+        let plain = run(strategy, 42);
+        let with_empty = SimulationBuilder::new()
+            .topology(TopologySpec::grid(5))
+            .strategy(strategy)
+            .workload(WorkloadSpec::fib(13))
+            .seed(42)
+            .fault_plan(oracle::model::FaultPlan::none())
+            .run_validated()
+            .unwrap();
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{with_empty:?}"),
+            "{strategy}: an empty plan changed the run"
+        );
+    }
+}
+
+#[test]
 fn root_pe_choice_changes_placement_not_the_answer() {
     let mk = |root: u32| {
         let mut machine = MachineConfig::default().with_seed(4);

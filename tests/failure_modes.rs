@@ -38,7 +38,7 @@ impl Strategy for Leaky {
     }
     fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
         self.count += 1;
-        if self.count % 5 != 0 {
+        if !self.count.is_multiple_of(5) {
             core.accept_goal(pe, goal);
         }
     }
@@ -60,8 +60,10 @@ fn machine_with(strategy: Box<dyn Strategy>, cfg: MachineConfig) -> Machine {
 
 #[test]
 fn dropped_goals_are_reported_as_a_stall() {
-    let mut cfg = MachineConfig::default();
-    cfg.load_info = LoadInfoMode::Instant; // no periodic events to keep the clock alive
+    let cfg = MachineConfig {
+        load_info: LoadInfoMode::Instant, // no periodic events to keep the clock alive
+        ..MachineConfig::default()
+    };
     let err = machine_with(Box::new(Leaky { count: 0 }), cfg)
         .run()
         .unwrap_err();
@@ -97,8 +99,10 @@ impl Strategy for Spinner {
 
 #[test]
 fn watchdog_catches_event_churn_without_progress() {
-    let mut cfg = MachineConfig::default();
-    cfg.load_info = LoadInfoMode::Instant;
+    let cfg = MachineConfig {
+        load_info: LoadInfoMode::Instant,
+        ..MachineConfig::default()
+    };
     let err = machine_with(Box::new(Spinner), cfg).run().unwrap_err();
     assert!(
         matches!(err, SimError::Stalled { .. } | SimError::EventLimit { .. }),
@@ -108,8 +112,10 @@ fn watchdog_catches_event_churn_without_progress() {
 
 #[test]
 fn event_limit_is_enforced() {
-    let mut cfg = MachineConfig::default();
-    cfg.max_events = 50;
+    let cfg = MachineConfig {
+        max_events: 50,
+        ..MachineConfig::default()
+    };
     let err = SimulationBuilder::new()
         .topology(TopologySpec::grid(5))
         .workload(WorkloadSpec::fib(15))
@@ -122,8 +128,10 @@ fn event_limit_is_enforced() {
 #[test]
 fn invalid_configurations_are_rejected_up_front() {
     // Root PE out of range.
-    let mut cfg = MachineConfig::default();
-    cfg.root_pe = 1000;
+    let cfg = MachineConfig {
+        root_pe: 1000,
+        ..MachineConfig::default()
+    };
     let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
     assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
 
@@ -134,8 +142,10 @@ fn invalid_configurations_are_rejected_up_front() {
     assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
 
     // Zero sampling interval.
-    let mut cfg = MachineConfig::default();
-    cfg.sampling_interval = 0;
+    let cfg = MachineConfig {
+        sampling_interval: 0,
+        ..MachineConfig::default()
+    };
     let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
     assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
 }
@@ -161,11 +171,14 @@ fn oversubscribed_bus_reports_stagnation() {
 
 #[test]
 fn killing_a_loaded_pe_is_detected_as_a_stall() {
-    // Kill PE 0 (the root's home, holding waiting tasks) mid-run: the lost
-    // work must surface as a stall, never as a wrong answer.
-    let mut cfg = MachineConfig::default();
-    cfg.fail_pe = Some((0, 200));
-    cfg.load_info = LoadInfoMode::Instant;
+    // Kill PE 0 (the root's home, holding waiting tasks) mid-run with no
+    // recovery layer: the lost work must surface as a fault-attributed
+    // failure (the crash was planned), never as a wrong answer.
+    let cfg = MachineConfig {
+        fail_pe: Some((0, 200)),
+        load_info: LoadInfoMode::Instant,
+        ..MachineConfig::default()
+    };
     let err = SimulationBuilder::new()
         .topology(TopologySpec::grid(4))
         .strategy(StrategySpec::Cwn {
@@ -176,18 +189,27 @@ fn killing_a_loaded_pe_is_detected_as_a_stall() {
         .machine(cfg)
         .run()
         .unwrap_err();
-    assert!(
-        matches!(err, SimError::Stalled { .. }),
-        "expected a stall from the lost work, got {err}"
-    );
+    match err {
+        SimError::GoalsLost {
+            expected_by_plan,
+            goals_lost,
+            ..
+        } => {
+            assert!(expected_by_plan, "the crash was injected by the plan");
+            assert!(goals_lost > 0, "the dead PE held work");
+        }
+        other => panic!("expected fault-attributed goal loss, got {other}"),
+    }
 }
 
 #[test]
 fn killing_an_idle_pe_is_harmless() {
     // Keep-local leaves PE 15 idle forever; killing it must not affect the
     // result.
-    let mut cfg = MachineConfig::default();
-    cfg.fail_pe = Some((15, 100));
+    let cfg = MachineConfig {
+        fail_pe: Some((15, 100)),
+        ..MachineConfig::default()
+    };
     let r = SimulationBuilder::new()
         .topology(TopologySpec::grid(4))
         .strategy(StrategySpec::Local)
@@ -200,8 +222,10 @@ fn killing_an_idle_pe_is_harmless() {
 
 #[test]
 fn error_messages_are_informative() {
-    let mut cfg = MachineConfig::default();
-    cfg.root_pe = 1000;
+    let cfg = MachineConfig {
+        root_pe: 1000,
+        ..MachineConfig::default()
+    };
     let err = SimulationBuilder::new().machine(cfg).run().unwrap_err();
     let msg = err.to_string();
     assert!(

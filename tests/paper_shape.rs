@@ -156,10 +156,7 @@ fn gm_holds_a_higher_peak_on_the_dlm() {
         "CWN should not hold the DLM at peak (CWN {cwn_peak:.0}% vs GM {gm_peak:.0}%)"
     );
     // And GM *holds* it: at least 5 consecutive intervals above 90%.
-    let held = p
-        .gm
-        .windows(5)
-        .any(|w| w.iter().all(|&(_, u)| u > 90.0));
+    let held = p.gm.windows(5).any(|w| w.iter().all(|&(_, u)| u > 90.0));
     assert!(held, "GM failed to hold its peak");
 }
 

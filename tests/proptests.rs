@@ -226,7 +226,12 @@ proptest! {
                 prop_assert_eq!(report.result, 89, "wrong fib(11) after failure");
                 report.check_invariants();
             }
-            Err(SimError::Stalled { .. } | SimError::EventLimit { .. }) => {}
+            // The injected crash is folded into the fault plan, so losses
+            // are attributed to it; a crash that strands no goals can still
+            // stall (e.g. a response routed into the dead PE).
+            Err(SimError::GoalsLost { expected_by_plan: true, .. }
+                | SimError::Stalled { .. }
+                | SimError::EventLimit { .. }) => {}
             Err(other) => return Err(proptest::test_runner::TestCaseError::fail(
                 format!("unexpected error class: {other}"),
             )),
@@ -327,5 +332,102 @@ proptest! {
             total += len;
         }
         prop_assert_eq!(s.total_busy(), total);
+    }
+}
+
+/// Random (valid) fault plans for a 4×4 grid: up to two crashes, a couple
+/// of link windows, a few percent message loss, transient slowdowns, and
+/// an optional recovery layer.
+fn fault_plan_strategy() -> impl proptest::strategy::Strategy<Value = oracle::model::FaultPlan> {
+    use oracle::model::{FaultPlan, LinkWindow, PeCrash, RecoveryParams, Slowdown};
+    let crashes = prop::collection::vec(
+        (0u32..16, 1u64..1500).prop_map(|(pe, at)| PeCrash { pe, at }),
+        0..3,
+    );
+    // mesh2d(4, 4, false) has 24 channels.
+    let links = prop::collection::vec(
+        (0u32..24, 1u64..800, 1u64..800).prop_map(|(channel, a, b)| LinkWindow {
+            channel,
+            down_at: a.min(b),
+            up_at: a.max(b) + 1,
+        }),
+        0..3,
+    );
+    let slows = prop::collection::vec(
+        (0u32..16, 1u64..800, 1u64..400, 2u64..6).prop_map(|(pe, from, len, factor)| Slowdown {
+            pe,
+            from,
+            until: from + len,
+            factor,
+        }),
+        0..2,
+    );
+    (
+        crashes,
+        links,
+        0u32..3,
+        slows,
+        any::<bool>(),
+        (400u64..3000, 1u32..5),
+    )
+        .prop_map(
+            |(
+                pe_crashes,
+                link_windows,
+                loss_pct,
+                slowdowns,
+                recover,
+                (ack_timeout, max_retries),
+            )| {
+                FaultPlan {
+                    pe_crashes,
+                    link_windows,
+                    message_loss: loss_pct as f64 / 100.0,
+                    slowdowns,
+                    recovery: if recover {
+                        Some(RecoveryParams {
+                            ack_timeout,
+                            max_retries,
+                        })
+                    } else {
+                        None
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness under arbitrary fault plans: every run either completes
+    /// with the correct answer or fails with a fault-attributed (or
+    /// watchdog) error — never a silently wrong result, never a hang.
+    #[test]
+    fn fault_plans_never_corrupt_the_answer(
+        plan in fault_plan_strategy(),
+        strategy in placement_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let report = SimulationBuilder::new()
+            .topology(TopologySpec::grid(4))
+            .strategy(strategy)
+            .workload(WorkloadSpec::fib(10))
+            .seed(seed)
+            .fault_plan(plan.clone())
+            .run_validated();
+        match report {
+            Ok(r) => {
+                prop_assert_eq!(r.result, 55, "wrong fib(10) under plan {}", plan);
+                r.check_invariants();
+            }
+            Err(SimError::GoalsLost { expected_by_plan: true, .. }
+                | SimError::Stalled { .. }
+                | SimError::EventLimit { .. }
+                | SimError::Stagnation { .. }) => {}
+            Err(other) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("unexpected error class under plan {plan}: {other}"),
+            )),
+        }
     }
 }

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! so downstream users *could* plug in a data format, but nothing in-tree
+//! serializes anything (there is no `serde_json`/`bincode` here). Building
+//! on an air-gapped machine therefore only needs the trait names and the
+//! derive attribute to exist. This crate provides exactly that: marker
+//! traits satisfied by every type, and (behind the `derive` feature) derive
+//! macros that expand to nothing.
+//!
+//! Swapping the real `serde` back in is a one-line change in the workspace
+//! `Cargo.toml`; no source file mentions this stub.
+
+/// Marker counterpart of `serde::Serialize`. Satisfied by every type.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`. Satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The stand-in `serde` crate gives `Serialize`/`Deserialize` blanket
+//! impls, so the derives have nothing to generate — they only need to
+//! exist (and accept `#[serde(...)]` helper attributes) for
+//! `#[derive(Serialize, Deserialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -292,6 +292,19 @@ fn main() {
         save("seed_robustness.txt", table.to_string());
     }
 
+    // Throughput baseline (events/sec and peak RSS across the bench grid).
+    // The copy committed at the repo root is the tracked trajectory; this
+    // one documents the machine the rest of results/ was generated on.
+    {
+        use oracle_bench::throughput::{run_grid, to_json};
+        let reps = match fidelity {
+            Fidelity::Paper => 3,
+            Fidelity::Quick => 1,
+        };
+        let cells = run_grid(reps, seed, Default::default());
+        save("BENCH_throughput.json", to_json(&cells, reps, seed));
+    }
+
     std::fs::write(dir.join("README.md"), index).expect("write index");
     eprintln!("done: {}", dir.display());
 }

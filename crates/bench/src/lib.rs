@@ -10,6 +10,8 @@
 use oracle::experiments::Fidelity;
 use oracle::table::Table;
 
+pub mod throughput;
+
 /// Parsed common flags.
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessArgs {

@@ -54,10 +54,12 @@ commands:
             run one simulation and print its report
   compare   --topology T --workload W [--seed N]
             run CWN vs the Gradient Model with the paper's parameters
-  batch FILE [--csv]
+  batch FILE [--csv] [--threads N]
             run a suite file (lines of:
-            TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN])
-  experiment NAME [--quick] [--seed N]
+            TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN]);
+            --threads caps the worker pool (default: all cores; results
+            are identical at any thread count)
+  experiment NAME [--quick] [--seed N] [--threads N]
             regenerate a paper table/figure: table1 | table2 | table3 |
             plots-dc-grid | plots-dc-dlm | plots-fib | plots-time-grid |
             plots-time-dlm | appendix | ablations |
@@ -106,6 +108,17 @@ impl<'a> Flags<'a> {
             Some(v) => v.parse().map_err(|e| format!("{flag} {v:?}: {e}")),
         }
     }
+}
+
+/// Apply the shared `--threads N` flag: cap the worker pool every batch in
+/// this process uses. Thread count changes wall clock only, never results.
+fn apply_threads(flags: &Flags) -> Result<(), String> {
+    let threads: usize = flags.parse("--threads", 0)?;
+    if flags.value_of("--threads").is_some() && threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    oracle::runner::set_default_threads(threads);
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -231,6 +244,7 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         Fidelity::Paper
     };
     let seed: u64 = flags.parse("--seed", 1)?;
+    apply_threads(&flags)?;
 
     match name.as_str() {
         "table1" => {
@@ -355,6 +369,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         return Err("batch needs a suite file".into());
     };
     let flags = Flags { args: &args[1..] };
+    apply_threads(&flags)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let specs = oracle::runner::parse_suite(&text)?;
     let mut table = Table::new(
@@ -585,6 +600,17 @@ mod tests {
         cmd_run(&a).expect("an idle-PE crash must not break the run");
         let bad = flags(&["--faults", "crash:zz"]);
         assert!(cmd_run(&bad).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_validated_and_accepted() {
+        let path = std::env::temp_dir().join("oracle_cli_threads_suite_test.txt");
+        std::fs::write(&path, "grid:4 cwn:4x1 fib:9\nring:4 local fib:8\n").unwrap();
+        cmd_batch(&flags(&[path.to_str().unwrap(), "--threads", "2"])).expect("capped batch runs");
+        let err = cmd_batch(&flags(&[path.to_str().unwrap(), "--threads", "0"])).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        std::fs::remove_file(&path).ok();
+        oracle::runner::set_default_threads(0);
     }
 
     #[test]

@@ -39,11 +39,29 @@ pub fn run_batch(specs: &[RunSpec]) -> Vec<(String, Result<Report, SimError>)> {
     run_batch_with_threads(specs, default_threads())
 }
 
-/// Number of worker threads used by [`run_batch`].
+/// Process-wide override for [`default_threads`]; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-thread count every subsequent [`run_batch`] uses — the
+/// hook behind the CLI's `--threads N` flag, which has to reach batches
+/// buried inside the experiment harnesses without threading a parameter
+/// through every table/plot signature. Pass 0 to restore the default
+/// (available parallelism). Thread count never affects results, only wall
+/// clock: `run_batch` writes each result into its input slot.
+pub fn set_default_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Number of worker threads used by [`run_batch`]: the
+/// [`set_default_threads`] override if one is set, else the machine's
+/// available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 /// [`run_batch`] with an explicit thread count (1 = fully sequential).
@@ -282,6 +300,14 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_clearable() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1, "0 must mean auto, not zero workers");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Runtime-selectable event-list backend.
+//!
+//! The simulator core works against [`DualQueue`], an enum over the two
+//! interchangeable event lists — the binary-heap [`EventQueue`] and the
+//! bucket-based [`CalendarQueue`]. Enum dispatch keeps the queue choice a
+//! runtime configuration knob without infecting the public `Machine` /
+//! `Strategy` API with a generic parameter, and the two variants share the
+//! exact deterministic ordering contract (time, then insertion sequence), so
+//! swapping backends never changes a simulated result — `tests/cross_queue.rs`
+//! pins that on the full paper workloads.
+
+use crate::calendar::CalendarQueue;
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// An event list that is either a binary heap or a calendar queue.
+///
+/// ```
+/// use oracle_des::{DualQueue, SimTime};
+///
+/// for mut q in [DualQueue::heap(), DualQueue::calendar()] {
+///     q.schedule_after(10, "late");
+///     q.schedule_after(5, "early");
+///     assert_eq!(q.pop(), Some((SimTime(5), "early")));
+///     assert_eq!(q.pop(), Some((SimTime(10), "late")));
+/// }
+/// ```
+pub enum DualQueue<E> {
+    /// Binary-heap event list ([`EventQueue`]) — the default.
+    Heap(EventQueue<E>),
+    /// Calendar-queue event list ([`CalendarQueue`], Brown 1988).
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> DualQueue<E> {
+    /// An empty binary-heap queue.
+    pub fn heap() -> Self {
+        DualQueue::Heap(EventQueue::new())
+    }
+
+    /// An empty binary-heap queue with pre-reserved capacity.
+    pub fn heap_with_capacity(capacity: usize) -> Self {
+        DualQueue::Heap(EventQueue::with_capacity(capacity))
+    }
+
+    /// An empty calendar queue.
+    pub fn calendar() -> Self {
+        DualQueue::Calendar(CalendarQueue::new())
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        match self {
+            DualQueue::Heap(q) => q.now(),
+            DualQueue::Calendar(q) => q.now(),
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            DualQueue::Heap(q) => q.len(),
+            DualQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            DualQueue::Heap(q) => q.is_empty(),
+            DualQueue::Calendar(q) => q.is_empty(),
+        }
+    }
+
+    /// Events popped so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            DualQueue::Heap(q) => q.events_processed(),
+            DualQueue::Calendar(q) => q.events_processed(),
+        }
+    }
+
+    /// Schedule `payload` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        match self {
+            DualQueue::Heap(q) => q.schedule_at(at, payload),
+            DualQueue::Calendar(q) => q.schedule_at(at, payload),
+        }
+    }
+
+    /// Schedule `payload` to fire `delay` units from now.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: u64, payload: E) {
+        match self {
+            DualQueue::Heap(q) => q.schedule_after(delay, payload),
+            DualQueue::Calendar(q) => q.schedule_after(delay, payload),
+        }
+    }
+
+    /// Remove and return the next event, advancing the clock.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            DualQueue::Heap(q) => q.pop(),
+            DualQueue::Calendar(q) => q.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn backends_agree_on_random_schedules() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut heap = DualQueue::heap_with_capacity(64);
+        let mut cal = DualQueue::calendar();
+        for i in 0..64u64 {
+            let d = rng.below(50);
+            heap.schedule_after(d, i);
+            cal.schedule_after(d, i);
+        }
+        for i in 0..5_000u64 {
+            let a = heap.pop().expect("heap drained early");
+            let b = cal.pop().expect("calendar drained early");
+            assert_eq!(a, b, "diverged at step {i}");
+            let d = rng.below(120);
+            heap.schedule_after(d, i + 64);
+            cal.schedule_after(d, i + 64);
+        }
+        while let Some(a) = heap.pop() {
+            assert_eq!(Some(a), cal.pop());
+        }
+        assert!(cal.pop().is_none());
+        assert_eq!(heap.events_processed(), cal.events_processed());
+        assert_eq!(heap.now(), cal.now());
+        assert!(heap.is_empty() && cal.is_empty());
+        assert_eq!(heap.len(), 0);
+    }
+}

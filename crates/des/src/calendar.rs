@@ -3,28 +3,73 @@
 //! queue implementation for the simulation event set problem" — exactly
 //! contemporary with the paper).
 //!
-//! Events are hashed into `buckets` of `width` time units each, wrapping
-//! around like days on a wall calendar; a pop scans forward from the
-//! current bucket and only considers events belonging to the current
-//! "year". With bucket width tracking the mean event spacing, schedule and
-//! pop are O(1) amortized, against O(log n) for the binary heap.
+//! This implementation is the degenerate-but-fast corner of Brown's design
+//! space, chosen for the ORACLE simulation's measured event density of tens
+//! of events per time unit: a *unit-width* wheel of `WHEEL_SLOTS` buckets
+//! covering the window `[window_start, window_start + WHEEL_SLOTS)`, plus a
+//! binary-heap overflow for events beyond the window. With one timestamp
+//! per bucket, a bucket's FIFO order *is* the insertion-sequence order, so
+//! no per-entry keys are compared on the hot path at all: `schedule` is a
+//! bounds check and a push, `pop` walks the clock forward to the next
+//! non-empty bucket (amortized O(1) at the densities the simulator
+//! produces). When the wheel drains, the window jumps straight to the
+//! earliest overflow timestamp and due overflow events are decanted into
+//! the wheel in `(time, seq)` order — there is no full-calendar scan
+//! anywhere.
 //!
 //! [`CalendarQueue`] implements the same interface and — crucially — the
 //! same *deterministic order* as [`crate::EventQueue`] (time, then
-//! insertion sequence), so the two are interchangeable; a property test
-//! checks order equality on random schedules, and `benches/engine.rs`
-//! compares their throughput.
+//! insertion sequence), so the two are interchangeable; property tests
+//! check order equality on random, sparse, and interleaved schedules, and
+//! `benches/engine.rs` compares their throughput.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// One scheduled entry.
-struct Entry<E> {
-    at: SimTime,
+/// Number of unit-width buckets on the wheel (one simulated-time unit
+/// each). Power of two so the slot index is a mask. Events scheduled
+/// further than this beyond the window start wait in the overflow heap.
+const WHEEL_SLOTS: usize = 1024;
+const MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// Sentinel "no node" index into the wheel's node pool.
+const NIL: u32 = u32::MAX;
+
+/// A pooled wheel entry: the payload plus the pool index of the next entry
+/// in the same slot's FIFO (or, for free nodes, the next free node).
+struct Node<E> {
+    payload: Option<E>,
+    next: u32,
+}
+
+/// An overflow entry. Ordered by time, then by insertion sequence — the
+/// same deterministic order as [`crate::EventQueue`].
+struct Deferred<E> {
+    at: u64,
     seq: u64,
     payload: E,
 }
 
-/// A self-resizing calendar queue with deterministic FIFO tie-breaking.
+impl<E> PartialEq for Deferred<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Deferred<E> {}
+impl<E> PartialOrd for Deferred<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Deferred<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A two-tier timing-wheel calendar with deterministic FIFO tie-breaking.
 ///
 /// ```
 /// use oracle_des::{CalendarQueue, SimTime};
@@ -36,9 +81,27 @@ struct Entry<E> {
 /// assert_eq!(q.pop(), Some((SimTime(10), "late")));
 /// ```
 pub struct CalendarQueue<E> {
-    buckets: Vec<Vec<Entry<E>>>,
-    /// Width of one bucket in time units.
-    width: u64,
+    /// Shared node pool for every wheel slot. Each slot is a singly-linked
+    /// FIFO threaded through this arena (`head`/`tail` below), and freed
+    /// nodes go on a free list — so the steady state allocates nothing, and
+    /// the pool grows O(log peak-pending) times total instead of each of
+    /// the 1024 slots growing its own buffer.
+    pool: Vec<Node<E>>,
+    /// Head of the free list through `pool` (`NIL` when exhausted).
+    free: u32,
+    /// `head[t & MASK]`/`tail[t & MASK]` delimit the FIFO of every pending
+    /// event at exactly time `t`, for `t` in `[window_start, window_start +
+    /// WHEEL_SLOTS)`, in insertion-sequence order. One timestamp per slot —
+    /// the window is exactly one wheel revolution.
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// Start of the window the wheel currently covers. Only moves forward,
+    /// and only when the wheel is empty (so nothing can be left behind).
+    window_start: u64,
+    /// Events at or beyond `window_start + WHEEL_SLOTS`.
+    overflow: BinaryHeap<Reverse<Deferred<E>>>,
+    /// Pending events currently on the wheel (as opposed to in overflow).
+    wheel_len: usize,
     now: SimTime,
     seq: u64,
     len: usize,
@@ -55,13 +118,67 @@ impl<E> CalendarQueue<E> {
     /// An empty calendar with the clock at time zero.
     pub fn new() -> Self {
         CalendarQueue {
-            buckets: (0..16).map(|_| Vec::new()).collect(),
-            width: 16,
+            pool: Vec::new(),
+            free: NIL,
+            head: vec![NIL; WHEEL_SLOTS],
+            tail: vec![NIL; WHEEL_SLOTS],
+            window_start: 0,
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
             now: SimTime::ZERO,
             seq: 0,
             len: 0,
             processed: 0,
         }
+    }
+
+    /// Append `payload` to the FIFO of the slot covering time `t` (which
+    /// must lie inside the current window).
+    #[inline]
+    fn wheel_push(&mut self, t: u64, payload: E) {
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.pool[idx as usize];
+            self.free = node.next;
+            node.payload = Some(payload);
+            node.next = NIL;
+            idx
+        } else {
+            assert!(self.pool.len() < NIL as usize, "event pool overflow");
+            self.pool.push(Node {
+                payload: Some(payload),
+                next: NIL,
+            });
+            (self.pool.len() - 1) as u32
+        };
+        let s = (t & MASK) as usize;
+        if self.tail[s] == NIL {
+            self.head[s] = idx;
+        } else {
+            self.pool[self.tail[s] as usize].next = idx;
+        }
+        self.tail[s] = idx;
+        self.wheel_len += 1;
+    }
+
+    /// Detach and return the first payload of slot `s`, if any, recycling
+    /// its node onto the free list.
+    #[inline]
+    fn wheel_pop(&mut self, s: usize) -> Option<E> {
+        let idx = self.head[s];
+        if idx == NIL {
+            return None;
+        }
+        let node = &mut self.pool[idx as usize];
+        let payload = node.payload.take().expect("linked node holds a payload");
+        self.head[s] = node.next;
+        node.next = self.free;
+        self.free = idx;
+        if self.head[s] == NIL {
+            self.tail[s] = NIL;
+        }
+        self.wheel_len -= 1;
+        Some(payload)
     }
 
     /// Current simulated time (timestamp of the last popped event).
@@ -88,11 +205,6 @@ impl<E> CalendarQueue<E> {
         self.processed
     }
 
-    #[inline]
-    fn bucket_of(&self, at: SimTime) -> usize {
-        ((at.units() / self.width) % self.buckets.len() as u64) as usize
-    }
-
     /// Schedule `payload` at the absolute instant `at`.
     ///
     /// # Panics
@@ -106,12 +218,17 @@ impl<E> CalendarQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        let idx = self.bucket_of(at);
-        self.buckets[idx].push(Entry { at, seq, payload });
-        self.len += 1;
-        if self.len > 2 * self.buckets.len() {
-            self.resize(self.buckets.len() * 2);
+        let t = at.units();
+        if t < self.window_start + WHEEL_SLOTS as u64 {
+            self.wheel_push(t, payload);
+        } else {
+            self.overflow.push(Reverse(Deferred {
+                at: t,
+                seq,
+                payload,
+            }));
         }
+        self.len += 1;
     }
 
     /// Schedule `payload` to fire `delay` units from now.
@@ -125,89 +242,43 @@ impl<E> CalendarQueue<E> {
         if self.len == 0 {
             return None;
         }
-        let n = self.buckets.len() as u64;
-        let year_span = self.width * n;
-        let mut t = self.now.units();
-
-        // Scan at most one full calendar year from the current time; each
-        // bucket only yields events whose timestamp falls within its
-        // current-year window.
-        for _ in 0..n {
-            let idx = ((t / self.width) % n) as usize;
-            let window_start = t - (t % self.width);
-            let window_end = window_start + self.width;
-            if let Some(pos) = Self::min_in_window(&self.buckets[idx], window_start, window_end) {
-                return Some(self.take(idx, pos));
-            }
-            t = window_end;
-            let _ = year_span;
-        }
-
-        // Nothing within a year of `now`: jump to the global minimum.
-        let (idx, pos) = self.global_min().expect("len > 0 but no event found");
-        Some(self.take(idx, pos))
-    }
-
-    /// Position of the (time, seq)-minimal entry within `[start, end)`.
-    fn min_in_window(bucket: &[Entry<E>], start: u64, end: u64) -> Option<usize> {
-        let mut best: Option<(u64, u64, usize)> = None;
-        for (i, e) in bucket.iter().enumerate() {
-            let t = e.at.units();
-            if t < start || t >= end {
-                continue;
-            }
-            match best {
-                Some((bt, bs, _)) if (bt, bs) <= (t, e.seq) => {}
-                _ => best = Some((t, e.seq, i)),
-            }
-        }
-        best.map(|(_, _, i)| i)
-    }
-
-    /// Position of the globally (time, seq)-minimal entry.
-    fn global_min(&self) -> Option<(usize, usize)> {
-        let mut best: Option<(u64, u64, usize, usize)> = None;
-        for (bi, bucket) in self.buckets.iter().enumerate() {
-            for (i, e) in bucket.iter().enumerate() {
-                let key = (e.at.units(), e.seq);
-                match best {
-                    Some((bt, bs, _, _)) if (bt, bs) <= key => {}
-                    _ => best = Some((key.0, key.1, bi, i)),
+        if self.wheel_len == 0 {
+            // Everything pending is in overflow: jump the window to the
+            // earliest deferred timestamp and decant what now fits. The
+            // drain order is (time, seq), so same-time events land on their
+            // slot in sequence order — FIFO stays deterministic.
+            let at = match self.overflow.peek() {
+                Some(Reverse(d)) => d.at,
+                None => unreachable!("len > 0 with empty wheel and overflow"),
+            };
+            self.window_start = at;
+            let end = at + WHEEL_SLOTS as u64;
+            while let Some(Reverse(d)) = self.overflow.peek() {
+                if d.at >= end {
+                    break;
                 }
+                let Reverse(d) = self.overflow.pop().expect("peeked");
+                self.wheel_push(d.at, d.payload);
             }
         }
-        best.map(|(_, _, bi, i)| (bi, i))
-    }
-
-    fn take(&mut self, bucket: usize, pos: usize) -> (SimTime, E) {
-        let entry = self.buckets[bucket].swap_remove(pos);
-        debug_assert!(entry.at >= self.now, "calendar went backwards");
-        self.now = entry.at;
-        self.len -= 1;
-        self.processed += 1;
-        if self.buckets.len() > 16 && self.len < self.buckets.len() / 2 {
-            self.resize(self.buckets.len() / 2);
-        }
-        (entry.at, entry.payload)
-    }
-
-    /// Rebuild with `new_count` buckets and a width tracking the mean
-    /// spacing of pending events.
-    fn resize(&mut self, new_count: usize) {
-        let entries: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
-        // Estimate width: spread of pending timestamps over their count.
-        let (mut lo, mut hi) = (u64::MAX, 0u64);
-        for e in &entries {
-            lo = lo.min(e.at.units());
-            hi = hi.max(e.at.units());
-        }
-        let spread = hi.saturating_sub(lo);
-        self.width =
-            (spread / entries.len().max(1) as u64).clamp(1, u64::MAX / (2 * new_count as u64));
-        self.buckets = (0..new_count).map(|_| Vec::new()).collect();
-        for e in entries {
-            let idx = self.bucket_of(e.at);
-            self.buckets[idx].push(e);
+        // Walk the clock forward to the next occupied slot. Every wheel
+        // event is at >= now (past events are gone) and within the window,
+        // so this finds the (time, seq)-minimum pending event: overflow
+        // events are all at or beyond the window's end.
+        let mut t = self.now.units().max(self.window_start);
+        loop {
+            if let Some(payload) = self.wheel_pop((t & MASK) as usize) {
+                let at = SimTime(t);
+                self.now = at;
+                self.len -= 1;
+                self.processed += 1;
+                return Some((at, payload));
+            }
+            t += 1;
+            debug_assert!(
+                t < self.window_start + WHEEL_SLOTS as u64,
+                "wheel_len > 0 but no occupied slot in the window"
+            );
         }
     }
 }
@@ -247,6 +318,75 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "far");
         assert_eq!(q.now(), SimTime(1_000_000));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_wheel_and_overflow_arrivals_fire_in_seq_order() {
+        // Same timestamp reached two ways: via overflow decant and via a
+        // direct wheel insert after the window has jumped. Order must still
+        // be pure insertion sequence.
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let t = 50_000u64; // far outside the initial window
+        cal.schedule_at(SimTime(t), 0); // overflow
+        heap.schedule_at(SimTime(t), 0);
+        cal.schedule_at(SimTime(2), 1); // wheel
+        heap.schedule_at(SimTime(2), 1);
+        assert_eq!(cal.pop(), heap.pop()); // pops 1, window jumps on next pop
+        cal.schedule_at(SimTime(t), 2); // overflow again (window still early)
+        heap.schedule_at(SimTime(t), 2);
+        assert_eq!(cal.pop(), heap.pop()); // t arrives: seq 0 first
+                                           // Window now covers t; a fresh same-time insert goes on the wheel.
+        cal.schedule_at(SimTime(t), 3);
+        heap.schedule_at(SimTime(t), 3);
+        assert_eq!(cal.pop(), heap.pop()); // seq 2 (decanted) before seq 3
+        assert_eq!(cal.pop(), heap.pop());
+        assert!(cal.pop().is_none() && heap.pop().is_none());
+    }
+
+    #[test]
+    fn sparse_schedule_matches_heap() {
+        // Consecutive events many windows apart exercise the window jump
+        // and the overflow decant path.
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut t = 0u64;
+        for i in 0..200u64 {
+            t += 10_000 + (i * 977) % 5_000;
+            cal.schedule_at(SimTime(t), i);
+            heap.schedule_at(SimTime(t), i);
+        }
+        while let Some(a) = cal.pop() {
+            assert_eq!(Some(a), heap.pop());
+        }
+        assert!(heap.pop().is_none());
+        assert_eq!(cal.events_processed(), 200);
+    }
+
+    #[test]
+    fn interleaved_sparse_and_dense_matches_heap() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        for i in 0..2_000u64 {
+            // Mostly tight spacing with occasional huge jumps.
+            let d = if rng.below(50) == 0 {
+                1_000_000 + rng.below(1_000_000)
+            } else {
+                rng.below(30)
+            };
+            cal.schedule_after(d, i);
+            heap.schedule_after(d, i);
+            if i % 3 == 0 {
+                assert_eq!(cal.pop(), heap.pop(), "diverged at step {i}");
+            }
+        }
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! A fast deterministic hasher for the simulation's integer-keyed maps.
+//!
+//! The default `std` hasher (SipHash-1-3) is keyed per process and costs
+//! tens of cycles per `u64` — measurable on the hot path, where every
+//! response delivery looks up its waiting task by integer goal id. This is
+//! the classic multiply-xor fold (the same construction as rustc's
+//! FxHash): one rotate, one xor, one multiply per word, with a fixed seed
+//! so runs are reproducible bit-for-bit.
+//!
+//! Determinism note: map *lookup* behaviour never depends on the hasher,
+//! but *iteration order* does. Code iterating a [`FastHashMap`] must sort
+//! before acting (exactly as it must with the std hasher, whose order is
+//! random per process) — the simulator's only such loop sorts its ids.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply-xor hasher with a fixed seed.
+#[derive(Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// [`std::collections::HashMap`] using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// [`std::collections::HashSet`] using [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("goal"), hash_of("goal"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of((1u64, 2u64)), hash_of((2u64, 1u64)));
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FastHashMap<u64, &str> = FastHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(m.remove(&0).is_some());
+        assert!(!m.contains_key(&0));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_consistently() {
+        assert_eq!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 3]));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 4]));
+    }
+}

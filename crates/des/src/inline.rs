@@ -1,0 +1,255 @@
+//! A small-vector type for hot-path fan-out.
+//!
+//! Task splits in the simulated programs fan out to 2–4 children almost
+//! always (binary divide-and-conquer, fib, tak). [`InlineVec`] keeps up to
+//! `N` elements inline — no heap allocation — and spills transparently to a
+//! `Vec` for the rare wider fan-out (cyclic phases, random trees), so the
+//! steady-state event loop never touches the allocator for child lists.
+//!
+//! The API is the small slice-building subset the simulator needs: build
+//! (push / collect / from array), read (`Deref<Target = [T]>`), and consume
+//! by value. Elements are `Copy + Default`, which keeps the implementation
+//! entirely safe — there is no `MaybeUninit` in this type.
+
+/// A vector of `T` that stores up to `N` elements inline.
+///
+/// ```
+/// use oracle_des::InlineVec;
+///
+/// let v: InlineVec<u32, 4> = [1, 2, 3].into();
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(&v[..], &[1, 2, 3]);
+///
+/// // Wider than N spills to the heap, transparently.
+/// let wide: InlineVec<u32, 4> = (0..10).collect();
+/// assert_eq!(wide.len(), 10);
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T, const N: usize> {
+    /// Total element count. `len <= N` means the elements live in `inline`;
+    /// `len > N` means all of them live in `spill`.
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append an element, spilling to the heap past `N`.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for InlineVec<T, N> {
+    fn from(items: [T; M]) -> Self {
+        let mut v = Self::new();
+        for item in items {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(items: Vec<T>) -> Self {
+        if items.len() > N {
+            // Reuse the existing heap buffer rather than copying it.
+            InlineVec {
+                len: items.len(),
+                inline: [T::default(); N],
+                spill: items,
+            }
+        } else {
+            let mut v = Self::new();
+            for item in items {
+                v.push(item);
+            }
+            v
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+/// By-value iterator over an [`InlineVec`].
+pub struct IntoIter<T, const N: usize> {
+    vec: InlineVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        let item = *self.vec.as_slice().get(self.pos)?;
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.vec.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl<T: Copy, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T: Copy, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { vec: self, pos: 0 }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(&v[..], &[0, 1, 2, 3]);
+        assert!(v.spill.is_empty(), "must not have touched the heap");
+    }
+
+    #[test]
+    fn spills_past_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 5);
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_array_and_vec() {
+        let a: InlineVec<u8, 4> = [9, 8].into();
+        assert_eq!(&a[..], &[9, 8]);
+        let b: InlineVec<u8, 4> = vec![1, 2, 3, 4, 5, 6].into();
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6]);
+        let c: InlineVec<u8, 4> = vec![1].into();
+        assert_eq!(&c[..], &[1]);
+    }
+
+    #[test]
+    fn collects_and_iterates_by_value() {
+        let v: InlineVec<u64, 4> = (0..7).collect();
+        let out: Vec<u64> = v.clone().into_iter().collect();
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+        let refs: Vec<u64> = (&v).into_iter().copied().collect();
+        assert_eq!(refs, out);
+        assert_eq!(v.into_iter().len(), 7);
+    }
+
+    #[test]
+    fn equality_ignores_unused_inline_slots() {
+        let mut a: InlineVec<u32, 4> = InlineVec::new();
+        a.push(1);
+        a.push(99);
+        let mut b: InlineVec<u32, 4> = [1, 99, 7].into();
+        assert_ne!(a, b);
+        a.push(7);
+        assert_eq!(a, b);
+        b.push(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_formats_like_a_slice() {
+        let v: InlineVec<u32, 4> = [1, 2].into();
+        assert_eq!(format!("{v:?}"), "[1, 2]");
+    }
+}

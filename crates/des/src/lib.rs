@@ -19,14 +19,20 @@
 //! bucket-based [`CalendarQueue`] (Brown 1988) — with identical ordering
 //! semantics.
 
+pub mod backend;
 pub mod calendar;
 pub mod event;
+pub mod hash;
+pub mod inline;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use backend::DualQueue;
 pub use calendar::CalendarQueue;
 pub use event::EventQueue;
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
+pub use inline::InlineVec;
 pub use rng::Rng;
 pub use stats::{BusyTracker, Histogram, IntervalSeries, OnlineStats};
 pub use time::SimTime;

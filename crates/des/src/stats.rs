@@ -279,6 +279,14 @@ impl BusyTracker {
 /// This reproduces ORACLE's "specially formatted output … the utilization of
 /// each PE is output at every sampling interval" that drove the red/blue load
 /// monitor, and yields the Y-series of the utilization-vs-time plots.
+///
+/// Memory is bounded: the series holds at most [`IntervalSeries::MAX_INTERVALS`]
+/// intervals. When a run outlives that horizon, the sampling width doubles and
+/// adjacent intervals are merged pairwise (an exact downsampling — busy units
+/// are conserved), so an arbitrarily long simulation costs O(1) memory per
+/// tracked resource instead of growing linearly with simulated time. Runs that
+/// fit within the capacity — every paper-scale configuration does, by orders
+/// of magnitude — produce bit-identical series to the unbounded version.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IntervalSeries {
     width: u64,
@@ -287,6 +295,9 @@ pub struct IntervalSeries {
 }
 
 impl IntervalSeries {
+    /// Maximum number of intervals held before the width doubles.
+    pub const MAX_INTERVALS: usize = 8192;
+
     /// A series with sampling intervals of `width` time units.
     ///
     /// # Panics
@@ -300,7 +311,8 @@ impl IntervalSeries {
         }
     }
 
-    /// Sampling interval width in time units.
+    /// Sampling interval width in time units (doubles when a run outgrows
+    /// [`Self::MAX_INTERVALS`]).
     pub fn width(&self) -> u64 {
         self.width
     }
@@ -310,6 +322,9 @@ impl IntervalSeries {
     pub fn add_busy(&mut self, from: SimTime, to: SimTime) {
         if to.units() <= from.units() {
             return;
+        }
+        while (to.units() - 1) / self.width >= Self::MAX_INTERVALS as u64 {
+            self.coarsen();
         }
         let last = (to.units() - 1) / self.width;
         if self.busy.len() <= last as usize {
@@ -322,6 +337,16 @@ impl IntervalSeries {
             self.busy[idx as usize] += end - cur;
             cur = end;
         }
+    }
+
+    /// Double the interval width, merging adjacent intervals pairwise.
+    fn coarsen(&mut self) {
+        let merged = self.busy.len().div_ceil(2);
+        for i in 0..merged {
+            self.busy[i] = self.busy[2 * i] + self.busy.get(2 * i + 1).copied().unwrap_or(0);
+        }
+        self.busy.truncate(merged);
+        self.width *= 2;
     }
 
     /// Per-interval utilization fractions over `[0, horizon)`.
@@ -537,5 +562,42 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn interval_series_zero_width_panics() {
         IntervalSeries::new(0);
+    }
+
+    #[test]
+    fn interval_series_memory_is_bounded() {
+        let mut s = IntervalSeries::new(1);
+        // Busy for one unit out of every ten, far past the capacity.
+        let horizon = 40 * IntervalSeries::MAX_INTERVALS as u64;
+        let mut t = 0;
+        while t < horizon {
+            s.add_busy(SimTime(t), SimTime(t + 1));
+            t += 10;
+        }
+        assert!(s.busy.len() <= IntervalSeries::MAX_INTERVALS);
+        assert!(s.width() >= 4, "width must have doubled, got {}", s.width());
+        // Downsampling is exact: every busy unit is conserved.
+        assert_eq!(s.total_busy(), horizon / 10);
+        let series = s.utilization_series(SimTime(horizon));
+        assert!(series.len() <= IntervalSeries::MAX_INTERVALS);
+        for (_, u) in series {
+            // One busy unit per ten: each coarse interval holds floor/ceil
+            // of width/10 busy units, so utilization stays near 10%.
+            assert!(
+                (u - 0.1).abs() < 0.05,
+                "uniform load must stay uniform, got {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_series_under_capacity_is_untouched() {
+        // A run that fits within MAX_INTERVALS must behave exactly like the
+        // unbounded version: original width, one slot per interval.
+        let mut s = IntervalSeries::new(10);
+        s.add_busy(SimTime(5), SimTime(95));
+        assert_eq!(s.width(), 10);
+        assert_eq!(s.busy.len(), 10);
+        assert_eq!(s.total_busy(), 90);
     }
 }

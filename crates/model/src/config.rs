@@ -16,6 +16,23 @@ pub enum LoadInfoMode {
     Instant,
 }
 
+/// Which event-list implementation drives the simulation.
+///
+/// Both backends share the exact deterministic ordering contract (time, then
+/// insertion sequence), so this knob changes throughput only — never a
+/// simulated result. `tests/cross_queue.rs` pins Report equality across
+/// backends on the full paper workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueBackend {
+    /// Binary-heap event list — O(log n), kept for comparison runs.
+    Heap,
+    /// Calendar queue (unit-width timing wheel, Brown 1988) — O(1)
+    /// amortized at the event densities the simulator produces, and the
+    /// measured winner on the benchmark grid; the default.
+    #[default]
+    Calendar,
+}
+
 /// Order in which a PE picks its next work item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueueDiscipline {
@@ -80,6 +97,10 @@ pub struct MachineConfig {
     pub trace_capacity: usize,
     /// Order in which each PE picks its next work item.
     pub queue_discipline: QueueDiscipline,
+    /// Event-list implementation (heap or calendar queue); affects
+    /// throughput only, never simulated results.
+    #[serde(default)]
+    pub queue_backend: QueueBackend,
     /// Failure injection shorthand: kill one PE at a simulated instant.
     /// Folded into [`MachineConfig::fault_plan`] at machine construction;
     /// kept as a convenience knob for single-crash experiments. Runs that
@@ -114,6 +135,7 @@ impl Default for MachineConfig {
             max_events: 500_000_000,
             trace_capacity: 0,
             queue_discipline: QueueDiscipline::Fifo,
+            queue_backend: QueueBackend::default(),
             fail_pe: None,
             fault_plan: FaultPlan::default(),
             pe_speed_spread: 1,

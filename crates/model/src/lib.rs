@@ -34,13 +34,13 @@ pub mod program;
 pub mod strategy;
 pub mod trace;
 
-pub use config::{LoadInfoMode, MachineConfig};
+pub use config::{LoadInfoMode, MachineConfig, QueueBackend};
 pub use cost::CostModel;
 pub use error::SimError;
 pub use faults::{FaultPlan, LinkWindow, PeCrash, RecoveryParams, Slowdown};
 pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
 pub use metrics::{FaultMetrics, Report};
-pub use program::{Continuation, Expansion, Program, TaskSpec};
+pub use program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 pub use strategy::Strategy;
 pub use trace::{Trace, TraceEvent};

@@ -6,20 +6,18 @@
 //! without a communication co-processor — message handling), and each
 //! channel transfers one message at a time, with FIFO backlogs on both.
 
-use std::collections::HashMap;
-
-use oracle_des::{EventQueue, Histogram, IntervalSeries, OnlineStats, Rng, SimTime};
+use oracle_des::{DualQueue, FastHashMap, Histogram, IntervalSeries, OnlineStats, Rng, SimTime};
 use oracle_topo::{ChannelId, PeId, Topology};
 
 use crate::channel::Channel;
-use crate::config::{LoadInfoMode, MachineConfig};
+use crate::config::{LoadInfoMode, MachineConfig, QueueBackend};
 use crate::cost::CostModel;
 use crate::error::SimError;
 use crate::faults::{FaultPlan, PeCrash};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
 use crate::metrics::{FaultMetrics, Report, TrafficCounters};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
-use crate::program::{Continuation, Expansion, Program, TaskSpec};
+use crate::program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 use crate::strategy::Strategy;
 use crate::trace::{Trace, TraceEvent};
 
@@ -69,7 +67,7 @@ struct Outstanding {
 /// Fault-injection and recovery state of a run.
 struct FaultState {
     /// Goals the recovery layer is tracking, keyed by goal id.
-    outstanding: HashMap<GoalId, Outstanding>,
+    outstanding: FastHashMap<GoalId, Outstanding>,
     pes_crashed: u32,
     goals_lost: u64,
     messages_dropped: u64,
@@ -82,7 +80,7 @@ struct FaultState {
 impl FaultState {
     fn new() -> Self {
         FaultState {
-            outstanding: HashMap::new(),
+            outstanding: FastHashMap::default(),
             pes_crashed: 0,
             goals_lost: 0,
             messages_dropped: 0,
@@ -120,7 +118,14 @@ pub struct Core {
     program: Box<dyn Program>,
     pes: Vec<Pe>,
     channels: Vec<Channel>,
-    events: EventQueue<Event>,
+    events: DualQueue<Event>,
+    /// Distinct channels incident to each PE, precomputed at construction
+    /// so broadcasts never rebuild the dedup list per event.
+    incident: Vec<Vec<ChannelId>>,
+    /// Flat `[pe * num_pes + nbr]` position of `nbr` in `topo.neighbors(pe)`
+    /// (`u16::MAX` when not adjacent) — O(1) lookup on the per-delivery
+    /// load-word path, where a binary search was the top profile entry.
+    nbr_index: Vec<u16>,
     rng: Rng,
     next_goal_id: u64,
     goals_created: u64,
@@ -142,6 +147,9 @@ pub struct Core {
     /// fault plan never perturbs the strategy's random stream.
     fault_rng: Rng,
     faults: FaultState,
+    /// Scratch buffers for the crash sweep, reused across crashes.
+    sweep_orphans: Vec<GoalId>,
+    sweep_respawns: Vec<GoalId>,
 }
 
 impl Core {
@@ -299,26 +307,40 @@ impl Core {
         pe: PeId,
         exclude: Option<PeId>,
     ) -> Option<(PeId, u32)> {
+        // Field destructuring gives `rng` mutably alongside shared borrows
+        // of the rest, so the neighbour slice is loaded once (this is a
+        // per-placement-decision hot path).
+        let Core {
+            topo,
+            pes,
+            channels,
+            rng,
+            config,
+            ..
+        } = self;
         let mut best: Option<(PeId, u32)> = None;
         let mut ties = 0u64;
-        for i in 0..self.topo.neighbors(pe).len() {
-            let n = self.topo.neighbors(pe)[i];
+        for (i, n) in topo.neighbors(pe).iter().enumerate() {
             if Some(n.pe) == exclude {
                 continue;
             }
-            if self.pes[n.pe.idx()].failed || self.channels[n.channel.idx()].down {
+            if pes[n.pe.idx()].failed || channels[n.channel.idx()].down {
                 continue;
             }
-            let load = match self.config.load_info {
-                LoadInfoMode::Instant => self.load(n.pe),
-                LoadInfoMode::Piggyback { .. } => self.pes[pe.idx()].known_load[i],
+            let load = match config.load_info {
+                LoadInfoMode::Instant => {
+                    let p = &pes[n.pe.idx()];
+                    p.load(config.count_responses_in_load)
+                        + config.future_commitment_weight * p.waiting_tasks()
+                }
+                LoadInfoMode::Piggyback { .. } => pes[pe.idx()].known_load[i],
             };
             match best {
                 Some((_, b)) if load > b => {}
                 Some((_, b)) if load == b => {
                     // Reservoir-sample among the tied minima.
                     ties += 1;
-                    if self.rng.below(ties + 1) == 0 {
+                    if rng.below(ties + 1) == 0 {
                         best = Some((n.pe, load));
                     }
                 }
@@ -470,11 +492,12 @@ impl Core {
     // ------------------------------------------------------------------
 
     /// Index of `nbr` within `pe`'s sorted neighbour list.
+    #[inline]
     fn neighbor_index(&self, pe: PeId, nbr: PeId) -> Option<usize> {
-        self.topo
-            .neighbors(pe)
-            .binary_search_by_key(&nbr, |n| n.pe)
-            .ok()
+        match self.nbr_index[pe.idx() * self.pes.len() + nbr.idx()] {
+            u16::MAX => None,
+            i => Some(i as usize),
+        }
     }
 
     fn current_load_word(&self, pe: PeId) -> u32 {
@@ -496,21 +519,14 @@ impl Core {
     }
 
     fn broadcast_packet(&mut self, from: PeId, packet: Packet) {
-        // One transmission per distinct incident channel.
-        let mut seen: Vec<ChannelId> = Vec::with_capacity(4);
-        let nbrs = self.topo.neighbors(from).len();
-        for i in 0..nbrs {
-            let ch = self.topo.neighbors(from)[i].channel;
-            if !seen.contains(&ch) {
-                seen.push(ch);
-            }
-        }
-        for ch in seen {
+        // One transmission per distinct incident channel (precomputed).
+        for i in 0..self.incident[from.idx()].len() {
+            let ch = self.incident[from.idx()][i];
             let flight = Flight {
                 from,
                 dest: FlightDest::Broadcast,
                 piggyback_load: self.piggyback_word(from),
-                packet: packet.clone(),
+                packet,
             };
             self.offer_to_channel(ch, flight);
         }
@@ -771,7 +787,7 @@ impl Machine {
         program: Box<dyn Program>,
         strategy: Box<dyn Strategy>,
         costs: CostModel,
-        config: MachineConfig,
+        mut config: MachineConfig,
     ) -> Result<Self, SimError> {
         costs.validate().map_err(SimError::InvalidConfig)?;
         config.validate().map_err(SimError::InvalidConfig)?;
@@ -799,9 +815,35 @@ impl Machine {
         }
         let channels = (0..topo.num_channels()).map(|_| Channel::new()).collect();
         let max_hops = topo.diameter() as usize + 2;
+        // Distinct incident channels per PE, in first-appearance order —
+        // the broadcast fan-out list, built once instead of per event.
+        let incident: Vec<Vec<ChannelId>> = topo
+            .pes()
+            .map(|pe| {
+                let mut chans: Vec<ChannelId> = Vec::new();
+                for n in topo.neighbors(pe) {
+                    if !chans.contains(&n.channel) {
+                        chans.push(n.channel);
+                    }
+                }
+                chans
+            })
+            .collect();
+        // Flat `[pe * num_pes + nbr]` neighbour-position table. Every
+        // delivery (and every bus snoop) updates a load-table entry via
+        // this lookup, so it must be O(1), not a search.
+        let n = topo.num_pes();
+        let mut nbr_index = vec![u16::MAX; n * n];
+        for pe in topo.pes() {
+            for (i, nb) in topo.neighbors(pe).iter().enumerate() {
+                nbr_index[pe.idx() * n + nb.pe.idx()] = i as u16;
+            }
+        }
         // Fold the legacy `fail_pe` shorthand into the effective plan
         // (leniently: an out-of-range PE is ignored, as it always was).
-        let mut plan = config.fault_plan.clone();
+        // Taking it out of the config avoids cloning the plan's vectors;
+        // the effective plan in `Core::plan` is the single source of truth.
+        let mut plan = std::mem::take(&mut config.fault_plan);
         if let Some((pe, at)) = config.fail_pe {
             if (pe as usize) < topo.num_pes() {
                 plan.pe_crashes.push(PeCrash { pe, at });
@@ -811,12 +853,18 @@ impl Machine {
         // leaves the strategy's randomness bit-identical to a run without
         // fault support at all.
         let fault_rng = Rng::seed_from_u64(config.seed ^ 0xD0E5_F00D_5EED_CAFE);
+        let events = match config.queue_backend {
+            QueueBackend::Heap => DualQueue::heap_with_capacity(1024),
+            QueueBackend::Calendar => DualQueue::calendar(),
+        };
         Ok(Machine {
             core: Core {
                 rng,
                 pes,
                 channels,
-                events: EventQueue::with_capacity(1024),
+                events,
+                incident,
+                nbr_index,
                 next_goal_id: 0,
                 goals_created: 0,
                 goals_executed: 0,
@@ -831,6 +879,8 @@ impl Machine {
                 plan,
                 fault_rng,
                 faults: FaultState::new(),
+                sweep_orphans: Vec::new(),
+                sweep_respawns: Vec::new(),
                 topo,
                 costs,
                 config,
@@ -866,13 +916,16 @@ impl Machine {
 
         // Arm the fault plan: crashes, link windows, slowdown windows.
         // (The legacy `fail_pe` shorthand was folded in at construction.)
-        let plan = self.core.plan.clone();
-        for c in &plan.pe_crashes {
+        // Index loops over the `Copy` entries sidestep borrowing the plan
+        // while scheduling, without cloning its vectors.
+        for i in 0..self.core.plan.pe_crashes.len() {
+            let c = self.core.plan.pe_crashes[i];
             self.core
                 .events
                 .schedule_at(SimTime(c.at), Event::FailPe(PeId(c.pe)));
         }
-        for w in &plan.link_windows {
+        for i in 0..self.core.plan.link_windows.len() {
+            let w = self.core.plan.link_windows[i];
             self.core
                 .events
                 .schedule_at(SimTime(w.down_at), Event::LinkDown(ChannelId(w.channel)));
@@ -880,7 +933,8 @@ impl Machine {
                 .events
                 .schedule_at(SimTime(w.up_at), Event::LinkUp(ChannelId(w.channel)));
         }
-        for s in &plan.slowdowns {
+        for i in 0..self.core.plan.slowdowns.len() {
+            let s = self.core.plan.slowdowns[i];
             self.core
                 .events
                 .schedule_at(SimTime(s.from), Event::SlowStart(PeId(s.pe), s.factor));
@@ -1088,9 +1142,13 @@ impl Machine {
         }
         if self.core.plan.recovery.is_some() {
             // Sweep the tracked goals. Sorted ids: HashMap iteration order
-            // must never leak into the event sequence.
-            let mut orphans: Vec<GoalId> = Vec::new();
-            let mut respawns: Vec<GoalId> = Vec::new();
+            // must never leak into the event sequence. The scratch buffers
+            // are reused across crashes so repeated sweeps only allocate up
+            // to their high-water mark.
+            let mut orphans = std::mem::take(&mut self.core.sweep_orphans);
+            let mut respawns = std::mem::take(&mut self.core.sweep_respawns);
+            orphans.clear();
+            respawns.clear();
             for (&id, o) in &self.core.faults.outstanding {
                 if matches!(o.parent, Some((ppe, _)) if ppe == pe) {
                     orphans.push(id);
@@ -1100,17 +1158,20 @@ impl Machine {
             }
             orphans.sort();
             respawns.sort();
-            for id in orphans {
+            for &id in &orphans {
                 self.core.faults.outstanding.remove(&id);
             }
-            for id in respawns {
+            for &id in &respawns {
                 self.respawn(id);
             }
+            self.core.sweep_orphans = orphans;
+            self.core.sweep_respawns = respawns;
         }
         // Live neighbours learn of the crash (the physical machine would
-        // detect it via keep-alives; the simulator is omniscient).
-        let nbrs: Vec<PeId> = self.core.topo.neighbors(pe).iter().map(|n| n.pe).collect();
-        for nbr in nbrs {
+        // detect it via keep-alives; the simulator is omniscient). Index
+        // re-borrowing lets the strategy take `&mut Core` inside the loop.
+        for i in 0..self.core.topo.neighbors(pe).len() {
+            let nbr = self.core.topo.neighbors(pe)[i].pe;
             if !self.core.pes[nbr.idx()].failed {
                 self.strategy.on_neighbor_down(&mut self.core, nbr, pe);
             }
@@ -1181,12 +1242,13 @@ impl Machine {
                 channel: ch.0,
             });
         }
-        let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
-        for &a in &members {
+        for i in 0..self.core.topo.channel_members(ch).len() {
+            let a = self.core.topo.channel_members(ch)[i];
             if self.core.pes[a.idx()].failed {
                 continue;
             }
-            for &b in &members {
+            for j in 0..self.core.topo.channel_members(ch).len() {
+                let b = self.core.topo.channel_members(ch)[j];
                 if b != a {
                     self.strategy.on_neighbor_down(&mut self.core, a, b);
                 }
@@ -1220,12 +1282,13 @@ impl Machine {
                 .events
                 .schedule_after(cost, Event::ChannelDone(ch));
         }
-        let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
-        for &a in &members {
+        for i in 0..self.core.topo.channel_members(ch).len() {
+            let a = self.core.topo.channel_members(ch)[i];
             if self.core.pes[a.idx()].failed {
                 continue;
             }
-            for &b in &members {
+            for j in 0..self.core.topo.channel_members(ch).len() {
+                let b = self.core.topo.channel_members(ch)[j];
                 if b != a && !self.core.pes[b.idx()].failed {
                     self.strategy.on_neighbor_up(&mut self.core, a, b);
                 }
@@ -1373,7 +1436,7 @@ impl Machine {
 
     /// Create goal messages for `children` of the waiting task `parent` on
     /// `pe` and hand each to the strategy for placement.
-    fn spawn_children(&mut self, pe: PeId, parent: GoalId, children: Vec<TaskSpec>) {
+    fn spawn_children(&mut self, pe: PeId, parent: GoalId, children: TaskList) {
         for spec in children {
             let goal = self.core.make_goal(spec, Some((pe, parent)));
             self.core.track_goal(&goal, 0, goal.created_at);
@@ -1430,8 +1493,8 @@ impl Machine {
         // addressed to one PE. (On a 2-member link this is identical to
         // updating just the receiver.)
         if let Some(load) = flight.piggyback_load {
-            let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
-            for m in members {
+            for i in 0..self.core.topo.channel_members(ch).len() {
+                let m = self.core.topo.channel_members(ch)[i];
                 if m != flight.from {
                     self.core.update_known_load(m, flight.from, load);
                 }
@@ -1443,15 +1506,10 @@ impl Machine {
                 self.deliver(to, flight.from, flight.piggyback_load, flight.packet)
             }
             FlightDest::Broadcast => {
-                let members: Vec<PeId> = self.core.topo.channel_members(ch).to_vec();
-                for to in members {
+                for i in 0..self.core.topo.channel_members(ch).len() {
+                    let to = self.core.topo.channel_members(ch)[i];
                     if to != flight.from {
-                        self.deliver(
-                            to,
-                            flight.from,
-                            flight.piggyback_load,
-                            flight.packet.clone(),
-                        );
+                        self.deliver(to, flight.from, flight.piggyback_load, flight.packet);
                     }
                 }
             }
@@ -1671,7 +1729,7 @@ mod tests {
             if spec.a < 2 {
                 Expansion::Leaf(spec.a)
             } else {
-                Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+                Expansion::Split([spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)].into())
             }
         }
         fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {

@@ -12,7 +12,11 @@ use crate::program::TaskSpec;
 pub struct GoalId(pub u64);
 
 /// A goal message: a piece of work travelling to (or queued at) a PE.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy` is load-bearing for performance: the hot path duplicates packets
+/// when snooping and broadcasting, and a `Copy` message keeps those
+/// duplications allocation-free (`tests/alloc_regression.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GoalMsg {
     /// Unique id of this goal.
     pub id: GoalId,
@@ -43,7 +47,7 @@ pub struct ControlMsg {
 }
 
 /// A message in flight (or queued) on a channel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Packet {
     /// A goal travelling one hop; the strategy decides what happens on
     /// arrival.
@@ -87,7 +91,7 @@ pub enum FlightDest {
 }
 
 /// One hop of one message: what travels on a channel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flight {
     /// The transmitting PE.
     pub from: PeId,

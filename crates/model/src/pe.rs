@@ -1,13 +1,13 @@
 //! Per-PE state: work queue, the executing item, and waiting tasks.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use oracle_des::{BusyTracker, IntervalSeries, SimTime};
+use oracle_des::{BusyTracker, FastHashMap, IntervalSeries, SimTime};
 use oracle_topo::PeId;
 
 use crate::config::QueueDiscipline;
 use crate::message::{GoalId, GoalMsg, Packet};
-use crate::program::{Expansion, TaskSpec};
+use crate::program::{Expansion, TaskList, TaskSpec};
 
 /// An item in a PE's work queue.
 #[derive(Debug, Clone)]
@@ -54,10 +54,7 @@ pub enum Executing {
         value: i64,
     },
     /// A waiting task spawning its next round of subgoals.
-    Respawn {
-        goal: GoalId,
-        children: Vec<TaskSpec>,
-    },
+    Respawn { goal: GoalId, children: TaskList },
     /// Software routing / balancing work (no co-processor).
     Handle { from: PeId, packet: Packet },
     /// A strategy timer charged to the PE (no co-processor).
@@ -100,8 +97,9 @@ pub struct Pe {
     pub exec_start: SimTime,
     /// When the current item completes.
     pub busy_until: SimTime,
-    /// Tasks pinned here awaiting responses.
-    pub waiting: HashMap<GoalId, Waiting>,
+    /// Tasks pinned here awaiting responses. Fast integer-keyed map: the
+    /// lookup is on the response-delivery hot path.
+    pub waiting: FastHashMap<GoalId, Waiting>,
     /// Last known load of each neighbour, indexed like
     /// `Topology::neighbors(id)`.
     pub known_load: Vec<u32>,
@@ -136,12 +134,14 @@ impl Pe {
     pub fn new(id: PeId, degree: usize, sampling_interval: u64) -> Self {
         Pe {
             id,
-            queue: VecDeque::new(),
+            // Sized so steady-state enqueues stay allocation-free on the
+            // paper workloads (queues rarely exceed a few dozen items).
+            queue: VecDeque::with_capacity(32),
             sys_queue: VecDeque::new(),
             executing: None,
             exec_start: SimTime::ZERO,
             busy_until: SimTime::ZERO,
-            waiting: HashMap::new(),
+            waiting: FastHashMap::default(),
             known_load: vec![0; degree],
             busy: BusyTracker::new(),
             series: IntervalSeries::new(sampling_interval),

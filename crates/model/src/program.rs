@@ -12,6 +12,7 @@
 //! simulated machine must produce the actual Fibonacci number, which
 //! end-to-end checks the whole message plumbing.
 
+use oracle_des::InlineVec;
 use serde::{Deserialize, Serialize};
 
 /// The parameters of one task (goal). The meaning of the fields is
@@ -51,13 +52,20 @@ impl TaskSpec {
     }
 }
 
+/// Child list of one task split. Up to four children — the overwhelmingly
+/// common fan-out (binary divide-and-conquer, fib, tak) — live inline with
+/// no heap allocation; wider fan-outs (cyclic phases, random trees) spill
+/// transparently. Accepts array literals, `Vec`s, and `collect()`:
+/// `Expansion::Split([a, b].into())` allocates nothing.
+pub type TaskList = InlineVec<TaskSpec, 4>;
+
 /// Result of executing a task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expansion {
     /// Base case: the task completes immediately with this value.
     Leaf(i64),
     /// The task spawns these subgoals and waits for their responses.
-    Split(Vec<TaskSpec>),
+    Split(TaskList),
 }
 
 /// What a waiting task does once all responses of the current round are in.
@@ -66,7 +74,7 @@ pub enum Continuation {
     /// Respond to the parent with this value.
     Done(i64),
     /// Spawn another round of subgoals (cyclic-parallelism programs).
-    Spawn(Vec<TaskSpec>),
+    Spawn(TaskList),
 }
 
 /// A simulated computation.
@@ -129,7 +137,7 @@ mod tests {
         }
         fn expand(&self, spec: &TaskSpec) -> Expansion {
             if spec.depth == 0 {
-                Expansion::Split(vec![spec.child(1, 0), spec.child(2, 0)])
+                Expansion::Split([spec.child(1, 0), spec.child(2, 0)].into())
             } else {
                 Expansion::Leaf(spec.a)
             }

@@ -83,7 +83,7 @@ pub(crate) mod testutil {
             if spec.a < 2 {
                 Expansion::Leaf(spec.a)
             } else {
-                Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+                Expansion::Split([spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)].into())
             }
         }
         fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {

@@ -9,7 +9,7 @@
 //! drains — exactly the regime where CWN's inability to redistribute old
 //! work and GM's slow restart should differ.
 
-use oracle_model::{Continuation, Expansion, Program, TaskSpec};
+use oracle_model::{Continuation, Expansion, Program, TaskList, TaskSpec};
 
 /// Tag value marking the root task.
 const TAG_ROOT: u32 = 0;
@@ -42,7 +42,7 @@ impl Cyclic {
     }
 
     /// The `width` subtree specs of one phase.
-    fn phase_children(&self, root: &TaskSpec) -> Vec<TaskSpec> {
+    fn phase_children(&self, root: &TaskSpec) -> TaskList {
         (0..self.width)
             .map(|_| {
                 let mut c = root.child(1, self.leaves);
@@ -70,7 +70,7 @@ impl Program for Cyclic {
                     Expansion::Leaf(spec.a)
                 } else {
                     let mid = (spec.a + spec.b) / 2;
-                    Expansion::Split(vec![spec.child(spec.a, mid), spec.child(mid + 1, spec.b)])
+                    Expansion::Split([spec.child(spec.a, mid), spec.child(mid + 1, spec.b)].into())
                 }
             }
             t => unreachable!("unknown cyclic task tag {t}"),

@@ -49,7 +49,7 @@ impl Program for DivideConquer {
             Expansion::Leaf(spec.a)
         } else {
             let mid = (spec.a + spec.b) / 2;
-            Expansion::Split(vec![spec.child(spec.a, mid), spec.child(mid + 1, spec.b)])
+            Expansion::Split([spec.child(spec.a, mid), spec.child(mid + 1, spec.b)].into())
         }
     }
 

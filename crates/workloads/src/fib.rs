@@ -52,7 +52,7 @@ impl Program for Fibonacci {
         if spec.a < 2 {
             Expansion::Leaf(spec.a)
         } else {
-            Expansion::Split(vec![spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)])
+            Expansion::Split([spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)].into())
         }
     }
 

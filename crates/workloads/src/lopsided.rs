@@ -9,7 +9,7 @@
 //! Every task returns the node count of its subtree, so the root's result
 //! must equal the number of goals generated — a built-in conservation check.
 
-use oracle_model::{Expansion, Program, TaskSpec};
+use oracle_model::{Expansion, Program, TaskList, TaskSpec};
 
 /// A skewed binary task tree with an exact node budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,7 @@ impl Program for Lopsided {
             return Expansion::Leaf(1);
         }
         let (left, right) = self.split_budget(n - 1);
-        let mut children = Vec::with_capacity(2);
+        let mut children = TaskList::new();
         if left >= 1 {
             children.push(spec.child(left, 0));
         }

@@ -10,7 +10,7 @@
 //! Like [`crate::Lopsided`], every task returns its subtree's node count, so
 //! the root result must equal the number of goals generated.
 
-use oracle_model::{Expansion, Program, TaskSpec};
+use oracle_model::{Expansion, Program, TaskList, TaskSpec};
 
 /// SplitMix64 finalizer — the per-task hash.
 fn mix(mut z: u64) -> u64 {
@@ -80,7 +80,7 @@ impl Program for RandomTree {
         // the first few, each child perturbed hash-deterministically.
         let base = rest / k;
         let extra = rest % k;
-        let mut children = Vec::with_capacity(k as usize);
+        let mut children = TaskList::new();
         for i in 0..k {
             let share = base + i64::from(i < extra);
             if share >= 1 {

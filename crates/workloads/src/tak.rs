@@ -137,11 +137,14 @@ impl Program for Tak {
         if y >= x {
             Expansion::Leaf(z as i64)
         } else {
-            Expansion::Split(vec![
-                Self::child_of(spec, (x - 1, y, z)),
-                Self::child_of(spec, (y - 1, z, x)),
-                Self::child_of(spec, (z - 1, x, y)),
-            ])
+            Expansion::Split(
+                [
+                    Self::child_of(spec, (x - 1, y, z)),
+                    Self::child_of(spec, (y - 1, z, x)),
+                    Self::child_of(spec, (z - 1, x, y)),
+                ]
+                .into(),
+            )
         }
     }
 
@@ -158,7 +161,7 @@ impl Program for Tak {
             let a = self.values[&(x - 1, y, z)];
             let b = self.values[&(y - 1, z, x)];
             let c = self.values[&(z - 1, x, y)];
-            Continuation::Spawn(vec![Self::child_of(spec, (a, b, c))])
+            Continuation::Spawn([Self::child_of(spec, (a, b, c))].into())
         } else {
             Continuation::Done(acc)
         }

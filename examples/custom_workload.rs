@@ -55,7 +55,7 @@ impl Program for NQueens {
         if children.is_empty() {
             Expansion::Leaf(0) // dead end: no solutions below here
         } else {
-            Expansion::Split(children)
+            Expansion::Split(children.into())
         }
     }
 

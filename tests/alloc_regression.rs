@@ -1,0 +1,108 @@
+//! Allocation-regression guard for the steady-state event loop.
+//!
+//! The hot path (PR 2) is supposed to be allocation-free per event: packets
+//! are `Copy`, fan-out goes through inline vectors, neighbor/channel tables
+//! are precomputed, and the metrics series are bounded. This test pins that
+//! property with a counting global allocator.
+//!
+//! Measuring "zero allocations per event" directly is impossible — machine
+//! construction, the `Report`, and amortized container growth all allocate
+//! a workload-independent (or logarithmic) amount. So the test differences
+//! two runs of the same configuration at different workload sizes: the
+//! construction cost cancels, and what remains is the marginal allocation
+//! cost of the extra events.
+//!
+//! Tolerance: the steady state is not literally zero because growable
+//! containers (PE queues, the timing wheel's slot deques, waiting-task maps)
+//! double geometrically as the working set first expands, contributing
+//! O(log n) reallocations, and the bounded metrics series coarsen a few
+//! times per run. Amortized over the tens of thousands of extra events this
+//! is well under one allocation per hundred events; the assertion allows
+//! `MAX_ALLOCS_PER_EVENT = 0.02` to keep the guard sharp without being
+//! flaky. (The pre-optimization hot path allocated 3–5 times *per event*:
+//! a 150–250× margin.)
+//!
+//! This file deliberately contains a single `#[test]`: the counter is a
+//! process global, and a sibling test running on another thread would
+//! pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oracle::prelude::*;
+
+/// Wraps the system allocator, counting every allocation (and counting
+/// `realloc` as one, since growth is exactly what we are guarding against).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const MAX_ALLOCS_PER_EVENT: f64 = 0.02;
+
+fn measured_run(n: i64) -> (u64, u64) {
+    let config = SimulationBuilder::new()
+        .topology(TopologySpec::grid(10))
+        .strategy(StrategySpec::cwn_paper(true))
+        .workload(WorkloadSpec::fib(n))
+        .seed(1)
+        .config();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = config.run().expect("run");
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    (allocs, report.events)
+}
+
+#[test]
+fn steady_state_event_loop_is_allocation_free() {
+    // Warm-up run: lazy statics, thread-local buffers, the first geometric
+    // growth of every container — none of that is steady state.
+    let _ = measured_run(14);
+
+    let (small_allocs, small_events) = measured_run(14);
+    let (large_allocs, large_events) = measured_run(18);
+    assert!(
+        large_events > small_events + 50_000,
+        "workload sizes too close to difference: {small_events} vs {large_events}"
+    );
+
+    // Identical topology and config: construction, Report assembly, and the
+    // bounded metrics series cost the same in both runs, so the difference
+    // is the marginal allocation cost of the extra events alone.
+    let extra_allocs = large_allocs.saturating_sub(small_allocs) as f64;
+    let extra_events = (large_events - small_events) as f64;
+    let per_event = extra_allocs / extra_events;
+    eprintln!(
+        "alloc regression: {extra_allocs} extra allocations over {extra_events} \
+         extra events = {per_event:.5} allocs/event (limit {MAX_ALLOCS_PER_EVENT})"
+    );
+    assert!(
+        per_event < MAX_ALLOCS_PER_EVENT,
+        "steady-state event loop allocates: {per_event:.5} allocations per \
+         event (limit {MAX_ALLOCS_PER_EVENT}) — a hot-path allocation crept \
+         back in"
+    );
+}

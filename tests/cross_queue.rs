@@ -1,0 +1,99 @@
+//! Machine-level cross-queue determinism: the binary-heap `EventQueue` and
+//! the timing-wheel `CalendarQueue` must produce bit-identical `Report`s on
+//! full paper workloads, not just agree on the queue-order proptest.
+//!
+//! Both backends promise the same ordering contract — (time, insertion
+//! sequence) — so swapping one for the other may change throughput but never
+//! a simulated result. These tests run each configuration once per backend
+//! and compare the complete `Debug` rendering of the `Report` (completion
+//! time, utilizations including float series, hop histograms, traffic and
+//! fault counters), the same full-fidelity comparison the golden tests use.
+
+use oracle::prelude::*;
+use oracle_model::QueueBackend;
+
+fn reports_match(name: &str, build: impl Fn() -> SimulationBuilder) {
+    let run = |backend: QueueBackend| {
+        let report = build()
+            .queue_backend(backend)
+            .config()
+            .run()
+            .unwrap_or_else(|e| panic!("{name} under {backend:?} failed: {e:?}"));
+        format!("{report:#?}")
+    };
+    let heap = run(QueueBackend::Heap);
+    let calendar = run(QueueBackend::Calendar);
+    assert!(
+        heap == calendar,
+        "{name}: Report diverged between queue backends — the event-list \
+         implementations no longer share the (time, seq) ordering contract"
+    );
+}
+
+#[test]
+fn fib15_grid_cwn_and_gm_identical_across_backends() {
+    for (strategy, tag) in [
+        (StrategySpec::cwn_paper(true), "cwn"),
+        (StrategySpec::gradient_paper(true), "gm"),
+    ] {
+        reports_match(&format!("fib15/grid10/{tag}"), || {
+            SimulationBuilder::new()
+                .topology(TopologySpec::grid(10))
+                .strategy(strategy)
+                .workload(WorkloadSpec::fib(15))
+                .per_pe_series(true)
+                .seed(11)
+        });
+    }
+}
+
+#[test]
+fn fib15_dlm_cwn_and_gm_identical_across_backends() {
+    for (strategy, tag) in [
+        (StrategySpec::cwn_paper(false), "cwn"),
+        (StrategySpec::gradient_paper(false), "gm"),
+    ] {
+        reports_match(&format!("fib15/dlm10/{tag}"), || {
+            SimulationBuilder::new()
+                .topology(TopologySpec::dlm(10))
+                .strategy(strategy)
+                .workload(WorkloadSpec::fib(15))
+                .seed(12)
+        });
+    }
+}
+
+#[test]
+fn dc_4_6_identical_across_backends() {
+    reports_match("dc(4,6)/grid5/cwn", || {
+        SimulationBuilder::new()
+            .topology(TopologySpec::grid(5))
+            .strategy(StrategySpec::cwn_paper(true))
+            .workload(WorkloadSpec::DivideConquer { m: 4, n: 6 })
+            .seed(13)
+    });
+}
+
+#[test]
+fn faulty_run_identical_across_backends() {
+    // Faults add timer churn, detour routing, and the recovery sweep — the
+    // paths most likely to depend accidentally on event-queue internals.
+    use oracle_model::{FaultPlan, RecoveryParams};
+    reports_match("fib12/grid5/cwn+faults", || {
+        SimulationBuilder::new()
+            .topology(TopologySpec::grid(5))
+            .strategy(StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            })
+            .workload(WorkloadSpec::fib(12))
+            .fault_plan(
+                FaultPlan::none()
+                    .crash(7, 400)
+                    .link_down(3, 200, 900)
+                    .with_loss(0.02)
+                    .with_recovery(RecoveryParams::default()),
+            )
+            .seed(14)
+    });
+}

@@ -8,23 +8,102 @@
 //! oracle-cli list
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use oracle::builder::paper_strategies;
+use oracle::checkpoint::CheckpointError;
 use oracle::prelude::*;
 use oracle::table::{f1, f2};
+
+/// A classified command failure: `kind` is the machine-readable class in
+/// the one-line stderr summary (`error[kind]: message`), `code` the
+/// process exit code.
+///
+/// Exit codes: 0 success; 2 the simulation itself failed (invariant
+/// violation, unplanned goal loss, stall, stagnation, event-limit); 3 the
+/// run never started or could not be recorded (bad flags/specs/plans,
+/// unreadable files, bad checkpoints).
+#[derive(Debug)]
+struct Failure {
+    kind: &'static str,
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn config(message: impl Into<String>) -> Failure {
+        Failure {
+            kind: "config",
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Failure {
+        Failure {
+            kind: "io",
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    /// Prefix the message with the run label that failed.
+    fn context(mut self, label: &str) -> Failure {
+        self.message = format!("{label}: {}", self.message);
+        self
+    }
+}
+
+/// Flag/spec parse errors arriving as bare strings are configuration
+/// errors.
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure::config(message)
+    }
+}
+
+/// Classify a simulation error by outcome class.
+fn sim_failure(e: SimError) -> Failure {
+    let kind = match &e {
+        SimError::InvariantViolation { .. } => "invariant",
+        SimError::GoalsLost { .. } => "goals-lost",
+        SimError::Stalled { .. } => "stalled",
+        SimError::Stagnation { .. } => "stagnation",
+        SimError::EventLimit { .. } => "event-limit",
+        SimError::InvalidConfig(_) => return Failure::config(e.to_string()),
+    };
+    Failure {
+        kind,
+        code: 2,
+        message: e.to_string(),
+    }
+}
+
+fn checkpoint_failure(e: CheckpointError) -> Failure {
+    match e {
+        CheckpointError::Sim(e) => sim_failure(e),
+        CheckpointError::Io(e) => Failure::io(e.to_string()),
+        CheckpointError::Format(m) => Failure {
+            kind: "checkpoint",
+            code: 3,
+            message: m,
+        },
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::from(2);
+        return ExitCode::from(3);
     };
     let result = match cmd.as_str() {
         "run" => cmd_run(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "experiment" => cmd_experiment(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "topo-info" => cmd_topo_info(&args[1..]),
         "list" => {
             print_list();
@@ -34,13 +113,15 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(Failure::config(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
+        Err(f) => {
+            eprintln!("error[{}]: {}", f.kind, f.message);
+            ExitCode::from(f.code)
         }
     }
 }
@@ -50,8 +131,23 @@ oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
 
 commands:
   run       --topology T --strategy S --workload W [--seed N] [--csv]
-            [--series] [--trace N] [--heatmap FILE.ppm] [--faults PLAN]
-            run one simulation and print its report
+            [--series] [--trace N] [--heatmap FILE.ppm] [--faults PLAN|@FILE]
+            [--audit-every N] [--checkpoint-every T [--checkpoint-dir DIR]]
+            [--resume FILE]
+            run one simulation and print its report;
+            --faults @FILE loads a plan file (blank/# lines ignored, one
+            or more `+`-separated terms per line);
+            --audit-every N checks runtime invariants every N events;
+            --checkpoint-every T writes an atomic checkpoint every T sim
+            time units (to --checkpoint-dir, default ./checkpoints);
+            --resume FILE continues a checkpointed run to a bit-identical
+            final report (config is embedded; spec flags are not needed)
+  chaos     [--cases N] [--seed N] [--threads N] [--stall-secs S]
+            [--audit-every N] [--out DIR]
+            run a seeded chaos-fuzzing sweep (random fault plans thrown at
+            random runs, auditor on, each case under a panic catcher and
+            watchdog); shrunk reproducers are written to DIR; exits 2 if
+            any case fails
   compare   --topology T --workload W [--seed N]
             run CWN vs the Gradient Model with the paper's parameters
   batch FILE [--csv] [--threads N]
@@ -79,7 +175,11 @@ spec grammars:
             random:BUDGETxMAXCHILDxGRAINxSEED | cyclic:PHASESxWIDTHxLEAVES |
             tak:18x12x6
   faults:   `+`-separated terms of crash:PE@T | link:CH@DOWN..UP | loss:P% |
-            slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none";
+            slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none
+
+exit codes: 0 success | 2 simulation failed (invariant violation, goals
+            lost, stall, …) | 3 configuration or I/O error
+            failures print one line to stderr: error[CLASS]: message";
 
 /// Pull `--flag value` pairs and boolean flags out of an argument list.
 struct Flags<'a> {
@@ -121,27 +221,96 @@ fn apply_threads(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+/// Resolve `--faults`: a plan string, or `@FILE` naming a plan file whose
+/// non-comment lines are joined with `+` (so a file may list one term per
+/// line — the format chaos reproducers are written in).
+fn parse_faults_flag(flags: &Flags) -> Result<oracle::model::FaultPlan, Failure> {
+    let Some(value) = flags.value_of("--faults") else {
+        return Ok(oracle::model::FaultPlan::none());
+    };
+    let text = match value.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| Failure::io(format!("--faults {path}: {e}")))?,
+        None => value.to_string(),
+    };
+    let terms: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if terms.is_empty() {
+        return Ok(oracle::model::FaultPlan::none());
+    }
+    terms
+        .join("+")
+        .parse()
+        .map_err(|e: oracle::model::faults::ParseFaultPlanError| {
+            Failure::config(format!("--faults: {e}"))
+        })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
+    let trace_cap: usize = flags.parse("--trace", 0)?;
+    let heatmap_path = flags.value_of("--heatmap");
+
+    if let Some(path) = flags.value_of("--resume") {
+        if trace_cap > 0 || heatmap_path.is_some() {
+            return Err(Failure::config(
+                "--resume replays the checkpointed config; --trace/--heatmap do not apply",
+            ));
+        }
+        let (config, report) = oracle::checkpoint::resume_run(Path::new(path))
+            .map_err(|e| checkpoint_failure(e).context(path))?;
+        println!(
+            "resumed {} on {} under {} from {path}",
+            config.workload, config.topology, config.strategy
+        );
+        print_report(&report, &flags);
+        return Ok(());
+    }
+
     let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
     let strategy: StrategySpec = flags.parse("--strategy", StrategySpec::cwn_paper(true))?;
     let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
     let seed: u64 = flags.parse("--seed", 1)?;
-    let faults: oracle::model::FaultPlan =
-        flags.parse("--faults", oracle::model::FaultPlan::none())?;
+    let audit_every: u64 = flags.parse("--audit-every", 0)?;
+    let faults = parse_faults_flag(&flags)?;
 
-    let trace_cap: usize = flags.parse("--trace", 0)?;
-    let heatmap_path = flags.value_of("--heatmap");
+    let mut machine_cfg = MachineConfig {
+        audit_every,
+        trace_capacity: trace_cap,
+        fault_plan: faults,
+        ..MachineConfig::default()
+    };
+    machine_cfg.seed = seed;
+    machine_cfg.per_pe_series = flags.has("--series") || heatmap_path.is_some();
     let config = SimulationBuilder::new()
         .topology(topology)
         .strategy(strategy)
         .workload(workload)
-        .per_pe_series(flags.has("--series") || heatmap_path.is_some())
-        .trace_capacity(trace_cap)
-        .seed(seed)
-        .fault_plan(faults)
+        .machine(machine_cfg)
         .config();
-    let (report, trace) = config.run_traced().map_err(|e| e.to_string())?;
+
+    let checkpoint_every: u64 = flags.parse("--checkpoint-every", 0)?;
+    if checkpoint_every > 0 {
+        if trace_cap > 0 || heatmap_path.is_some() {
+            return Err(Failure::config(
+                "--checkpoint-every does not combine with --trace/--heatmap",
+            ));
+        }
+        let dir = flags.value_of("--checkpoint-dir").unwrap_or("checkpoints");
+        let out =
+            oracle::checkpoint::run_with_checkpoints(&config, checkpoint_every, Path::new(dir))
+                .map_err(checkpoint_failure)?;
+        for path in &out.checkpoints {
+            println!("checkpoint: {}", path.display());
+        }
+        print_report(&out.report, &flags);
+        return Ok(());
+    }
+
+    let (report, trace) = config.run_traced().map_err(sim_failure)?;
     if let Some(path) = heatmap_path {
         let series = report
             .per_pe_series
@@ -149,7 +318,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .expect("per-PE series was requested");
         let img = oracle::heatmap::render(series, 4);
         img.write_to(path)
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| Failure::io(format!("writing {path}: {e}")))?;
         println!(
             "wrote load-monitor heatmap to {path} ({}x{} px)",
             img.width(),
@@ -157,6 +326,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
 
+    print_report(&report, &flags);
+    if trace_cap > 0 {
+        println!("\nevent trace (first {} events):", trace.events().len());
+        print!("{}", trace.render());
+    }
+    Ok(())
+}
+
+fn print_report(report: &Report, flags: &Flags) {
     if flags.has("--csv") {
         println!("metric,value");
         println!("strategy,{}", report.strategy);
@@ -221,21 +399,75 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             println!("  {t},{:.1}", u * 100.0);
         }
     }
-    if trace_cap > 0 {
-        println!("\nevent trace (first {} events):", trace.events().len());
-        print!("{}", trace.render());
+}
+
+/// Chaos-fuzzing sweep frontend over [`oracle::chaos`].
+fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
+    let flags = Flags { args };
+    let mut config = oracle::chaos::ChaosConfig::default();
+    config.cases = flags.parse("--cases", config.cases)?;
+    config.seed = flags.parse("--seed", config.seed)?;
+    config.audit_every = flags.parse("--audit-every", config.audit_every)?;
+    let threads: usize = flags.parse("--threads", 0)?;
+    if flags.value_of("--threads").is_some() {
+        if threads == 0 {
+            return Err(Failure::config("--threads must be at least 1"));
+        }
+        config.threads = threads;
+    }
+    let stall_secs: u64 = flags.parse("--stall-secs", config.stall_timeout.as_secs())?;
+    config.stall_timeout = std::time::Duration::from_secs(stall_secs);
+    let out_dir = flags.value_of("--out");
+
+    println!(
+        "chaos sweep: {} cases, master seed {}, {} threads, auditor every {} events",
+        config.cases, config.seed, config.threads, config.audit_every
+    );
+    let report = oracle::chaos::run_chaos(&config);
+    for (case, outcome) in &report.outcomes {
+        println!("  {} -> {outcome}", case.label());
+    }
+    println!(
+        "chaos summary: {} completed, {} contained, {} failures",
+        report.count("completed"),
+        report.count("contained"),
+        report.failures.len()
+    );
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| Failure::io(format!("{dir}: {e}")))?;
+        for failure in &report.failures {
+            let path = format!("{dir}/chaos-repro-{:03}.suite", failure.case.index);
+            std::fs::write(&path, failure.reproducer())
+                .map_err(|e| Failure::io(format!("{path}: {e}")))?;
+            println!("wrote reproducer {path}");
+        }
+    }
+    if let Some(worst) = report.failures.first() {
+        return Err(Failure {
+            kind: "chaos",
+            code: 2,
+            message: format!(
+                "{} of {} cases failed; first: {} -> {}",
+                report.failures.len(),
+                config.cases,
+                worst.shrunk.suite_line(),
+                worst.shrunk_outcome
+            ),
+        });
     }
     Ok(())
 }
 
-fn cmd_experiment(args: &[String]) -> Result<(), String> {
+fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
     use oracle::experiments::{
         ablations, appendix, plots, resilience, table1, table2, table3, Fidelity,
     };
     use oracle::topo::TopologySpec as T;
 
     let Some(name) = args.first() else {
-        return Err("experiment needs a name (e.g. table2); see --help".into());
+        return Err(Failure::config(
+            "experiment needs a name (e.g. table2); see --help",
+        ));
     };
     let flags = Flags { args: &args[1..] };
     let fidelity = if flags.has("--quick") {
@@ -359,25 +591,29 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
                 println!("{}", ablations::render(title, &points));
             }
         }
-        other => return Err(format!("unknown experiment {other:?}; see --help")),
+        other => {
+            return Err(Failure::config(format!(
+                "unknown experiment {other:?}; see --help"
+            )))
+        }
     }
     Ok(())
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+fn cmd_batch(args: &[String]) -> Result<(), Failure> {
     let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
-        return Err("batch needs a suite file".into());
+        return Err(Failure::config("batch needs a suite file"));
     };
     let flags = Flags { args: &args[1..] };
     apply_threads(&flags)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| Failure::io(format!("{path}: {e}")))?;
     let specs = oracle::runner::parse_suite(&text)?;
     let mut table = Table::new(
         format!("suite {path} ({} runs)", specs.len()),
         &["run", "speedup", "util %", "time", "avg dist"],
     );
     for (label, result) in run_batch(&specs) {
-        let r = result.map_err(|e| format!("{label}: {e}"))?;
+        let r = result.map_err(|e| sim_failure(e).context(&label))?;
         table.row(vec![
             label,
             f2(r.speedup),
@@ -394,7 +630,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
     let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
     let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
@@ -428,7 +664,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     );
     let mut speedups = Vec::new();
     for (label, result) in results {
-        let r = result.map_err(|e| format!("{label}: {e}"))?;
+        let r = result.map_err(|e| sim_failure(e).context(&label))?;
         speedups.push(r.speedup);
         table.row(vec![
             label,
@@ -443,9 +679,11 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_topo_info(args: &[String]) -> Result<(), String> {
+fn cmd_topo_info(args: &[String]) -> Result<(), Failure> {
     if args.is_empty() {
-        return Err("topo-info needs at least one topology spec".into());
+        return Err(Failure::config(
+            "topo-info needs at least one topology spec",
+        ));
     }
     // `--dot` prints Graphviz for each spec instead of the table.
     if args.iter().any(|a| a == "--dot") {
@@ -568,14 +806,15 @@ mod tests {
         std::fs::write(&path, "grid:4 cwn:4x1 fib:9\nring:4 local fib:8 seed=2\n").unwrap();
         cmd_batch(&flags(&[path.to_str().unwrap(), "--csv"])).expect("suite runs");
         let err = cmd_batch(&[]).unwrap_err();
-        assert!(err.contains("suite file"));
+        assert!(err.message.contains("suite file"));
+        assert_eq!((err.kind, err.code), ("config", 3));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn experiment_rejects_unknown_names() {
         let err = cmd_experiment(&flags(&["not-a-table"])).unwrap_err();
-        assert!(err.contains("unknown experiment"));
+        assert!(err.message.contains("unknown experiment"));
         assert!(cmd_experiment(&[]).is_err());
     }
 
@@ -608,7 +847,7 @@ mod tests {
         std::fs::write(&path, "grid:4 cwn:4x1 fib:9\nring:4 local fib:8\n").unwrap();
         cmd_batch(&flags(&[path.to_str().unwrap(), "--threads", "2"])).expect("capped batch runs");
         let err = cmd_batch(&flags(&[path.to_str().unwrap(), "--threads", "0"])).unwrap_err();
-        assert!(err.contains("--threads"), "{err}");
+        assert!(err.message.contains("--threads"), "{}", err.message);
         std::fs::remove_file(&path).ok();
         oracle::runner::set_default_threads(0);
     }
@@ -619,5 +858,113 @@ mod tests {
         std::fs::write(&path, "ring:4 local fib:8 faults=crash:3@100\n").unwrap();
         cmd_batch(&flags(&[path.to_str().unwrap(), "--csv"])).expect("fault suite runs");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faults_flag_loads_plan_files() {
+        let path =
+            std::env::temp_dir().join(format!("oracle_cli_faults_file_{}.txt", std::process::id()));
+        std::fs::write(
+            &path,
+            "# one term per line, joined with `+`\ncrash:3@100\n\nloss:1%\n",
+        )
+        .unwrap();
+        let arg = format!("@{}", path.display());
+        let a = flags(&["--faults", &arg]);
+        let plan = parse_faults_flag(&Flags { args: &a }).expect("plan file parses");
+        assert_eq!(plan.pe_crashes.len(), 1);
+        assert!((plan.message_loss - 0.01).abs() < 1e-9);
+
+        let missing = flags(&["--faults", "@/no/such/file"]);
+        let err = parse_faults_flag(&Flags { args: &missing }).unwrap_err();
+        assert_eq!((err.kind, err.code), ("io", 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failures_are_classified_by_outcome() {
+        // Bad spec: configuration error, exit 3.
+        let err = cmd_run(&flags(&["--topology", "nonsense:9"])).unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        // Invalid fault plan (PE out of range on ring:4): still exit 3.
+        let err = cmd_run(&flags(&[
+            "--topology",
+            "ring:4",
+            "--strategy",
+            "local",
+            "--workload",
+            "fib:8",
+            "--faults",
+            "crash:99@100",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        // Crashing the only busy PE with no recovery layer loses goals:
+        // simulation-outcome failure, exit 2.
+        let err = cmd_run(&flags(&[
+            "--topology",
+            "ring:4",
+            "--strategy",
+            "local",
+            "--workload",
+            "fib:8",
+            "--faults",
+            "crash:0@1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2, "error[{}]: {}", err.kind, err.message);
+    }
+
+    #[test]
+    fn run_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("oracle_cli_ckpt_{}", std::process::id()));
+        let a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:10",
+            "--seed",
+            "5",
+            "--audit-every",
+            "64",
+            "--checkpoint-every",
+            "300",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ]);
+        cmd_run(&a).expect("checkpointed run succeeds");
+        let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snaps.sort();
+        assert!(!snaps.is_empty(), "no checkpoints written");
+        let resume = flags(&["--resume", snaps[0].to_str().unwrap()]);
+        cmd_run(&resume).expect("resume succeeds");
+
+        let err = cmd_run(&flags(&["--resume", "/no/such/checkpoint"])).unwrap_err();
+        assert_eq!(err.code, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_command_smoke() {
+        let dir = std::env::temp_dir().join(format!("oracle_cli_chaos_{}", std::process::id()));
+        cmd_chaos(&flags(&[
+            "--cases",
+            "4",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .expect("a small chaos sweep passes");
+        let err = cmd_chaos(&flags(&["--threads", "0"])).unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,7 +23,9 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    fn machine(&self) -> Result<Machine, SimError> {
+    /// Build the configured machine without running it — the checkpoint
+    /// tooling pauses, snapshots, and restores machines directly.
+    pub fn machine(&self) -> Result<Machine, SimError> {
         let mut machine_cfg = self.machine.clone();
         self.strategy.apply_config(&mut machine_cfg);
         Machine::new(

@@ -30,6 +30,9 @@
 //!
 //! * [`builder`] — [`SimulationBuilder`]: one simulation run.
 //! * [`runner`] — deterministic parallel execution of run batches.
+//! * [`checkpoint`] — crash-safe on-disk checkpoints and bit-identical
+//!   resume.
+//! * [`chaos`] — seeded chaos-fuzzing sweeps with shrinking reproducers.
 //! * [`experiments`] — presets for every table and figure in the paper.
 //! * [`table`] — plain-text table rendering for harness output.
 //! * [`chart`] — ASCII line charts (the plot harnesses draw the paper's
@@ -38,7 +41,9 @@
 //! * [`prelude`] — one-stop imports.
 
 pub mod builder;
+pub mod chaos;
 pub mod chart;
+pub mod checkpoint;
 pub mod experiments;
 pub mod heatmap;
 pub mod runner;

@@ -13,6 +13,22 @@ use crate::calendar::CalendarQueue;
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
+/// The portable state of an event list: the clock, the processed-event
+/// count, and every pending event in pop order. Because both backends order
+/// events identically (time, then insertion sequence), this is a complete
+/// and backend-agnostic description — a snapshot drained from a heap can be
+/// restored into a calendar queue and vice versa without changing a single
+/// future pop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot<E> {
+    /// Timestamp of the last popped event.
+    pub now: SimTime,
+    /// Events popped before the snapshot was taken.
+    pub processed: u64,
+    /// Every pending event, in exactly the order `pop` would return them.
+    pub events: Vec<(SimTime, E)>,
+}
+
 /// An event list that is either a binary heap or a calendar queue.
 ///
 /// ```
@@ -114,6 +130,60 @@ impl<E> DualQueue<E> {
             DualQueue::Calendar(q) => q.pop(),
         }
     }
+
+    /// Drain the queue into a [`QueueSnapshot`], leaving it empty. Popping
+    /// is the only operation whose order both backends define identically,
+    /// so draining *is* the canonical serialization; callers that need to
+    /// keep running rebuild the queue with [`DualQueue::from_snapshot`].
+    pub fn take_snapshot(&mut self) -> QueueSnapshot<E> {
+        let now = self.now();
+        let processed = self.events_processed();
+        let mut events = Vec::with_capacity(self.len());
+        while let Some(entry) = self.pop() {
+            events.push(entry);
+        }
+        QueueSnapshot {
+            now,
+            processed,
+            events,
+        }
+    }
+
+    /// Rebuild a queue of the same backend kind as `self` from a snapshot.
+    /// Used to restore a queue in place after [`DualQueue::take_snapshot`]
+    /// drained it (the drain advances internal cursors that must not leak
+    /// into the continuing run).
+    pub fn restore_snapshot(&mut self, snap: QueueSnapshot<E>) {
+        *self = match self {
+            DualQueue::Heap(_) => DualQueue::Heap(EventQueue::from_snapshot(
+                snap.now,
+                snap.processed,
+                snap.events,
+            )),
+            DualQueue::Calendar(_) => DualQueue::Calendar(CalendarQueue::from_snapshot(
+                snap.now,
+                snap.processed,
+                snap.events,
+            )),
+        };
+    }
+
+    /// Build a queue from a snapshot, choosing the backend explicitly.
+    pub fn from_snapshot(use_heap: bool, snap: QueueSnapshot<E>) -> Self {
+        if use_heap {
+            DualQueue::Heap(EventQueue::from_snapshot(
+                snap.now,
+                snap.processed,
+                snap.events,
+            ))
+        } else {
+            DualQueue::Calendar(CalendarQueue::from_snapshot(
+                snap.now,
+                snap.processed,
+                snap.events,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +217,39 @@ mod tests {
         assert_eq!(heap.now(), cal.now());
         assert!(heap.is_empty() && cal.is_empty());
         assert_eq!(heap.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pop_order_across_backends() {
+        // Build two identical schedules, snapshot one mid-run, restore the
+        // snapshot into BOTH backend kinds, and check every later pop.
+        let mut reference = DualQueue::<u64>::heap();
+        let mut snap_source = DualQueue::<u64>::calendar();
+        let mut rng = Rng::seed_from_u64(13);
+        for i in 0..200u64 {
+            // Delays up to 2000 exercise both the wheel and the overflow.
+            let d = rng.below(2_000);
+            reference.schedule_after(d, i);
+            snap_source.schedule_after(d, i);
+        }
+        for _ in 0..60 {
+            assert_eq!(reference.pop(), snap_source.pop());
+        }
+        let snap = snap_source.take_snapshot();
+        assert!(snap_source.is_empty());
+        let mut as_heap = DualQueue::from_snapshot(true, snap.clone());
+        let mut as_cal = DualQueue::from_snapshot(false, snap.clone());
+        snap_source.restore_snapshot(snap);
+        assert_eq!(snap_source.now(), reference.now());
+        assert_eq!(snap_source.events_processed(), reference.events_processed());
+        loop {
+            let want = reference.pop();
+            assert_eq!(as_heap.pop(), want);
+            assert_eq!(as_cal.pop(), want);
+            assert_eq!(snap_source.pop(), want);
+            if want.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -281,6 +281,23 @@ impl<E> CalendarQueue<E> {
             );
         }
     }
+
+    /// Rebuild a queue from checkpoint parts: the clock, the processed
+    /// count, and every pending event in pop order. The wheel window starts
+    /// back at zero — every pending event is at or after `now`, so the
+    /// window-jump logic in [`CalendarQueue::pop`] recovers the working
+    /// position on the first pop, and re-scheduling in pop order hands out
+    /// fresh increasing sequence numbers that keep same-instant ties in the
+    /// recorded order.
+    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, E)>) -> Self {
+        let mut q = CalendarQueue::new();
+        for (at, payload) in events {
+            q.schedule_at(at, payload);
+        }
+        q.now = now;
+        q.processed = processed;
+        q
+    }
 }
 
 #[cfg(test)]

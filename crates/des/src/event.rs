@@ -145,6 +145,20 @@ impl<E> EventQueue<E> {
         self.processed += 1;
         Some((s.at, s.payload))
     }
+
+    /// Rebuild a queue from checkpoint parts: the clock, the processed
+    /// count, and every pending event in pop order. Re-scheduling in that
+    /// order hands out fresh increasing sequence numbers, so same-instant
+    /// ties keep exactly the order the snapshot recorded.
+    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, E)>) -> Self {
+        let mut q = EventQueue::with_capacity(events.len().max(16));
+        for (at, payload) in events {
+            q.schedule_at(at, payload);
+        }
+        q.now = now;
+        q.processed = processed;
+        q
+    }
 }
 
 #[cfg(test)]

@@ -25,14 +25,16 @@ pub mod event;
 pub mod hash;
 pub mod inline;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
-pub use backend::DualQueue;
+pub use backend::{DualQueue, QueueSnapshot};
 pub use calendar::CalendarQueue;
 pub use event::EventQueue;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use inline::InlineVec;
 pub use rng::Rng;
+pub use snapshot::{SnapError, SnapReader, SnapWriter};
 pub use stats::{BusyTracker, Histogram, IntervalSeries, OnlineStats};
 pub use time::SimTime;

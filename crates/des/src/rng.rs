@@ -52,6 +52,17 @@ impl Rng {
         Rng::seed_from_u64(self.next_u64())
     }
 
+    /// The raw generator state, for checkpointing. Restoring it with
+    /// [`Rng::from_state`] resumes the exact output stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`Rng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Next 64 uniformly random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

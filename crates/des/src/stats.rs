@@ -100,6 +100,26 @@ impl OnlineStats {
         (self.count > 0).then_some(self.max)
     }
 
+    /// The raw accumulator fields `(count, mean, m2, min, max)`, for
+    /// checkpointing. `min`/`max` are the internal sentinels (±infinity)
+    /// when empty, so the round-trip is exact even for an empty
+    /// accumulator.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from fields captured by
+    /// [`OnlineStats::raw_parts`].
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel-sweep reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -199,6 +219,22 @@ impl Histogram {
         self.buckets.iter().rposition(|&c| c > 0)
     }
 
+    /// The raw fields `(buckets, overflow, total, sum)`, for checkpointing.
+    pub fn raw_parts(&self) -> (&[u64], u64, u64, u64) {
+        (&self.buckets, self.overflow, self.total, self.sum)
+    }
+
+    /// Rebuild a histogram from fields captured by
+    /// [`Histogram::raw_parts`].
+    pub fn from_raw_parts(buckets: Vec<u64>, overflow: u64, total: u64, sum: u64) -> Self {
+        Histogram {
+            buckets,
+            overflow,
+            total,
+            sum,
+        }
+    }
+
     /// Merge another histogram (must have the same bucket count).
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(
@@ -262,6 +298,20 @@ impl BusyTracker {
     /// Total busy units up to `now` (counting a still-open busy span).
     pub fn busy_time(&self, now: SimTime) -> u64 {
         self.accumulated + self.busy_since.map_or(0, |s| now - s)
+    }
+
+    /// The raw fields `(busy_since, accumulated)`, for checkpointing.
+    pub fn raw_parts(&self) -> (Option<SimTime>, u64) {
+        (self.busy_since, self.accumulated)
+    }
+
+    /// Rebuild a tracker from fields captured by
+    /// [`BusyTracker::raw_parts`].
+    pub fn from_raw_parts(busy_since: Option<SimTime>, accumulated: u64) -> Self {
+        BusyTracker {
+            busy_since,
+            accumulated,
+        }
     }
 
     /// Fraction of `[0, now)` the resource was busy, in `[0, 1]`.
@@ -373,6 +423,24 @@ impl IntervalSeries {
     /// Sum of all recorded busy units.
     pub fn total_busy(&self) -> u64 {
         self.busy.iter().sum()
+    }
+
+    /// The raw fields `(width, busy)`, for checkpointing. The width matters:
+    /// a series that already coarsened must resume at its doubled width to
+    /// stay bit-identical with an uninterrupted run.
+    pub fn raw_parts(&self) -> (u64, &[u64]) {
+        (self.width, &self.busy)
+    }
+
+    /// Rebuild a series from fields captured by
+    /// [`IntervalSeries::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn from_raw_parts(width: u64, busy: Vec<u64>) -> Self {
+        assert!(width > 0, "sampling interval must be positive");
+        IntervalSeries { width, busy }
     }
 }
 

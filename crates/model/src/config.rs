@@ -111,6 +111,17 @@ pub struct MachineConfig {
     /// message loss, slowdowns, and the recovery layer. The empty plan
     /// (the default) adds no events and draws no random numbers.
     pub fault_plan: FaultPlan,
+    /// Run the invariant auditor every this many processed events (0, the
+    /// default, disables auditing). When enabled, the machine re-derives the
+    /// task-conservation identity, queue-accounting counters, load-metric
+    /// agreement, and channel busy-flag consistency from first principles at
+    /// each audit point and aborts with
+    /// [`crate::SimError::InvariantViolation`] on any mismatch. Auditing is
+    /// a pure read of machine state: it schedules no events and draws no
+    /// random numbers, so an audited run produces bit-identical reports to
+    /// an unaudited one.
+    #[serde(default)]
+    pub audit_every: u64,
     /// Heterogeneous-machine extension: each PE's execution costs are
     /// multiplied by a seeded per-PE factor drawn uniformly from
     /// `1..=pe_speed_spread`. 1 (the default) models the paper's uniform
@@ -138,6 +149,7 @@ impl Default for MachineConfig {
             queue_backend: QueueBackend::default(),
             fail_pe: None,
             fault_plan: FaultPlan::default(),
+            audit_every: 0,
             pe_speed_spread: 1,
         }
     }

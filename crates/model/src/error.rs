@@ -54,6 +54,18 @@ pub enum SimError {
         /// Simulated time at which the run gave up.
         time: u64,
     },
+    /// The runtime invariant auditor found the machine in an inconsistent
+    /// state — a simulator bug, not a modelling outcome. The `digest` is a
+    /// compact rendering of the counters involved so a violation is
+    /// actionable from the one-line error alone.
+    InvariantViolation {
+        /// Which invariant failed, e.g. `"task-conservation"`.
+        check: &'static str,
+        /// Simulated time at which the audit ran.
+        time: u64,
+        /// Minimal state digest: the counters the failed check compared.
+        digest: String,
+    },
     /// Configuration rejected before the run started.
     InvalidConfig(String),
 }
@@ -99,6 +111,11 @@ impl fmt::Display for SimError {
                     "UNPLANNED "
                 }
             ),
+            SimError::InvariantViolation {
+                check,
+                time,
+                digest,
+            } => write!(f, "invariant `{check}` violated at t={time}: {digest}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -150,5 +167,13 @@ mod tests {
             time: 10,
         };
         assert!(e.to_string().contains("UNPLANNED"));
+        let e = SimError::InvariantViolation {
+            check: "task-conservation",
+            time: 42,
+            digest: "created=10 accounted=9".into(),
+        };
+        assert!(e.to_string().contains("task-conservation"));
+        assert!(e.to_string().contains("t=42"));
+        assert!(e.to_string().contains("accounted=9"));
     }
 }

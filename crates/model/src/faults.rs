@@ -164,15 +164,24 @@ impl FaultPlan {
                 self.message_loss
             ));
         }
-        for c in &self.pe_crashes {
+        for (i, c) in self.pe_crashes.iter().enumerate() {
             if c.pe as usize >= num_pes {
                 return Err(format!(
                     "crash names PE {} but machine has {num_pes} PEs",
                     c.pe
                 ));
             }
+            // A PE can only die once; a second crash of the same PE is
+            // always a plan-authoring mistake (and would double-count
+            // `pes_crashed` in the report).
+            if let Some(dup) = self.pe_crashes[..i].iter().find(|p| p.pe == c.pe) {
+                return Err(format!(
+                    "PE {} is crashed twice (at t={} and t={}); a crashed PE never recovers",
+                    c.pe, dup.at, c.at
+                ));
+            }
         }
-        for w in &self.link_windows {
+        for (i, w) in self.link_windows.iter().enumerate() {
             if w.channel as usize >= num_channels {
                 return Err(format!(
                     "link window names channel {} but machine has {num_channels} channels",
@@ -183,6 +192,18 @@ impl FaultPlan {
                 return Err(format!(
                     "link window on channel {} must come up after it goes down ({}..{})",
                     w.channel, w.down_at, w.up_at
+                ));
+            }
+            // Overlapping windows on one channel would interleave their
+            // down/up events and bring the link back up while the other
+            // window still holds it down.
+            if let Some(overlap) = self.link_windows[..i]
+                .iter()
+                .find(|o| o.channel == w.channel && o.down_at < w.up_at && w.down_at < o.up_at)
+            {
+                return Err(format!(
+                    "link windows on channel {} overlap ({}..{} and {}..{})",
+                    w.channel, overlap.down_at, overlap.up_at, w.down_at, w.up_at
                 ));
             }
         }
@@ -393,6 +414,29 @@ mod tests {
         assert!(plan.validate(16, 12).is_err());
         plan.message_loss = 0.5;
         assert!(plan.validate(16, 12).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_duplicate_crashes_and_overlapping_windows() {
+        let twice = FaultPlan::default().crash(3, 100).crash(3, 500);
+        let err = twice.validate(16, 12).unwrap_err();
+        assert!(err.contains("crashed twice"), "{err}");
+        // Two different PEs at the same instant are fine.
+        let distinct = FaultPlan::default().crash(3, 100).crash(4, 100);
+        assert!(distinct.validate(16, 12).is_ok());
+
+        let overlap = FaultPlan::default()
+            .link_down(2, 100, 300)
+            .link_down(2, 250, 400);
+        let err = overlap.validate(16, 12).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // Back-to-back windows on one channel do not overlap ([100,300) then
+        // [300,400)), and identical windows on different channels are fine.
+        let adjacent = FaultPlan::default()
+            .link_down(2, 100, 300)
+            .link_down(2, 300, 400)
+            .link_down(3, 100, 300);
+        assert!(adjacent.validate(16, 12).is_ok());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! * [`machine::Machine`] — wires a topology, a program, and a strategy into
 //!   an event-driven simulation and produces a [`metrics::Report`].
 
+pub mod audit;
 pub mod channel;
 pub mod config;
 pub mod cost;
@@ -31,6 +32,7 @@ pub mod message;
 pub mod metrics;
 pub mod pe;
 pub mod program;
+pub mod snapshot;
 pub mod strategy;
 pub mod trace;
 
@@ -42,5 +44,5 @@ pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
 pub use metrics::{FaultMetrics, Report};
 pub use program::{Continuation, Expansion, Program, TaskList, TaskSpec};
-pub use strategy::Strategy;
+pub use strategy::{Strategy, StrategyState};
 pub use trace::{Trace, TraceEvent};

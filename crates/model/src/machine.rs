@@ -21,9 +21,10 @@ use crate::program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 use crate::strategy::Strategy;
 use crate::trace::{Trace, TraceEvent};
 
-/// Discrete events of the machine model.
+/// Discrete events of the machine model. `pub(crate)` so the snapshot
+/// codec (`crate::snapshot`) can encode the pending event queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     /// The current work item on a PE completes.
     PeDone(PeId),
     /// The in-flight transfer on a channel completes.
@@ -49,32 +50,32 @@ enum Event {
 
 /// Recovery bookkeeping for one spawned goal: enough to re-create it from
 /// the parent's side if it is lost or silent.
-struct Outstanding {
+pub(crate) struct Outstanding {
     /// Where the parent task waits (`None` for the root goal).
-    parent: Option<(PeId, GoalId)>,
+    pub(crate) parent: Option<(PeId, GoalId)>,
     /// The task to re-spawn.
-    spec: TaskSpec,
+    pub(crate) spec: TaskSpec,
     /// Re-spawn attempts already made for this goal slot.
-    attempts: u32,
+    pub(crate) attempts: u32,
     /// When the slot's first attempt was created (for recovery-latency
     /// accounting).
-    first_created: u64,
+    pub(crate) first_created: u64,
     /// The PE the goal was last accepted on, if known — lets a crash
     /// trigger immediate re-spawn of everything resident on the dead PE.
-    resident: Option<PeId>,
+    pub(crate) resident: Option<PeId>,
 }
 
 /// Fault-injection and recovery state of a run.
-struct FaultState {
+pub(crate) struct FaultState {
     /// Goals the recovery layer is tracking, keyed by goal id.
-    outstanding: FastHashMap<GoalId, Outstanding>,
-    pes_crashed: u32,
-    goals_lost: u64,
-    messages_dropped: u64,
-    goals_respawned: u64,
-    duplicate_responses: u64,
-    retries_exhausted: u64,
-    recovery_latency: OnlineStats,
+    pub(crate) outstanding: FastHashMap<GoalId, Outstanding>,
+    pub(crate) pes_crashed: u32,
+    pub(crate) goals_lost: u64,
+    pub(crate) messages_dropped: u64,
+    pub(crate) goals_respawned: u64,
+    pub(crate) duplicate_responses: u64,
+    pub(crate) retries_exhausted: u64,
+    pub(crate) recovery_latency: OnlineStats,
 }
 
 impl FaultState {
@@ -111,45 +112,60 @@ const PROGRESS_WINDOW: u64 = 1_000_000;
 
 /// Everything a strategy can see and act on: the machine without the
 /// strategy itself. Strategies receive `&mut Core` in every callback.
+///
+/// Fields are `pub(crate)` (rather than private) so the snapshot codec
+/// (`crate::snapshot`) and the invariant auditor (`crate::audit`) can read
+/// and rebuild the state directly; the public API is still only the
+/// accessor methods below.
 pub struct Core {
-    topo: Topology,
-    costs: CostModel,
-    config: MachineConfig,
-    program: Box<dyn Program>,
-    pes: Vec<Pe>,
-    channels: Vec<Channel>,
-    events: DualQueue<Event>,
+    pub(crate) topo: Topology,
+    pub(crate) costs: CostModel,
+    pub(crate) config: MachineConfig,
+    pub(crate) program: Box<dyn Program>,
+    pub(crate) pes: Vec<Pe>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) events: DualQueue<Event>,
     /// Distinct channels incident to each PE, precomputed at construction
     /// so broadcasts never rebuild the dedup list per event.
-    incident: Vec<Vec<ChannelId>>,
+    pub(crate) incident: Vec<Vec<ChannelId>>,
     /// Flat `[pe * num_pes + nbr]` position of `nbr` in `topo.neighbors(pe)`
     /// (`u16::MAX` when not adjacent) — O(1) lookup on the per-delivery
     /// load-word path, where a binary search was the top profile entry.
-    nbr_index: Vec<u16>,
-    rng: Rng,
-    next_goal_id: u64,
-    goals_created: u64,
-    goals_executed: u64,
-    responses_processed: u64,
-    seq_work: u64,
-    traffic: TrafficCounters,
-    hop_hist: Histogram,
+    pub(crate) nbr_index: Vec<u16>,
+    pub(crate) rng: Rng,
+    pub(crate) next_goal_id: u64,
+    pub(crate) goals_created: u64,
+    pub(crate) goals_executed: u64,
+    pub(crate) responses_processed: u64,
+    pub(crate) seq_work: u64,
+    pub(crate) traffic: TrafficCounters,
+    pub(crate) hop_hist: Histogram,
     /// Dispatch latency: creation to execution start, per goal.
-    dispatch_latency: OnlineStats,
+    pub(crate) dispatch_latency: OnlineStats,
     /// Summed user-busy time across all PEs, per sampling interval.
-    global_series: IntervalSeries,
-    root_result: Option<(i64, SimTime)>,
-    trace: Trace,
+    pub(crate) global_series: IntervalSeries,
+    pub(crate) root_result: Option<(i64, SimTime)>,
+    pub(crate) trace: Trace,
     /// The effective fault plan (`config.fault_plan` with the legacy
     /// `fail_pe` shorthand folded in).
-    plan: FaultPlan,
+    pub(crate) plan: FaultPlan,
     /// Dedicated RNG stream for fault decisions (message-loss draws), so a
     /// fault plan never perturbs the strategy's random stream.
-    fault_rng: Rng,
-    faults: FaultState,
+    pub(crate) fault_rng: Rng,
+    pub(crate) faults: FaultState,
     /// Scratch buffers for the crash sweep, reused across crashes.
-    sweep_orphans: Vec<GoalId>,
-    sweep_respawns: Vec<GoalId>,
+    pub(crate) sweep_orphans: Vec<GoalId>,
+    pub(crate) sweep_respawns: Vec<GoalId>,
+    /// Progress-watchdog state: the `(created, executed, combined)` triple
+    /// at the last check and the event count of the next one. Lives in the
+    /// `Core` (not the run loop) so a checkpointed run stalls at exactly
+    /// the same point as an uninterrupted one.
+    pub(crate) last_progress: (u64, u64, u64),
+    pub(crate) next_check: u64,
+    /// Invariant-auditor state: event count of the next audit and the
+    /// simulated time at the previous one (for the monotonicity check).
+    pub(crate) next_audit: u64,
+    pub(crate) last_audit_now: u64,
 }
 
 impl Core {
@@ -769,15 +785,15 @@ impl Core {
     }
 
     /// True once the root task's result has been produced.
-    fn completed(&self) -> bool {
+    pub(crate) fn completed(&self) -> bool {
         self.root_result.is_some()
     }
 }
 
 /// A complete simulation: a [`Core`] plus the strategy driving it.
 pub struct Machine {
-    core: Core,
-    strategy: Box<dyn Strategy>,
+    pub(crate) core: Core,
+    pub(crate) strategy: Box<dyn Strategy>,
 }
 
 impl Machine {
@@ -881,6 +897,14 @@ impl Machine {
                 faults: FaultState::new(),
                 sweep_orphans: Vec::new(),
                 sweep_respawns: Vec::new(),
+                last_progress: (0, 0, 0),
+                next_check: PROGRESS_WINDOW,
+                next_audit: if config.audit_every > 0 {
+                    config.audit_every
+                } else {
+                    u64::MAX
+                },
+                last_audit_now: 0,
                 topo,
                 costs,
                 config,
@@ -895,9 +919,37 @@ impl Machine {
         self.run_traced().map(|(report, _)| report)
     }
 
+    /// Current simulated time (for checkpoint drivers pacing
+    /// [`Machine::advance_until`]).
+    pub fn sim_time(&self) -> u64 {
+        self.core.now().units()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events.events_processed()
+    }
+
+    /// Read-only view of the machine core (strategy tests size per-PE
+    /// state against it when exercising [`Strategy::restore_state`]).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
     /// Run the simulation and also return the event trace (empty unless
     /// `MachineConfig::trace_capacity` is set).
     pub fn run_traced(mut self) -> Result<(Report, Trace), SimError> {
+        self.begin();
+        self.advance_until(None)?;
+        self.finish()
+    }
+
+    /// Initialize the run: arm load broadcasts and the fault plan, inject
+    /// the root goal. Must be called exactly once before
+    /// [`Machine::advance_until`] — except on a machine restored from a
+    /// checkpoint, where the snapshot already contains everything `begin`
+    /// sets up.
+    pub fn begin(&mut self) {
         let root_pe = PeId(self.core.config.root_pe);
         self.strategy.init(&mut self.core);
 
@@ -949,24 +1001,35 @@ impl Machine {
         self.core.track_goal(&root_goal, 0, 0);
         self.strategy
             .on_goal_created(&mut self.core, root_pe, root_goal);
+    }
 
-        // Progress watchdog state.
-        let mut last_progress = (0u64, 0u64, 0u64);
-        let mut next_check = PROGRESS_WINDOW;
-
-        while let Some((_, ev)) = self.core.events.pop() {
+    /// Drive the event loop. With `pause_at: None`, runs until the root
+    /// result is produced or the calendar drains; returns `Ok(true)` in
+    /// either case ([`Machine::finish`] distinguishes them). With
+    /// `Some(t)`, additionally pauses — returning `Ok(false)` — after
+    /// processing the first event at simulated time `>= t`; this is the
+    /// checkpointing driver's hook, and because the pause happens on an
+    /// event boundary the paused machine's state is exactly the state an
+    /// uninterrupted run passes through.
+    pub fn advance_until(&mut self, pause_at: Option<u64>) -> Result<bool, SimError> {
+        while let Some((at, ev)) = self.core.events.pop() {
             self.handle_event(ev);
             if self.core.completed() {
-                break;
+                return Ok(true);
             }
             let n = self.core.events.events_processed();
-            if n >= next_check {
+            if n >= self.core.next_audit {
+                crate::audit::audit(&self.core, self.strategy.as_ref())?;
+                self.core.last_audit_now = self.core.now().units();
+                self.core.next_audit = n + self.core.config.audit_every;
+            }
+            if n >= self.core.next_check {
                 let progress = (
                     self.core.goals_created,
                     self.core.goals_executed,
                     self.core.responses_processed,
                 );
-                if progress == last_progress {
+                if progress == self.core.last_progress {
                     // Distinguish a communication-bound machine (a channel
                     // backlog growing without bound) from a plain stall.
                     let worst = self
@@ -986,8 +1049,8 @@ impl Machine {
                     }
                     return Err(self.stall_error());
                 }
-                last_progress = progress;
-                next_check = n + PROGRESS_WINDOW;
+                self.core.last_progress = progress;
+                self.core.next_check = n + PROGRESS_WINDOW;
             }
             if n >= self.core.config.max_events {
                 return Err(SimError::EventLimit {
@@ -995,8 +1058,19 @@ impl Machine {
                     time: self.core.now().units(),
                 });
             }
+            if let Some(t) = pause_at {
+                if at.units() >= t {
+                    return Ok(false);
+                }
+            }
         }
+        Ok(true)
+    }
 
+    /// Consume the machine after [`Machine::advance_until`] returned
+    /// `Ok(true)` and produce the report (or the stall error when the
+    /// calendar drained without a root result).
+    pub fn finish(mut self) -> Result<(Report, Trace), SimError> {
         if !self.core.completed() {
             return Err(self.stall_error());
         }

@@ -1,0 +1,1033 @@
+//! Machine-state snapshot codec — the model half of checkpoint/resume.
+//!
+//! [`Machine::snapshot_bytes`] serializes every piece of *mutable* run
+//! state — both RNG streams, all counters and statistics collectors, every
+//! PE (queues, executing item, waiting tasks, known loads), every channel
+//! (in-flight transfer and backlog), the recovery layer's tracking map, the
+//! watchdog/auditor cursors, the pending event queue, and the strategy's
+//! private state — into a self-contained byte blob using the
+//! [`oracle_des::snapshot`] codec. Immutable state (topology, cost model,
+//! configuration, program, fault plan, precomputed adjacency tables) is
+//! *not* serialized: a resume rebuilds it by constructing the machine from
+//! the same run configuration, then calling [`Machine::restore_bytes`]
+//! instead of [`Machine::begin`].
+//!
+//! The format is designed for bit-identical resumption: floating-point
+//! statistics are stored as raw IEEE-754 bits, hash maps are written in
+//! sorted key order, and the event queue is written in exact pop order (the
+//! one order both backends define identically), so a resumed run replays
+//! precisely the event sequence the uninterrupted run would have processed.
+//!
+//! The event trace is deliberately not part of a snapshot — traces are a
+//! debugging aid, and a resumed run's trace simply starts at the resume
+//! point.
+
+use oracle_des::snapshot::{SnapError, SnapReader, SnapWriter};
+use oracle_des::{
+    BusyTracker, FastHashMap, Histogram, IntervalSeries, OnlineStats, QueueSnapshot, Rng, SimTime,
+};
+use oracle_topo::{ChannelId, PeId};
+
+use crate::channel::Channel;
+use crate::machine::{Event, Machine, Outstanding};
+use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
+use crate::pe::{Executing, Pe, Waiting, WorkItem};
+use crate::program::{Expansion, TaskList, TaskSpec};
+use crate::strategy::StrategyState;
+use crate::SimError;
+
+/// Magic prefix of a machine snapshot blob (`"MSNP"`).
+pub const SNAPSHOT_MAGIC: u32 = 0x4D53_4E50;
+/// Version of the machine snapshot layout. Bumped on any layout change;
+/// restore refuses other versions rather than guessing.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a restore failed: the blob itself was undecodable, or it decoded
+/// fine but does not belong to this machine.
+enum RestoreFail {
+    Codec(SnapError),
+    Mismatch(String),
+}
+
+impl From<SnapError> for RestoreFail {
+    fn from(e: SnapError) -> Self {
+        RestoreFail::Codec(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field codecs, in dependency order. Writers take the value; readers
+// return `Result<_, SnapError>` so truncation surfaces as `Eof`.
+// ---------------------------------------------------------------------
+
+fn put_opt_u32(w: &mut SnapWriter, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            w.bool(true);
+            w.u32(x);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn get_opt_u32(r: &mut SnapReader) -> Result<Option<u32>, SnapError> {
+    Ok(if r.bool()? { Some(r.u32()?) } else { None })
+}
+
+fn put_spec(w: &mut SnapWriter, s: &TaskSpec) {
+    w.i64(s.a);
+    w.i64(s.b);
+    w.u32(s.depth);
+    w.u32(s.tag);
+}
+
+fn get_spec(r: &mut SnapReader) -> Result<TaskSpec, SnapError> {
+    Ok(TaskSpec {
+        a: r.i64()?,
+        b: r.i64()?,
+        depth: r.u32()?,
+        tag: r.u32()?,
+    })
+}
+
+fn put_parent(w: &mut SnapWriter, p: &Option<(PeId, GoalId)>) {
+    match p {
+        Some((pe, goal)) => {
+            w.bool(true);
+            w.u32(pe.0);
+            w.u64(goal.0);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn get_parent(r: &mut SnapReader) -> Result<Option<(PeId, GoalId)>, SnapError> {
+    Ok(if r.bool()? {
+        Some((PeId(r.u32()?), GoalId(r.u64()?)))
+    } else {
+        None
+    })
+}
+
+/// Encode a [`GoalMsg`] into a snapshot payload. Public so strategies that
+/// park goals (e.g. threshold probing) can serialize them inside their
+/// [`StrategyState`] bytes with the same codec the machine uses.
+pub fn put_goal(w: &mut SnapWriter, g: &GoalMsg) {
+    w.u64(g.id.0);
+    put_spec(w, &g.spec);
+    put_parent(w, &g.parent);
+    w.u32(g.hops);
+    w.bool(g.direct);
+    w.u64(g.created_at);
+}
+
+/// Decode a [`GoalMsg`] written by [`put_goal`].
+pub fn get_goal(r: &mut SnapReader) -> Result<GoalMsg, SnapError> {
+    Ok(GoalMsg {
+        id: GoalId(r.u64()?),
+        spec: get_spec(r)?,
+        parent: get_parent(r)?,
+        hops: r.u32()?,
+        direct: r.bool()?,
+        created_at: r.u64()?,
+    })
+}
+
+fn put_packet(w: &mut SnapWriter, p: &Packet) {
+    match p {
+        Packet::Goal(g) => {
+            w.u8(0);
+            put_goal(w, g);
+        }
+        Packet::Response { to, child, value } => {
+            w.u8(1);
+            w.u32(to.0 .0);
+            w.u64(to.1 .0);
+            w.u64(child.0);
+            w.i64(*value);
+        }
+        Packet::Control(c) => {
+            w.u8(2);
+            w.u8(c.tag);
+            w.i64(c.value);
+        }
+        Packet::LoadUpdate { load } => {
+            w.u8(3);
+            w.u32(*load);
+        }
+    }
+}
+
+fn get_packet(r: &mut SnapReader) -> Result<Packet, SnapError> {
+    Ok(match r.u8()? {
+        0 => Packet::Goal(get_goal(r)?),
+        1 => Packet::Response {
+            to: (PeId(r.u32()?), GoalId(r.u64()?)),
+            child: GoalId(r.u64()?),
+            value: r.i64()?,
+        },
+        2 => Packet::Control(ControlMsg {
+            tag: r.u8()?,
+            value: r.i64()?,
+        }),
+        3 => Packet::LoadUpdate { load: r.u32()? },
+        t => {
+            return Err(SnapError::Invalid {
+                what: "packet tag",
+                value: t as u64,
+            })
+        }
+    })
+}
+
+fn put_flight(w: &mut SnapWriter, f: &Flight) {
+    w.u32(f.from.0);
+    match f.dest {
+        FlightDest::Unicast(pe) => {
+            w.u8(0);
+            w.u32(pe.0);
+        }
+        FlightDest::Broadcast => w.u8(1),
+    }
+    put_opt_u32(w, f.piggyback_load);
+    put_packet(w, &f.packet);
+}
+
+fn get_flight(r: &mut SnapReader) -> Result<Flight, SnapError> {
+    let from = PeId(r.u32()?);
+    let dest = match r.u8()? {
+        0 => FlightDest::Unicast(PeId(r.u32()?)),
+        1 => FlightDest::Broadcast,
+        t => {
+            return Err(SnapError::Invalid {
+                what: "flight dest tag",
+                value: t as u64,
+            })
+        }
+    };
+    Ok(Flight {
+        from,
+        dest,
+        piggyback_load: get_opt_u32(r)?,
+        packet: get_packet(r)?,
+    })
+}
+
+fn put_work_item(w: &mut SnapWriter, item: &WorkItem) {
+    match item {
+        WorkItem::Goal(g) => {
+            w.u8(0);
+            put_goal(w, g);
+        }
+        WorkItem::Response { goal, child, value } => {
+            w.u8(1);
+            w.u64(goal.0);
+            w.u64(child.0);
+            w.i64(*value);
+        }
+        WorkItem::Handle { from, packet } => {
+            w.u8(2);
+            w.u32(from.0);
+            put_packet(w, packet);
+        }
+        WorkItem::TimerWork { tag } => {
+            w.u8(3);
+            w.u64(*tag);
+        }
+    }
+}
+
+fn get_work_item(r: &mut SnapReader) -> Result<WorkItem, SnapError> {
+    Ok(match r.u8()? {
+        0 => WorkItem::Goal(get_goal(r)?),
+        1 => WorkItem::Response {
+            goal: GoalId(r.u64()?),
+            child: GoalId(r.u64()?),
+            value: r.i64()?,
+        },
+        2 => WorkItem::Handle {
+            from: PeId(r.u32()?),
+            packet: get_packet(r)?,
+        },
+        3 => WorkItem::TimerWork { tag: r.u64()? },
+        t => {
+            return Err(SnapError::Invalid {
+                what: "work item tag",
+                value: t as u64,
+            })
+        }
+    })
+}
+
+fn put_task_list(w: &mut SnapWriter, list: &TaskList) {
+    w.usize(list.len());
+    for spec in list {
+        put_spec(w, spec);
+    }
+}
+
+fn get_task_list(r: &mut SnapReader) -> Result<TaskList, SnapError> {
+    let n = r.usize()?;
+    let mut list = TaskList::new();
+    for _ in 0..n {
+        list.push(get_spec(r)?);
+    }
+    Ok(list)
+}
+
+fn put_expansion(w: &mut SnapWriter, e: &Expansion) {
+    match e {
+        Expansion::Leaf(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        Expansion::Split(children) => {
+            w.u8(1);
+            put_task_list(w, children);
+        }
+    }
+}
+
+fn get_expansion(r: &mut SnapReader) -> Result<Expansion, SnapError> {
+    Ok(match r.u8()? {
+        0 => Expansion::Leaf(r.i64()?),
+        1 => Expansion::Split(get_task_list(r)?),
+        t => {
+            return Err(SnapError::Invalid {
+                what: "expansion tag",
+                value: t as u64,
+            })
+        }
+    })
+}
+
+fn put_executing(w: &mut SnapWriter, e: &Executing) {
+    match e {
+        Executing::Goal(g, exp) => {
+            w.u8(0);
+            put_goal(w, g);
+            put_expansion(w, exp);
+        }
+        Executing::Response { goal, child, value } => {
+            w.u8(1);
+            w.u64(goal.0);
+            w.u64(child.0);
+            w.i64(*value);
+        }
+        Executing::Respawn { goal, children } => {
+            w.u8(2);
+            w.u64(goal.0);
+            put_task_list(w, children);
+        }
+        Executing::Handle { from, packet } => {
+            w.u8(3);
+            w.u32(from.0);
+            put_packet(w, packet);
+        }
+        Executing::TimerWork { tag } => {
+            w.u8(4);
+            w.u64(*tag);
+        }
+    }
+}
+
+fn get_executing(r: &mut SnapReader) -> Result<Executing, SnapError> {
+    Ok(match r.u8()? {
+        0 => Executing::Goal(get_goal(r)?, get_expansion(r)?),
+        1 => Executing::Response {
+            goal: GoalId(r.u64()?),
+            child: GoalId(r.u64()?),
+            value: r.i64()?,
+        },
+        2 => Executing::Respawn {
+            goal: GoalId(r.u64()?),
+            children: get_task_list(r)?,
+        },
+        3 => Executing::Handle {
+            from: PeId(r.u32()?),
+            packet: get_packet(r)?,
+        },
+        4 => Executing::TimerWork { tag: r.u64()? },
+        t => {
+            return Err(SnapError::Invalid {
+                what: "executing tag",
+                value: t as u64,
+            })
+        }
+    })
+}
+
+fn put_event(w: &mut SnapWriter, ev: &Event) {
+    match ev {
+        Event::PeDone(pe) => {
+            w.u8(0);
+            w.u32(pe.0);
+        }
+        Event::ChannelDone(ch) => {
+            w.u8(1);
+            w.u32(ch.0);
+        }
+        Event::Timer(pe, tag) => {
+            w.u8(2);
+            w.u32(pe.0);
+            w.u64(*tag);
+        }
+        Event::LoadBcast(pe) => {
+            w.u8(3);
+            w.u32(pe.0);
+        }
+        Event::FailPe(pe) => {
+            w.u8(4);
+            w.u32(pe.0);
+        }
+        Event::LinkDown(ch) => {
+            w.u8(5);
+            w.u32(ch.0);
+        }
+        Event::LinkUp(ch) => {
+            w.u8(6);
+            w.u32(ch.0);
+        }
+        Event::SlowStart(pe, factor) => {
+            w.u8(7);
+            w.u32(pe.0);
+            w.u64(*factor);
+        }
+        Event::SlowEnd(pe) => {
+            w.u8(8);
+            w.u32(pe.0);
+        }
+        Event::AckTimeout(goal) => {
+            w.u8(9);
+            w.u64(goal.0);
+        }
+    }
+}
+
+fn get_event(r: &mut SnapReader) -> Result<Event, SnapError> {
+    Ok(match r.u8()? {
+        0 => Event::PeDone(PeId(r.u32()?)),
+        1 => Event::ChannelDone(ChannelId(r.u32()?)),
+        2 => Event::Timer(PeId(r.u32()?), r.u64()?),
+        3 => Event::LoadBcast(PeId(r.u32()?)),
+        4 => Event::FailPe(PeId(r.u32()?)),
+        5 => Event::LinkDown(ChannelId(r.u32()?)),
+        6 => Event::LinkUp(ChannelId(r.u32()?)),
+        7 => Event::SlowStart(PeId(r.u32()?), r.u64()?),
+        8 => Event::SlowEnd(PeId(r.u32()?)),
+        9 => Event::AckTimeout(GoalId(r.u64()?)),
+        t => {
+            return Err(SnapError::Invalid {
+                what: "event tag",
+                value: t as u64,
+            })
+        }
+    })
+}
+
+fn put_stats(w: &mut SnapWriter, s: &OnlineStats) {
+    let (count, mean, m2, min, max) = s.raw_parts();
+    w.u64(count);
+    w.f64(mean);
+    w.f64(m2);
+    w.f64(min);
+    w.f64(max);
+}
+
+fn get_stats(r: &mut SnapReader) -> Result<OnlineStats, SnapError> {
+    let count = r.u64()?;
+    let mean = r.f64()?;
+    let m2 = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    Ok(OnlineStats::from_raw_parts(count, mean, m2, min, max))
+}
+
+fn put_hist(w: &mut SnapWriter, h: &Histogram) {
+    let (buckets, overflow, total, sum) = h.raw_parts();
+    w.usize(buckets.len());
+    for &b in buckets {
+        w.u64(b);
+    }
+    w.u64(overflow);
+    w.u64(total);
+    w.u64(sum);
+}
+
+fn get_hist(r: &mut SnapReader) -> Result<Histogram, SnapError> {
+    let n = r.usize()?;
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.u64()?);
+    }
+    let overflow = r.u64()?;
+    let total = r.u64()?;
+    let sum = r.u64()?;
+    Ok(Histogram::from_raw_parts(buckets, overflow, total, sum))
+}
+
+fn put_busy(w: &mut SnapWriter, b: &BusyTracker) {
+    let (since, accumulated) = b.raw_parts();
+    match since {
+        Some(t) => {
+            w.bool(true);
+            w.u64(t.units());
+        }
+        None => w.bool(false),
+    }
+    w.u64(accumulated);
+}
+
+fn get_busy(r: &mut SnapReader) -> Result<BusyTracker, SnapError> {
+    let since = if r.bool()? {
+        Some(SimTime(r.u64()?))
+    } else {
+        None
+    };
+    let accumulated = r.u64()?;
+    Ok(BusyTracker::from_raw_parts(since, accumulated))
+}
+
+fn put_series(w: &mut SnapWriter, s: &IntervalSeries) {
+    let (width, busy) = s.raw_parts();
+    w.u64(width);
+    w.usize(busy.len());
+    for &b in busy {
+        w.u64(b);
+    }
+}
+
+fn get_series(r: &mut SnapReader) -> Result<IntervalSeries, SnapError> {
+    let width = r.u64()?;
+    if width == 0 {
+        return Err(SnapError::Invalid {
+            what: "interval series width",
+            value: 0,
+        });
+    }
+    let n = r.usize()?;
+    let mut busy = Vec::with_capacity(n);
+    for _ in 0..n {
+        busy.push(r.u64()?);
+    }
+    Ok(IntervalSeries::from_raw_parts(width, busy))
+}
+
+fn put_rng(w: &mut SnapWriter, rng: &Rng) {
+    for word in rng.state() {
+        w.u64(word);
+    }
+}
+
+fn get_rng(r: &mut SnapReader) -> Result<Rng, SnapError> {
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = r.u64()?;
+    }
+    Ok(Rng::from_state(s))
+}
+
+fn put_pe(w: &mut SnapWriter, pe: &Pe) {
+    w.usize(pe.queue.len());
+    for item in &pe.queue {
+        put_work_item(w, item);
+    }
+    w.usize(pe.sys_queue.len());
+    for item in &pe.sys_queue {
+        put_work_item(w, item);
+    }
+    match &pe.executing {
+        Some(e) => {
+            w.bool(true);
+            put_executing(w, e);
+        }
+        None => w.bool(false),
+    }
+    w.u64(pe.exec_start.units());
+    w.u64(pe.busy_until.units());
+    // Waiting tasks in sorted goal-id order: map iteration order must not
+    // leak into the blob or two snapshots of one state could differ.
+    let mut ids: Vec<GoalId> = pe.waiting.keys().copied().collect();
+    ids.sort_unstable();
+    w.usize(ids.len());
+    for id in ids {
+        let wt = &pe.waiting[&id];
+        w.u64(id.0);
+        put_spec(w, &wt.spec);
+        put_parent(w, &wt.parent);
+        w.u32(wt.pending);
+        w.i64(wt.acc);
+        w.u32(wt.round);
+        w.u32(wt.hops);
+    }
+    w.usize(pe.known_load.len());
+    for &l in &pe.known_load {
+        w.u32(l);
+    }
+    put_busy(w, &pe.busy);
+    put_series(w, &pe.series);
+    w.u32(pe.queued_goals);
+    w.u32(pe.queued_responses);
+    w.u64(pe.goals_executed);
+    w.u64(pe.cost_factor);
+    w.bool(pe.failed);
+    w.u64(pe.transient_factor);
+    w.usize(pe.peak_queue);
+}
+
+fn get_pe(r: &mut SnapReader, pe: &mut Pe) -> Result<(), RestoreFail> {
+    pe.queue.clear();
+    for _ in 0..r.usize()? {
+        pe.queue.push_back(get_work_item(r)?);
+    }
+    pe.sys_queue.clear();
+    for _ in 0..r.usize()? {
+        pe.sys_queue.push_back(get_work_item(r)?);
+    }
+    pe.executing = if r.bool()? {
+        Some(get_executing(r)?)
+    } else {
+        None
+    };
+    pe.exec_start = SimTime(r.u64()?);
+    pe.busy_until = SimTime(r.u64()?);
+    pe.waiting = FastHashMap::default();
+    for _ in 0..r.usize()? {
+        let id = GoalId(r.u64()?);
+        let wt = Waiting {
+            spec: get_spec(r)?,
+            parent: get_parent(r)?,
+            pending: r.u32()?,
+            acc: r.i64()?,
+            round: r.u32()?,
+            hops: r.u32()?,
+        };
+        pe.waiting.insert(id, wt);
+    }
+    let degree = r.usize()?;
+    if degree != pe.known_load.len() {
+        return Err(RestoreFail::Mismatch(format!(
+            "snapshot PE {} has degree {degree} but this machine's has {}",
+            pe.id.0,
+            pe.known_load.len()
+        )));
+    }
+    for slot in &mut pe.known_load {
+        *slot = r.u32()?;
+    }
+    pe.busy = get_busy(r)?;
+    pe.series = get_series(r)?;
+    pe.queued_goals = r.u32()?;
+    pe.queued_responses = r.u32()?;
+    pe.goals_executed = r.u64()?;
+    pe.cost_factor = r.u64()?;
+    pe.failed = r.bool()?;
+    pe.transient_factor = r.u64()?;
+    pe.peak_queue = r.usize()?;
+    Ok(())
+}
+
+fn put_channel(w: &mut SnapWriter, ch: &Channel) {
+    match &ch.in_flight {
+        Some(f) => {
+            w.bool(true);
+            put_flight(w, f);
+        }
+        None => w.bool(false),
+    }
+    w.usize(ch.backlog.len());
+    for f in &ch.backlog {
+        put_flight(w, f);
+    }
+    put_busy(w, &ch.busy);
+    w.u64(ch.transfers);
+    w.usize(ch.max_backlog);
+    w.bool(ch.down);
+}
+
+fn get_channel(r: &mut SnapReader, ch: &mut Channel) -> Result<(), SnapError> {
+    ch.in_flight = if r.bool()? {
+        Some(get_flight(r)?)
+    } else {
+        None
+    };
+    ch.backlog.clear();
+    for _ in 0..r.usize()? {
+        ch.backlog.push_back(get_flight(r)?);
+    }
+    ch.busy = get_busy(r)?;
+    ch.transfers = r.u64()?;
+    ch.max_backlog = r.usize()?;
+    ch.down = r.bool()?;
+    Ok(())
+}
+
+impl Machine {
+    /// Serialize the machine's complete mutable state. Restoring the bytes
+    /// into a machine freshly constructed from the same run configuration
+    /// (via [`Machine::restore_bytes`]) continues the run bit-identically.
+    ///
+    /// Takes `&mut self` because serializing the event queue drains and
+    /// rebuilds it (pop order is the one canonical order both backends
+    /// share); the machine's observable state is unchanged.
+    pub fn snapshot_bytes(&mut self) -> Vec<u8> {
+        let queue = self.core.events.take_snapshot();
+        let mut w = SnapWriter::with_capacity(4096);
+        w.u32(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.usize(self.core.pes.len());
+        w.usize(self.core.channels.len());
+        put_rng(&mut w, &self.core.rng);
+        put_rng(&mut w, &self.core.fault_rng);
+        w.u64(self.core.next_goal_id);
+        w.u64(self.core.goals_created);
+        w.u64(self.core.goals_executed);
+        w.u64(self.core.responses_processed);
+        w.u64(self.core.seq_work);
+        w.u64(self.core.traffic.goal_hops);
+        w.u64(self.core.traffic.response_hops);
+        w.u64(self.core.traffic.control_msgs);
+        w.u64(self.core.traffic.load_updates);
+        put_hist(&mut w, &self.core.hop_hist);
+        put_stats(&mut w, &self.core.dispatch_latency);
+        put_series(&mut w, &self.core.global_series);
+        match self.core.root_result {
+            Some((v, t)) => {
+                w.bool(true);
+                w.i64(v);
+                w.u64(t.units());
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.core.last_progress.0);
+        w.u64(self.core.last_progress.1);
+        w.u64(self.core.last_progress.2);
+        w.u64(self.core.next_check);
+        w.u64(self.core.next_audit);
+        w.u64(self.core.last_audit_now);
+        // Fault / recovery state, tracking map in sorted goal-id order.
+        let f = &self.core.faults;
+        let mut ids: Vec<GoalId> = f.outstanding.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let o = &f.outstanding[&id];
+            w.u64(id.0);
+            put_parent(&mut w, &o.parent);
+            put_spec(&mut w, &o.spec);
+            w.u32(o.attempts);
+            w.u64(o.first_created);
+            put_opt_u32(&mut w, o.resident.map(|pe| pe.0));
+        }
+        w.u32(f.pes_crashed);
+        w.u64(f.goals_lost);
+        w.u64(f.messages_dropped);
+        w.u64(f.goals_respawned);
+        w.u64(f.duplicate_responses);
+        w.u64(f.retries_exhausted);
+        put_stats(&mut w, &f.recovery_latency);
+        for pe in &self.core.pes {
+            put_pe(&mut w, pe);
+        }
+        for ch in &self.core.channels {
+            put_channel(&mut w, ch);
+        }
+        w.u64(queue.now.units());
+        w.u64(queue.processed);
+        w.usize(queue.events.len());
+        for (at, ev) in &queue.events {
+            w.u64(at.units());
+            put_event(&mut w, ev);
+        }
+        let state = self.strategy.snapshot_state();
+        w.str(&state.name);
+        w.bytes(&state.bytes);
+        self.core.events.restore_snapshot(queue);
+        w.into_bytes()
+    }
+
+    /// Restore state captured by [`Machine::snapshot_bytes`] into this
+    /// freshly constructed machine. Call *instead of* [`Machine::begin`] —
+    /// everything `begin` arms (broadcasts, fault-plan events, the root
+    /// goal) is already inside the snapshot — then drive the run with
+    /// [`Machine::advance_until`] / [`Machine::finish`] as usual.
+    ///
+    /// Fails with [`SimError::InvalidConfig`] when the bytes are corrupt,
+    /// from a different snapshot version, or from a machine with a
+    /// different shape (PE/channel counts, degrees, strategy). A failed
+    /// restore leaves the machine partially written — discard it.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        match self.restore_inner(bytes) {
+            Ok(()) => Ok(()),
+            Err(RestoreFail::Codec(e)) => Err(SimError::InvalidConfig(format!(
+                "corrupt machine snapshot: {e}"
+            ))),
+            Err(RestoreFail::Mismatch(msg)) => Err(SimError::InvalidConfig(msg)),
+        }
+    }
+
+    fn restore_inner(&mut self, bytes: &[u8]) -> Result<(), RestoreFail> {
+        let mut r = SnapReader::new(bytes);
+        let magic = r.u32()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(RestoreFail::Mismatch(format!(
+                "not a machine snapshot (magic {magic:#010x})"
+            )));
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(RestoreFail::Mismatch(format!(
+                "machine snapshot version {version} unsupported (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let num_pes = r.usize()?;
+        let num_channels = r.usize()?;
+        if num_pes != self.core.pes.len() || num_channels != self.core.channels.len() {
+            return Err(RestoreFail::Mismatch(format!(
+                "snapshot is of a {num_pes}-PE/{num_channels}-channel machine but this one has \
+                 {} PEs and {} channels",
+                self.core.pes.len(),
+                self.core.channels.len()
+            )));
+        }
+        self.core.rng = get_rng(&mut r)?;
+        self.core.fault_rng = get_rng(&mut r)?;
+        self.core.next_goal_id = r.u64()?;
+        self.core.goals_created = r.u64()?;
+        self.core.goals_executed = r.u64()?;
+        self.core.responses_processed = r.u64()?;
+        self.core.seq_work = r.u64()?;
+        self.core.traffic.goal_hops = r.u64()?;
+        self.core.traffic.response_hops = r.u64()?;
+        self.core.traffic.control_msgs = r.u64()?;
+        self.core.traffic.load_updates = r.u64()?;
+        self.core.hop_hist = get_hist(&mut r)?;
+        self.core.dispatch_latency = get_stats(&mut r)?;
+        self.core.global_series = get_series(&mut r)?;
+        self.core.root_result = if r.bool()? {
+            let v = r.i64()?;
+            let t = r.u64()?;
+            Some((v, SimTime(t)))
+        } else {
+            None
+        };
+        self.core.last_progress = (r.u64()?, r.u64()?, r.u64()?);
+        self.core.next_check = r.u64()?;
+        self.core.next_audit = r.u64()?;
+        self.core.last_audit_now = r.u64()?;
+        self.core.faults.outstanding = FastHashMap::default();
+        for _ in 0..r.usize()? {
+            let id = GoalId(r.u64()?);
+            let o = Outstanding {
+                parent: get_parent(&mut r)?,
+                spec: get_spec(&mut r)?,
+                attempts: r.u32()?,
+                first_created: r.u64()?,
+                resident: get_opt_u32(&mut r)?.map(PeId),
+            };
+            self.core.faults.outstanding.insert(id, o);
+        }
+        self.core.faults.pes_crashed = r.u32()?;
+        self.core.faults.goals_lost = r.u64()?;
+        self.core.faults.messages_dropped = r.u64()?;
+        self.core.faults.goals_respawned = r.u64()?;
+        self.core.faults.duplicate_responses = r.u64()?;
+        self.core.faults.retries_exhausted = r.u64()?;
+        self.core.faults.recovery_latency = get_stats(&mut r)?;
+        for pe in &mut self.core.pes {
+            get_pe(&mut r, pe)?;
+        }
+        for ch in &mut self.core.channels {
+            get_channel(&mut r, ch)?;
+        }
+        let now = SimTime(r.u64()?);
+        let processed = r.u64()?;
+        let n_events = r.usize()?;
+        let mut events = Vec::with_capacity(n_events);
+        let mut prev = now;
+        for _ in 0..n_events {
+            let at = SimTime(r.u64()?);
+            if at < prev {
+                return Err(RestoreFail::Mismatch(format!(
+                    "snapshot event queue is not in pop order ({at} after {prev})"
+                )));
+            }
+            prev = at;
+            events.push((at, get_event(&mut r)?));
+        }
+        self.core.events.restore_snapshot(QueueSnapshot {
+            now,
+            processed,
+            events,
+        });
+        let state = StrategyState {
+            name: r.str()?.to_string(),
+            bytes: r.bytes()?.to_vec(),
+        };
+        r.finish()?;
+        self.strategy
+            .restore_state(&state, &self.core)
+            .map_err(RestoreFail::Mismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, QueueBackend};
+    use crate::cost::CostModel;
+    use crate::faults::{FaultPlan, RecoveryParams};
+    use crate::machine::Core;
+    use crate::program::Program;
+    use crate::strategy::Strategy;
+    use oracle_topo::misc::ring;
+
+    struct Fib(i64);
+
+    impl Program for Fib {
+        fn name(&self) -> String {
+            format!("fib({})", self.0)
+        }
+        fn root(&self) -> TaskSpec {
+            TaskSpec::new(self.0, 0)
+        }
+        fn expand(&self, spec: &TaskSpec) -> Expansion {
+            if spec.a < 2 {
+                Expansion::Leaf(spec.a)
+            } else {
+                Expansion::Split([spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)].into())
+            }
+        }
+        fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+            acc + child
+        }
+    }
+
+    /// Scatter goals one hop around the ring (exercises channels, known
+    /// loads, and responses); stateless, so the default snapshot hooks
+    /// apply.
+    struct ScatterRing;
+
+    impl Strategy for ScatterRing {
+        fn name(&self) -> &'static str {
+            "scatter-ring"
+        }
+        fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            let next = PeId((pe.0 + 1) % core.num_pes() as u32);
+            core.forward_goal(pe, next, goal);
+        }
+        fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            core.accept_goal(pe, goal);
+        }
+    }
+
+    fn machine(cfg: MachineConfig) -> Machine {
+        Machine::new(
+            ring(4),
+            Box::new(Fib(14)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    /// Drive a begun (or restored) machine to its end and render the full
+    /// outcome — report or error — so success *and* failure trajectories
+    /// must match bit-for-bit.
+    fn run_to_end(mut m: Machine) -> String {
+        match m.advance_until(None) {
+            Ok(_) => format!("{:?}", m.finish().map(|(report, _)| report)),
+            Err(e) => format!("Err({e:?})"),
+        }
+    }
+
+    fn resume_matches_uninterrupted(cfg: MachineConfig) {
+        let mut plain = machine(cfg.clone());
+        plain.begin();
+        let baseline = run_to_end(plain);
+
+        let mut first = machine(cfg.clone());
+        first.begin();
+        let done = first.advance_until(Some(120)).unwrap();
+        assert!(!done, "run should pause before completing");
+        let bytes = first.snapshot_bytes();
+
+        // The snapshotted machine itself keeps running to the same outcome…
+        assert_eq!(run_to_end(first), baseline);
+
+        // …and so does a fresh machine restored from the bytes.
+        let mut resumed = machine(cfg);
+        resumed.restore_bytes(&bytes).unwrap();
+        assert_eq!(run_to_end(resumed), baseline);
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_to_unaudited() {
+        let base = machine(MachineConfig::default().with_seed(5))
+            .run()
+            .unwrap();
+        let audited = machine(MachineConfig {
+            audit_every: 1,
+            ..MachineConfig::default().with_seed(5)
+        })
+        .run()
+        .unwrap();
+        assert_eq!(format!("{audited:?}"), format!("{base:?}"));
+    }
+
+    #[test]
+    fn resume_is_bit_identical_on_both_backends() {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let cfg = MachineConfig {
+                queue_backend: backend,
+                ..MachineConfig::default().with_seed(7)
+            };
+            resume_matches_uninterrupted(cfg);
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_faults() {
+        let cfg = MachineConfig {
+            fault_plan: FaultPlan::default()
+                .crash(2, 400)
+                .with_loss(0.01)
+                .with_recovery(RecoveryParams::default()),
+            audit_every: 64,
+            ..MachineConfig::default().with_seed(11)
+        };
+        resume_matches_uninterrupted(cfg);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_and_mismatched_blobs() {
+        let cfg = MachineConfig::default().with_seed(3);
+        let mut m = machine(cfg.clone());
+        m.begin();
+        m.advance_until(Some(50)).unwrap();
+        let bytes = m.snapshot_bytes();
+
+        // Truncation anywhere is a decode error, not a panic.
+        let mut fresh = machine(cfg.clone());
+        let err = fresh.restore_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+
+        // Garbage magic is rejected up front.
+        let mut fresh = machine(cfg.clone());
+        let err = fresh.restore_bytes(&[0u8; 64]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // A machine of a different shape refuses the blob.
+        let mut other = Machine::new(
+            ring(8),
+            Box::new(Fib(14)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        let err = other.restore_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("8 PEs"), "{err}");
+    }
+}

@@ -13,7 +13,8 @@
 
 use std::collections::HashMap;
 
-use oracle_model::{Core, GoalId, GoalMsg, Strategy};
+use oracle_des::snapshot::{SnapReader, SnapWriter};
+use oracle_model::{Core, GoalId, GoalMsg, Strategy, StrategyState};
 use oracle_topo::PeId;
 
 /// Send every goal to a uniformly random PE (global communication).
@@ -62,6 +63,53 @@ impl Strategy for GlobalRandom {
             // Directed transfers (or lost state) are accepted in place.
             None => core.accept_goal(pe, goal),
         }
+    }
+
+    fn snapshot_state(&self) -> StrategyState {
+        let mut w = SnapWriter::new();
+        // Sorted key order: HashMap iteration order is not deterministic,
+        // snapshot bytes must be.
+        let mut ids: Vec<GoalId> = self.in_flight.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            w.u64(id.0);
+            w.u32(self.in_flight[&id].0);
+        }
+        StrategyState {
+            name: self.name().to_string(),
+            bytes: w.into_bytes(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &StrategyState, core: &Core) -> Result<(), String> {
+        if state.name != self.name() {
+            return Err(format!(
+                "strategy snapshot was taken from `{}` but is being restored into `{}`",
+                state.name,
+                self.name()
+            ));
+        }
+        let bad = |e| format!("corrupt `global-random` snapshot payload: {e}");
+        let mut r = SnapReader::new(&state.bytes);
+        let n = r.usize().map_err(bad)?;
+        let mut in_flight = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = GoalId(r.u64().map_err(bad)?);
+            let dest = PeId(r.u32().map_err(bad)?);
+            if dest.idx() >= core.num_pes() {
+                return Err(format!(
+                    "`global-random` snapshot routes a goal to PE {} \
+                     but this machine has only {} PEs",
+                    dest.0,
+                    core.num_pes()
+                ));
+            }
+            in_flight.insert(id, dest);
+        }
+        r.finish().map_err(bad)?;
+        self.in_flight = in_flight;
+        Ok(())
     }
 }
 

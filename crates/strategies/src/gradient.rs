@@ -21,7 +21,8 @@
 //! proximity is at most the diameter (`require_demand`, on by default; turn
 //! off for the literal-unconditional ablation).
 
-use oracle_model::{ControlMsg, Core, GoalMsg, Strategy};
+use oracle_des::snapshot::{SnapReader, SnapWriter};
+use oracle_model::{ControlMsg, Core, GoalMsg, Strategy, StrategyState};
 use oracle_topo::PeId;
 use serde::{Deserialize, Serialize};
 
@@ -237,6 +238,64 @@ impl Strategy for GradientModel {
         if let Some(idx) = neighbor_index(core, pe, up) {
             self.state[pe.idx()].neighbor_prox[idx] = 0;
         }
+    }
+
+    fn snapshot_state(&self) -> StrategyState {
+        let mut w = SnapWriter::new();
+        w.usize(self.state.len());
+        for st in &self.state {
+            w.u32(st.proximity as u32);
+            w.usize(st.neighbor_prox.len());
+            for &p in &st.neighbor_prox {
+                w.u32(p as u32);
+            }
+        }
+        StrategyState {
+            name: self.name().to_string(),
+            bytes: w.into_bytes(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &StrategyState, core: &Core) -> Result<(), String> {
+        if state.name != self.name() {
+            return Err(format!(
+                "strategy snapshot was taken from `{}` but is being restored into `{}`",
+                state.name,
+                self.name()
+            ));
+        }
+        let bad = |e| format!("corrupt `gradient` snapshot payload: {e}");
+        let mut r = SnapReader::new(&state.bytes);
+        let n = r.usize().map_err(bad)?;
+        if n != core.num_pes() {
+            return Err(format!(
+                "`gradient` snapshot covers {n} PEs but this machine has {}",
+                core.num_pes()
+            ));
+        }
+        let mut restored = Vec::with_capacity(n);
+        for i in 0..n {
+            let proximity = r.u32().map_err(bad)? as u16;
+            let deg = r.usize().map_err(bad)?;
+            let expect = core.topology().degree(PeId(i as u32));
+            if deg != expect {
+                return Err(format!(
+                    "`gradient` snapshot lists {deg} neighbours for PE {i} \
+                     but the topology gives it {expect}"
+                ));
+            }
+            let mut neighbor_prox = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                neighbor_prox.push(r.u32().map_err(bad)? as u16);
+            }
+            restored.push(GmPe {
+                proximity,
+                neighbor_prox,
+            });
+        }
+        r.finish().map_err(bad)?;
+        self.state = restored;
+        Ok(())
     }
 }
 

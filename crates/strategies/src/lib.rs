@@ -59,6 +59,177 @@ pub(crate) mod util {
 }
 
 #[cfg(test)]
+mod resume_tests {
+    //! Checkpoint/resume equivalence for every shipped strategy: pausing a
+    //! run mid-flight, snapshotting the machine (including the strategy's
+    //! private state via [`oracle_model::Strategy::snapshot_state`]), and
+    //! resuming in a fresh machine must produce a bit-identical final
+    //! report on both queue backends.
+
+    use crate::testutil::Fib;
+    use crate::*;
+    use oracle_model::{CostModel, Machine, MachineConfig, QueueBackend, Strategy};
+    use oracle_topo::mesh::mesh2d;
+
+    fn run_to_end(mut m: Machine) -> String {
+        if let Err(e) = m.advance_until(None) {
+            return format!("Err({e:?})");
+        }
+        match m.finish() {
+            Ok((report, _)) => format!("{report:?}"),
+            Err(e) => format!("Err({e:?})"),
+        }
+    }
+
+    fn assert_resume_identical(mk: &dyn Fn() -> Box<dyn Strategy>, config: &MachineConfig) {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let config = MachineConfig {
+                queue_backend: backend,
+                ..config.clone()
+            };
+            let machine = || {
+                Machine::new(
+                    mesh2d(4, 4, false),
+                    Box::new(Fib(13)),
+                    mk(),
+                    CostModel::paper_default(),
+                    config.clone(),
+                )
+                .expect("machine config")
+            };
+
+            let mut baseline = machine();
+            baseline.begin();
+            let expected = run_to_end(baseline);
+
+            let mut paused = machine();
+            paused.begin();
+            paused.advance_until(Some(400)).expect("run to pause point");
+            let blob = paused.snapshot_bytes();
+            assert_eq!(run_to_end(paused), expected, "continued run diverged");
+
+            let mut resumed = machine();
+            resumed
+                .restore_bytes(&blob)
+                .expect("snapshot should restore");
+            assert_eq!(
+                run_to_end(resumed),
+                expected,
+                "resumed run diverged ({backend:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn cwn_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(Cwn::with(6, 2)),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn gradient_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(GradientModel::new(gradient::GradientParams::paper_grid())),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn acwn_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(AdaptiveCwn::new(acwn::AcwnParams::paper_grid())),
+            &MachineConfig {
+                future_commitment_weight: 1,
+                ..MachineConfig::default().with_seed(23)
+            },
+        );
+    }
+
+    #[test]
+    fn stealing_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(WorkStealing::new(25)),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn threshold_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(ThresholdProbe::new(threshold::ThresholdParams::default())),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn global_random_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(GlobalRandom::new()),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn diffusion_resumes_bit_identically() {
+        assert_resume_identical(
+            &|| Box::new(Diffusion::new(diffusion::DiffusionParams::default())),
+            &MachineConfig::default().with_seed(23),
+        );
+    }
+
+    #[test]
+    fn baselines_resume_bit_identically() {
+        let cfg = MachineConfig::default().with_seed(23);
+        assert_resume_identical(&|| Box::new(KeepLocal), &cfg);
+        assert_resume_identical(&|| Box::new(RandomWalk::new(3)), &cfg);
+        assert_resume_identical(&|| Box::new(RoundRobin::new()), &cfg);
+    }
+
+    #[test]
+    fn audited_resume_stays_clean_and_identical() {
+        // Auditor on through pause, snapshot, and resume: still
+        // bit-identical, and no invariant fires (threshold probing parks
+        // goals, exercising the `goals_held` term of task conservation).
+        assert_resume_identical(
+            &|| Box::new(ThresholdProbe::new(threshold::ThresholdParams::default())),
+            &MachineConfig {
+                audit_every: 16,
+                ..MachineConfig::default().with_seed(23)
+            },
+        );
+    }
+
+    #[test]
+    fn snapshot_refuses_wrong_strategy_or_garbage() {
+        let steal = WorkStealing::new(25);
+        let state = steal.snapshot_state();
+        let mut gm = GradientModel::new(gradient::GradientParams::paper_grid());
+        let machine = Machine::new(
+            mesh2d(4, 4, false),
+            Box::new(Fib(10)),
+            Box::new(Cwn::with(6, 2)),
+            CostModel::paper_default(),
+            MachineConfig::default(),
+        )
+        .expect("machine config");
+        let core = machine.core();
+        let err = gm.restore_state(&state, core).unwrap_err();
+        assert!(
+            err.contains("work-stealing") && err.contains("gradient"),
+            "{err}"
+        );
+
+        let mut truncated = state.clone();
+        truncated.bytes.truncate(3);
+        let mut steal2 = WorkStealing::new(25);
+        let err = steal2.restore_state(&truncated, core).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+    }
+}
+
+#[cfg(test)]
 pub(crate) mod testutil {
     //! Shared harness for strategy unit tests: run a workload on a small
     //! topology under a given strategy and return the report.

@@ -11,7 +11,8 @@
 //! as a directed transfer, or replies with a deny. A denied thief backs off
 //! `retry_delay` units and tries again while still idle.
 
-use oracle_model::{ControlMsg, Core, GoalMsg, Strategy};
+use oracle_des::snapshot::{SnapReader, SnapWriter};
+use oracle_model::{ControlMsg, Core, GoalMsg, Strategy, StrategyState};
 use oracle_topo::PeId;
 
 /// Control tag: "give me work".
@@ -148,6 +149,52 @@ impl Strategy for WorkStealing {
 
     fn on_idle(&mut self, core: &mut Core, pe: PeId) {
         self.try_steal(core, pe);
+    }
+
+    fn snapshot_state(&self) -> StrategyState {
+        let mut w = SnapWriter::new();
+        w.usize(self.outstanding.len());
+        for &b in &self.outstanding {
+            w.bool(b);
+        }
+        for &d in &self.denies {
+            w.u32(d);
+        }
+        StrategyState {
+            name: self.name().to_string(),
+            bytes: w.into_bytes(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &StrategyState, core: &Core) -> Result<(), String> {
+        if state.name != self.name() {
+            return Err(format!(
+                "strategy snapshot was taken from `{}` but is being restored into `{}`",
+                state.name,
+                self.name()
+            ));
+        }
+        let bad = |e| format!("corrupt `work-stealing` snapshot payload: {e}");
+        let mut r = SnapReader::new(&state.bytes);
+        let n = r.usize().map_err(bad)?;
+        if n != core.num_pes() {
+            return Err(format!(
+                "`work-stealing` snapshot covers {n} PEs but this machine has {}",
+                core.num_pes()
+            ));
+        }
+        let mut outstanding = Vec::with_capacity(n);
+        for _ in 0..n {
+            outstanding.push(r.bool().map_err(bad)?);
+        }
+        let mut denies = Vec::with_capacity(n);
+        for _ in 0..n {
+            denies.push(r.u32().map_err(bad)?);
+        }
+        r.finish().map_err(bad)?;
+        self.outstanding = outstanding;
+        self.denies = denies;
+        Ok(())
     }
 }
 

@@ -18,7 +18,9 @@
 
 use std::collections::HashMap;
 
-use oracle_model::{ControlMsg, Core, GoalId, GoalMsg, Strategy};
+use oracle_des::snapshot::{SnapReader, SnapWriter};
+use oracle_model::snapshot::{get_goal, put_goal};
+use oracle_model::{ControlMsg, Core, GoalId, GoalMsg, Strategy, StrategyState};
 use oracle_topo::PeId;
 use serde::{Deserialize, Serialize};
 
@@ -163,6 +165,71 @@ impl Strategy for ThresholdProbe {
             }
             _ => {}
         }
+    }
+
+    fn snapshot_state(&self) -> StrategyState {
+        let mut w = SnapWriter::new();
+        // Sorted key order: HashMap iteration order is not deterministic,
+        // snapshot bytes must be.
+        let mut ids: Vec<GoalId> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let p = &self.pending[&id];
+            w.u64(id.0);
+            put_goal(&mut w, &p.goal);
+            w.u32(p.home.0);
+            w.u32(p.probes_left);
+        }
+        StrategyState {
+            name: self.name().to_string(),
+            bytes: w.into_bytes(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &StrategyState, core: &Core) -> Result<(), String> {
+        if state.name != self.name() {
+            return Err(format!(
+                "strategy snapshot was taken from `{}` but is being restored into `{}`",
+                state.name,
+                self.name()
+            ));
+        }
+        let bad = |e| format!("corrupt `threshold-probe` snapshot payload: {e}");
+        let mut r = SnapReader::new(&state.bytes);
+        let n = r.usize().map_err(bad)?;
+        let mut pending = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = GoalId(r.u64().map_err(bad)?);
+            let goal = get_goal(&mut r).map_err(bad)?;
+            let home = PeId(r.u32().map_err(bad)?);
+            if home.idx() >= core.num_pes() {
+                return Err(format!(
+                    "`threshold-probe` snapshot parks a goal on PE {} \
+                     but this machine has only {} PEs",
+                    home.0,
+                    core.num_pes()
+                ));
+            }
+            let probes_left = r.u32().map_err(bad)?;
+            pending.insert(
+                id,
+                Pending {
+                    goal,
+                    home,
+                    probes_left,
+                },
+            );
+        }
+        r.finish().map_err(bad)?;
+        self.pending = pending;
+        Ok(())
+    }
+
+    fn goals_held(&self) -> u64 {
+        // Parked goals are neither queued on a PE nor on the wire; without
+        // this the auditor's task-conservation identity would not balance.
+        self.pending.len() as u64
     }
 }
 

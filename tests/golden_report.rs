@@ -25,7 +25,11 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
 }
 
-fn check(name: &str, config: oracle::builder::RunConfig) {
+fn check(name: &str, mut config: oracle::builder::RunConfig) {
+    // The invariant auditor is pure observation: running every golden with
+    // it enabled both proves these configurations audit clean and pins the
+    // guarantee that auditing never perturbs simulated results.
+    config.machine.audit_every = 50;
     let report = config.run().expect(name);
     let rendered = format!("{report:#?}\n");
     let path = golden_dir().join(format!("{name}.txt"));

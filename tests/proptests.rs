@@ -379,6 +379,19 @@ fn fault_plan_strategy() -> impl proptest::strategy::Strategy<Value = oracle::mo
                 recover,
                 (ack_timeout, max_retries),
             )| {
+                // Plan validation rejects a PE crashed twice and
+                // overlapping windows on one channel; keep the first
+                // occurrence per PE/channel so every generated plan loads.
+                let mut seen_pes = std::collections::HashSet::new();
+                let pe_crashes: Vec<PeCrash> = pe_crashes
+                    .into_iter()
+                    .filter(|c| seen_pes.insert(c.pe))
+                    .collect();
+                let mut seen_channels = std::collections::HashSet::new();
+                let link_windows: Vec<LinkWindow> = link_windows
+                    .into_iter()
+                    .filter(|w| seen_channels.insert(w.channel))
+                    .collect();
                 FaultPlan {
                     pe_crashes,
                     link_windows,

@@ -104,6 +104,7 @@ fn main() -> ExitCode {
         "experiment" => cmd_experiment(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
+        "trace-check" => cmd_trace_check(&args[1..]),
         "topo-info" => cmd_topo_info(&args[1..]),
         "list" => {
             print_list();
@@ -131,10 +132,19 @@ oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
 
 commands:
   run       --topology T --strategy S --workload W [--seed N] [--csv]
-            [--series] [--trace N] [--heatmap FILE.ppm] [--faults PLAN|@FILE]
-            [--audit-every N] [--checkpoint-every T [--checkpoint-dir DIR]]
-            [--resume FILE]
+            [--series] [--trace N] [--trace-out FILE]
+            [--trace-format jsonl|chrome] [--trace-last N]
+            [--series-out FILE] [--profile] [--heatmap FILE.ppm]
+            [--faults PLAN|@FILE] [--audit-every N]
+            [--checkpoint-every T [--checkpoint-dir DIR]] [--resume FILE]
             run one simulation and print its report;
+            --trace-out exports the event trace (default format jsonl;
+            chrome produces a Perfetto-loadable trace_event file);
+            --trace-last N ring-buffers the *last* N events instead of
+            keeping the first --trace N;
+            --series-out writes the per-PE utilization series as CSV;
+            --profile prints engine counters (per-event-kind counts and
+            wall times, queue-depth high-water mark, control tags);
             --faults @FILE loads a plan file (blank/# lines ignored, one
             or more `+`-separated terms per line);
             --audit-every N checks runtime invariants every N events;
@@ -142,6 +152,10 @@ commands:
             time units (to --checkpoint-dir, default ./checkpoints);
             --resume FILE continues a checkpointed run to a bit-identical
             final report (config is embedded; spec flags are not needed)
+  trace-check FILE [--format jsonl|chrome]
+            validate an exported trace file (well-formed JSON, required
+            header fields, timestamps monotone per track); the format is
+            sniffed from the file unless --format is given
   chaos     [--cases N] [--seed N] [--threads N] [--stall-secs S]
             [--audit-every N] [--out DIR]
             run a seeded chaos-fuzzing sweep (random fault plans thrown at
@@ -150,11 +164,12 @@ commands:
             any case fails
   compare   --topology T --workload W [--seed N]
             run CWN vs the Gradient Model with the paper's parameters
-  batch FILE [--csv] [--threads N]
+  batch FILE [--csv] [--threads N] [--profile]
             run a suite file (lines of:
             TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN]);
             --threads caps the worker pool (default: all cores; results
-            are identical at any thread count)
+            are identical at any thread count);
+            --profile profiles every run and prints the merged roll-up
   experiment NAME [--quick] [--seed N] [--threads N]
             regenerate a paper table/figure: table1 | table2 | table3 |
             plots-dc-grid | plots-dc-dlm | plots-fib | plots-time-grid |
@@ -249,9 +264,27 @@ fn parse_faults_flag(flags: &Flags) -> Result<oracle::model::FaultPlan, Failure>
         })
 }
 
+/// Default trace capacity when an export was requested but no explicit
+/// `--trace`/`--trace-last` bound was given: ample for the paper-scale
+/// runs, still bounded.
+const DEFAULT_EXPORT_TRACE_CAP: usize = 1_000_000;
+
 fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
-    let trace_cap: usize = flags.parse("--trace", 0)?;
+    let mut trace_cap: usize = flags.parse("--trace", 0)?;
+    let trace_last: usize = flags.parse("--trace-last", 0)?;
+    let trace_out = flags.value_of("--trace-out");
+    let trace_format: TraceFormat = flags.parse("--trace-format", TraceFormat::Jsonl)?;
+    let series_out = flags.value_of("--series-out");
+    let trace_mode = if trace_last > 0 {
+        trace_cap = trace_cap.max(trace_last);
+        TraceMode::KeepLast
+    } else {
+        TraceMode::KeepFirst
+    };
+    if trace_out.is_some() && trace_cap == 0 {
+        trace_cap = DEFAULT_EXPORT_TRACE_CAP;
+    }
     let heatmap_path = flags.value_of("--heatmap");
 
     if let Some(path) = flags.value_of("--resume") {
@@ -280,11 +313,14 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let mut machine_cfg = MachineConfig {
         audit_every,
         trace_capacity: trace_cap,
+        trace_mode,
+        profile: flags.has("--profile"),
         fault_plan: faults,
         ..MachineConfig::default()
     };
     machine_cfg.seed = seed;
-    machine_cfg.per_pe_series = flags.has("--series") || heatmap_path.is_some();
+    machine_cfg.per_pe_series =
+        flags.has("--series") || heatmap_path.is_some() || series_out.is_some();
     let config = SimulationBuilder::new()
         .topology(topology)
         .strategy(strategy)
@@ -311,6 +347,28 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     }
 
     let (report, trace) = config.run_traced().map_err(sim_failure)?;
+    if let Some(path) = trace_out {
+        let text = export_trace(&trace, &report, trace_format);
+        std::fs::write(path, &text).map_err(|e| Failure::io(format!("writing {path}: {e}")))?;
+        println!(
+            "wrote {} trace to {path} ({} events, {} dropped)",
+            match trace_format {
+                TraceFormat::Jsonl => "jsonl",
+                TraceFormat::Chrome => "chrome",
+            },
+            trace.len(),
+            trace.dropped()
+        );
+    }
+    if let Some(path) = series_out {
+        let csv = export_series_csv(&report);
+        std::fs::write(path, &csv).map_err(|e| Failure::io(format!("writing {path}: {e}")))?;
+        println!(
+            "wrote utilization series to {path} ({} intervals x {} PEs)",
+            report.util_series.len(),
+            report.num_pes
+        );
+    }
     if let Some(path) = heatmap_path {
         let series = report
             .per_pe_series
@@ -327,10 +385,57 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     }
 
     print_report(&report, &flags);
-    if trace_cap > 0 {
-        println!("\nevent trace (first {} events):", trace.events().len());
+    if trace.dropped() > 0 {
+        let what = match trace.mode() {
+            TraceMode::KeepFirst => "dropped past capacity",
+            TraceMode::KeepLast => "overwritten (ring mode)",
+        };
+        println!(
+            "warning: trace truncated — {} of {} events {what}",
+            trace.dropped(),
+            trace.dropped() + trace.len() as u64
+        );
+    }
+    // Print the trace inline only when it was explicitly requested for the
+    // terminal (exported traces can be huge).
+    if trace_cap > 0 && trace_out.is_none() {
+        let which = match trace.mode() {
+            TraceMode::KeepFirst => "first",
+            TraceMode::KeepLast => "last",
+        };
+        println!("\nevent trace ({which} {} events):", trace.len());
         print!("{}", trace.render());
     }
+    Ok(())
+}
+
+/// `trace-check FILE [--format jsonl|chrome]` — structural validation of an
+/// exported trace (CI runs this against freshly exported files).
+fn cmd_trace_check(args: &[String]) -> Result<(), Failure> {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err(Failure::config("trace-check needs a trace file"));
+    };
+    let flags = Flags { args: &args[1..] };
+    let text = std::fs::read_to_string(path).map_err(|e| Failure::io(format!("{path}: {e}")))?;
+    let format = match flags.value_of("--format") {
+        Some(f) => f.parse::<TraceFormat>().map_err(Failure::config)?,
+        None => oracle::traceio::sniff_format(&text),
+    };
+    let summary = validate_trace(&text, format).map_err(|e| Failure {
+        kind: "trace",
+        code: 3,
+        message: format!("{path}: {e}"),
+    })?;
+    println!(
+        "{path}: valid {} trace — {} events, {} tracks, {} dropped",
+        match format {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome",
+        },
+        summary.events,
+        summary.tracks,
+        summary.dropped
+    );
     Ok(())
 }
 
@@ -344,9 +449,11 @@ fn print_report(report: &Report, flags: &Flags) {
         println!("completion_time,{}", report.completion_time);
         println!("result,{}", report.result);
         println!("goals,{}", report.goals_executed);
-        println!("avg_utilization_pct,{:.3}", report.avg_utilization);
+        // Fraction in [0, 1], like every utilization the tool emits.
+        println!("avg_utilization,{:.5}", report.avg_utilization);
         println!("speedup,{:.3}", report.speedup);
         println!("avg_goal_distance,{:.3}", report.avg_goal_distance);
+        println!("hop_overflow,{}", report.hop_overflow);
         println!("goal_hops,{}", report.traffic.goal_hops);
         println!("response_hops,{}", report.traffic.response_hops);
         println!("control_msgs,{}", report.traffic.control_msgs);
@@ -368,7 +475,10 @@ fn print_report(report: &Report, flags: &Flags) {
         println!("  result            {}", report.result);
         println!("  goals             {}", report.goals_executed);
         println!("  completion time   {} units", report.completion_time);
-        println!("  avg utilization   {:.1} %", report.avg_utilization);
+        println!(
+            "  avg utilization   {:.1} %",
+            report.avg_utilization * 100.0
+        );
         println!(
             "  speedup           {:.2} on {} PEs",
             report.speedup, report.num_pes
@@ -398,6 +508,10 @@ fn print_report(report: &Report, flags: &Flags) {
         for (t, u) in &report.util_series {
             println!("  {t},{:.1}", u * 100.0);
         }
+    }
+    if let Some(profile) = &report.profile {
+        println!("\nengine profile:");
+        print!("{}", profile.render());
     }
 }
 
@@ -607,25 +721,39 @@ fn cmd_batch(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args: &args[1..] };
     apply_threads(&flags)?;
     let text = std::fs::read_to_string(path).map_err(|e| Failure::io(format!("{path}: {e}")))?;
-    let specs = oracle::runner::parse_suite(&text)?;
+    let mut specs = oracle::runner::parse_suite(&text)?;
+    let profile = flags.has("--profile");
+    if profile {
+        for spec in &mut specs {
+            spec.config.machine.profile = true;
+        }
+    }
     let mut table = Table::new(
         format!("suite {path} ({} runs)", specs.len()),
         &["run", "speedup", "util %", "time", "avg dist"],
     );
+    let mut rollup = oracle::des::ProfileReport::default();
     for (label, result) in run_batch(&specs) {
         let r = result.map_err(|e| sim_failure(e).context(&label))?;
         table.row(vec![
             label,
             f2(r.speedup),
-            f1(r.avg_utilization),
+            f1(r.avg_utilization * 100.0),
             r.completion_time.to_string(),
             f2(r.avg_goal_distance),
         ]);
+        if let Some(p) = &r.profile {
+            rollup.merge(p);
+        }
     }
     if flags.has("--csv") {
         print!("{}", table.to_csv());
     } else {
         println!("{table}");
+    }
+    if profile {
+        println!("\nbatch engine profile (all runs merged):");
+        print!("{}", rollup.render());
     }
     Ok(())
 }
@@ -669,7 +797,7 @@ fn cmd_compare(args: &[String]) -> Result<(), Failure> {
         table.row(vec![
             label,
             f2(r.speedup),
-            f1(r.avg_utilization),
+            f1(r.avg_utilization * 100.0),
             r.completion_time.to_string(),
             f2(r.avg_goal_distance),
         ]);
@@ -947,6 +1075,104 @@ mod tests {
         let err = cmd_run(&flags(&["--resume", "/no/such/checkpoint"])).unwrap_err();
         assert_eq!(err.code, 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_exports_and_trace_check_validates() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join(format!("oracle_cli_trace_{}.jsonl", std::process::id()));
+        let chrome = dir.join(format!("oracle_cli_trace_{}.json", std::process::id()));
+        let series = dir.join(format!("oracle_cli_series_{}.csv", std::process::id()));
+        let base = [
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:10",
+            "--seed",
+            "3",
+        ];
+
+        let mut a: Vec<String> = flags(&base);
+        a.extend(flags(&["--trace-out", jsonl.to_str().unwrap()]));
+        a.extend(flags(&["--series-out", series.to_str().unwrap()]));
+        cmd_run(&a).expect("jsonl export run");
+        cmd_trace_check(&flags(&[jsonl.to_str().unwrap()])).expect("jsonl validates");
+
+        let mut a: Vec<String> = flags(&base);
+        a.extend(flags(&[
+            "--trace-out",
+            chrome.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+            "--profile",
+        ]));
+        cmd_run(&a).expect("chrome export run");
+        cmd_trace_check(&flags(&[chrome.to_str().unwrap()])).expect("chrome validates");
+
+        let csv = std::fs::read_to_string(&series).unwrap();
+        assert!(csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .starts_with("interval_start,avg,pe0"));
+
+        // Tampered files must be rejected, as must unknown formats.
+        std::fs::write(&jsonl, "not json\n").unwrap();
+        let err = cmd_trace_check(&flags(&[jsonl.to_str().unwrap()])).unwrap_err();
+        assert_eq!((err.kind, err.code), ("trace", 3));
+        assert!(cmd_trace_check(&flags(&["/no/such/trace"])).is_err());
+
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&chrome).ok();
+        std::fs::remove_file(&series).ok();
+    }
+
+    #[test]
+    fn truncated_export_headers_carry_the_dropped_count() {
+        let path = std::env::temp_dir().join(format!(
+            "oracle_cli_trace_trunc_{}.jsonl",
+            std::process::id()
+        ));
+        let mut a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:10",
+            "--trace",
+            "10",
+        ]);
+        a.extend(flags(&["--trace-out", path.to_str().unwrap()]));
+        cmd_run(&a).expect("truncated export run");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(
+            header.contains("\"events_dropped\":") && !header.contains("\"events_dropped\":0"),
+            "header must confess the truncation: {header}"
+        );
+        // keep-last mode records the same count as overwritten events.
+        let mut a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:10",
+            "--trace-last",
+            "10",
+        ]);
+        a.extend(flags(&["--trace-out", path.to_str().unwrap()]));
+        cmd_run(&a).expect("ring-mode export run");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"trace_mode\":\"keep-last\""));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -169,6 +169,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Choose what a full trace buffer does with further events: keep the
+    /// first `trace_capacity` (the default) or ring-buffer the last.
+    pub fn trace_mode(mut self, mode: oracle_model::TraceMode) -> Self {
+        self.config.machine.trace_mode = mode;
+        self
+    }
+
+    /// Run the engine profiler (per-event-kind counts and wall times,
+    /// queue-depth high-water mark, control-tag counters) and attach its
+    /// report as `Report::profile`. Wall times are nondeterministic — leave
+    /// this off for runs whose reports are compared bit-for-bit.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.config.machine.profile = enabled;
+        self
+    }
+
     /// Select instantaneous (oracle) neighbour-load information instead of
     /// the paper's piggy-backed/periodic load words.
     pub fn instant_load_info(mut self) -> Self {
@@ -208,6 +224,12 @@ impl SimulationBuilder {
     /// Execute and validate against the workload's analytic result.
     pub fn run_validated(self) -> Result<Report, SimError> {
         self.config.run_validated()
+    }
+
+    /// Execute and also return the event trace (empty unless
+    /// [`SimulationBuilder::trace_capacity`] was set).
+    pub fn run_traced(self) -> Result<(Report, oracle_model::Trace), SimError> {
+        self.config.run_traced()
     }
 }
 

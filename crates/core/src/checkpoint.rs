@@ -242,6 +242,11 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
             per_pe_series,
             max_events,
             trace_capacity,
+            // Observability knobs: the trace ring mode and the profiler are
+            // not part of a snapshot (a resumed run's trace/profile start at
+            // the resume point), so checkpoints don't persist them.
+            trace_mode: oracle_model::TraceMode::default(),
+            profile: false,
             queue_discipline,
             queue_backend,
             fail_pe,

@@ -61,8 +61,9 @@ fn run_points(configs: Vec<(String, RunConfig)>) -> Vec<Point> {
             Point {
                 label,
                 speedup: r.speedup,
-                utilization: r.avg_utilization,
-                efficiency: r.efficiency,
+                // Report utilizations are fractions; Points carry percent.
+                utilization: r.avg_utilization * 100.0,
+                efficiency: r.efficiency * 100.0,
                 completion_time: r.completion_time,
                 goal_hops: r.traffic.goal_hops,
                 peak_queue: r.peak_queue_len,

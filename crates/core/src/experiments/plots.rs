@@ -71,7 +71,8 @@ pub fn util_vs_goals(topology: TopologySpec, workloads: &[WorkloadSpec], seed: u
                     .1
                     .as_ref()
                     .unwrap_or_else(|e| panic!("{}: {e}", results[2 * i + offset].0));
-                (w.num_goals(), r.avg_utilization)
+                // Report utilizations are fractions; plot axes are percent.
+                (w.num_goals(), r.avg_utilization * 100.0)
             })
             .collect(),
     };

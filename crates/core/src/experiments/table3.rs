@@ -46,11 +46,18 @@ pub fn run(fidelity: Fidelity, seed: u64) -> HopDistributions {
 }
 
 /// Render in the paper's layout: one row per scheme, one column per hop
-/// count, plus the average.
+/// count, plus the average. Goals that travelled beyond the histogram's
+/// bucket range get their own explicit column (instead of silently
+/// vanishing from the table): the columns of a row always sum to that
+/// run's executed goals.
 pub fn render(d: &HopDistributions) -> Table {
     let width = d.cwn.hop_histogram.len().max(d.gm.hop_histogram.len());
+    let overflow = d.cwn.hop_overflow > 0 || d.gm.hop_overflow > 0;
     let mut header: Vec<String> = vec!["Hops".into()];
     header.extend((0..width).map(|h| h.to_string()));
+    if overflow {
+        header.push(format!(">{}", width - 1));
+    }
     header.push("Average".into());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
@@ -65,6 +72,9 @@ pub fn render(d: &HopDistributions) -> Table {
                     .get(h)
                     .map_or_else(|| "0".into(), |c| c.to_string()),
             );
+        }
+        if overflow {
+            row.push(r.hop_overflow.to_string());
         }
         row.push(f2(r.avg_goal_distance));
         table.row(row);

@@ -22,7 +22,10 @@
 //! assert_eq!(report.result, 89); // the machine really computed fib(11)
 //! println!(
 //!     "{}: {:.1}% utilization, speedup {:.1} on {} PEs",
-//!     report.strategy, report.avg_utilization, report.speedup, report.num_pes
+//!     report.strategy,
+//!     report.avg_utilization * 100.0, // utilizations are fractions in [0, 1]
+//!     report.speedup,
+//!     report.num_pes
 //! );
 //! ```
 //!
@@ -38,6 +41,8 @@
 //! * [`chart`] — ASCII line charts (the plot harnesses draw the paper's
 //!   figures in the terminal).
 //! * [`heatmap`] — the paper's red/blue load monitor as PPM images.
+//! * [`traceio`] — structured trace export (JSONL and Chrome
+//!   `trace_event`), format validators, and the utilization-series CSV.
 //! * [`prelude`] — one-stop imports.
 
 pub mod builder;
@@ -48,6 +53,7 @@ pub mod experiments;
 pub mod heatmap;
 pub mod runner;
 pub mod table;
+pub mod traceio;
 
 pub use builder::SimulationBuilder;
 
@@ -64,9 +70,12 @@ pub mod prelude {
     pub use crate::experiments;
     pub use crate::runner::{run_batch, RunSpec};
     pub use crate::table::Table;
+    pub use crate::traceio::{
+        export_series_csv, export_trace, validate_trace, TraceFormat, TraceSummary,
+    };
     pub use oracle_model::{
         Continuation, CostModel, Expansion, MachineConfig, Program, Report, SimError, Strategy,
-        TaskSpec,
+        TaskSpec, Trace, TraceEvent, TraceMode,
     };
     pub use oracle_strategies::StrategySpec;
     pub use oracle_topo::TopologySpec;

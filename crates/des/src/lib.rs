@@ -24,6 +24,7 @@ pub mod calendar;
 pub mod event;
 pub mod hash;
 pub mod inline;
+pub mod profile;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use calendar::CalendarQueue;
 pub use event::EventQueue;
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use inline::InlineVec;
+pub use profile::{KindId, KindProfile, ProfileReport, Profiler};
 pub use rng::Rng;
 pub use snapshot::{SnapError, SnapReader, SnapWriter};
 pub use stats::{BusyTracker, Histogram, IntervalSeries, OnlineStats};

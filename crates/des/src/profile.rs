@@ -1,0 +1,309 @@
+//! Lightweight run profiler and metrics registry.
+//!
+//! The engine-side half of the observability layer: a small, fixed-cost
+//! registry of named event kinds, each accumulating a count and wall-clock
+//! time, plus a queue-depth high-water mark and a set of small-integer
+//! tag counters (the model uses those for per-strategy control-message
+//! tags). The driver decides when to sample [`std::time::Instant`]; the
+//! registry itself never reads the clock, so a disabled profiler costs the
+//! simulation exactly one branch per event.
+//!
+//! Wall-clock numbers are inherently nondeterministic; everything pinned by
+//! golden or determinism tests must therefore run with profiling off (the
+//! default). Counts and high-water marks, by contrast, are functions of the
+//! simulated run alone and are reproducible.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to one registered event kind (an index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindId(pub usize);
+
+/// Accumulated count and wall time for one event kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Events of this kind processed.
+    pub count: u64,
+    /// Total wall-clock time spent handling them, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// The live registry. Create one per run; extract a [`ProfileReport`] at
+/// the end with [`Profiler::report`].
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    names: Vec<&'static str>,
+    stats: Vec<KindStats>,
+    queue_depth_hwm: usize,
+    tag_counts: Vec<u64>,
+}
+
+impl Profiler {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Profiler {
+            names: Vec::new(),
+            stats: Vec::new(),
+            queue_depth_hwm: 0,
+            tag_counts: Vec::new(),
+        }
+    }
+
+    /// A registry with `names` pre-registered, in order; `KindId(i)` is
+    /// `names[i]`.
+    pub fn with_kinds(names: &[&'static str]) -> Self {
+        Profiler {
+            names: names.to_vec(),
+            stats: vec![KindStats::default(); names.len()],
+            queue_depth_hwm: 0,
+            tag_counts: Vec::new(),
+        }
+    }
+
+    /// Register one more kind and return its handle.
+    pub fn register(&mut self, name: &'static str) -> KindId {
+        self.names.push(name);
+        self.stats.push(KindStats::default());
+        KindId(self.names.len() - 1)
+    }
+
+    /// Charge one event of kind `id`, timed from `started`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not registered.
+    #[inline]
+    pub fn record(&mut self, id: KindId, started: Instant) {
+        let s = &mut self.stats[id.0];
+        s.count += 1;
+        s.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Charge one event of kind `id` without timing it.
+    #[inline]
+    pub fn count_only(&mut self, id: KindId) {
+        self.stats[id.0].count += 1;
+    }
+
+    /// Raise the queue-depth high-water mark to `depth` if it is higher.
+    #[inline]
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        if depth > self.queue_depth_hwm {
+            self.queue_depth_hwm = depth;
+        }
+    }
+
+    /// Bump the counter for small-integer tag `tag`.
+    #[inline]
+    pub fn bump_tag(&mut self, tag: u8) {
+        let i = tag as usize;
+        if i >= self.tag_counts.len() {
+            self.tag_counts.resize(i + 1, 0);
+        }
+        self.tag_counts[i] += 1;
+    }
+
+    /// Snapshot the registry into a report.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            kinds: self
+                .names
+                .iter()
+                .zip(&self.stats)
+                .map(|(&name, &s)| KindProfile {
+                    name: name.to_string(),
+                    count: s.count,
+                    wall_nanos: s.wall_nanos,
+                })
+                .collect(),
+            queue_depth_hwm: self.queue_depth_hwm,
+            control_by_tag: self
+                .tag_counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(t, &c)| (t as u8, c))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-kind slice of a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindProfile {
+    /// Registered kind name.
+    pub name: String,
+    /// Events of this kind processed.
+    pub count: u64,
+    /// Total wall-clock handling time, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// The end-of-run snapshot of a [`Profiler`], carried on the run report.
+/// Counts and high-water marks are deterministic; `wall_nanos` is not.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// One entry per registered kind, in registration order.
+    pub kinds: Vec<KindProfile>,
+    /// Highest pending-event-queue depth observed.
+    pub queue_depth_hwm: usize,
+    /// `(tag, count)` for every tag that was bumped at least once.
+    pub control_by_tag: Vec<(u8, u64)>,
+}
+
+impl ProfileReport {
+    /// Total events across all kinds.
+    pub fn total_events(&self) -> u64 {
+        self.kinds.iter().map(|k| k.count).sum()
+    }
+
+    /// Total wall time across all kinds, in nanoseconds.
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.kinds.iter().map(|k| k.wall_nanos).sum()
+    }
+
+    /// Fold `other` into this report: counts and times add (kinds matched
+    /// by name, appending unknown ones), high-water marks take the max.
+    /// This is the `batch` roll-up.
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for ok in &other.kinds {
+            match self.kinds.iter_mut().find(|k| k.name == ok.name) {
+                Some(k) => {
+                    k.count += ok.count;
+                    k.wall_nanos += ok.wall_nanos;
+                }
+                None => self.kinds.push(ok.clone()),
+            }
+        }
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+        for &(tag, c) in &other.control_by_tag {
+            match self.control_by_tag.iter_mut().find(|(t, _)| *t == tag) {
+                Some((_, mine)) => *mine += c,
+                None => self.control_by_tag.push((tag, c)),
+            }
+        }
+        self.control_by_tag.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Render as an aligned text table (the `--profile` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>10}",
+            "event kind", "count", "wall ms", "ns/event"
+        );
+        for k in self.kinds.iter().filter(|k| k.count > 0) {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>12.3} {:>10.0}",
+                k.name,
+                k.count,
+                k.wall_nanos as f64 / 1e6,
+                k.wall_nanos as f64 / k.count as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12.3}",
+            "total",
+            self.total_events(),
+            self.total_wall_nanos() as f64 / 1e6
+        );
+        let _ = writeln!(out, "queue depth high-water mark: {}", self.queue_depth_hwm);
+        if !self.control_by_tag.is_empty() {
+            let _ = write!(out, "control messages by tag:");
+            for &(tag, c) in &self.control_by_tag {
+                let _ = write!(out, " {tag}:{c}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_time() {
+        let mut p = Profiler::with_kinds(&["a", "b"]);
+        let t0 = Instant::now();
+        p.record(KindId(0), t0);
+        p.record(KindId(0), t0);
+        p.count_only(KindId(1));
+        let r = p.report();
+        assert_eq!(r.kinds[0].count, 2);
+        assert_eq!(r.kinds[1].count, 1);
+        assert_eq!(r.kinds[1].wall_nanos, 0);
+        assert_eq!(r.total_events(), 3);
+    }
+
+    #[test]
+    fn register_appends() {
+        let mut p = Profiler::new();
+        let a = p.register("x");
+        let b = p.register("y");
+        assert_eq!(a, KindId(0));
+        assert_eq!(b, KindId(1));
+        p.count_only(b);
+        assert_eq!(p.report().kinds[1].name, "y");
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_max() {
+        let mut p = Profiler::new();
+        p.note_queue_depth(3);
+        p.note_queue_depth(1);
+        p.note_queue_depth(7);
+        assert_eq!(p.report().queue_depth_hwm, 7);
+    }
+
+    #[test]
+    fn tags_collect_sparsely() {
+        let mut p = Profiler::new();
+        p.bump_tag(200);
+        p.bump_tag(3);
+        p.bump_tag(3);
+        assert_eq!(p.report().control_by_tag, vec![(3, 2), (200, 1)]);
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_maxes_hwm() {
+        let mut a = Profiler::with_kinds(&["x"]);
+        a.count_only(KindId(0));
+        a.note_queue_depth(5);
+        a.bump_tag(1);
+        let mut b = Profiler::with_kinds(&["x"]);
+        b.count_only(KindId(0));
+        b.count_only(KindId(0));
+        b.note_queue_depth(9);
+        b.bump_tag(1);
+        b.bump_tag(2);
+        let mut r = a.report();
+        r.merge(&b.report());
+        assert_eq!(r.kinds[0].count, 3);
+        assert_eq!(r.queue_depth_hwm, 9);
+        assert_eq!(r.control_by_tag, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn render_lists_active_kinds_only() {
+        let mut p = Profiler::with_kinds(&["seen", "unseen"]);
+        p.count_only(KindId(0));
+        let text = p.report().render();
+        assert!(text.contains("seen"));
+        assert!(!text.contains("unseen"));
+        assert!(text.contains("high-water mark"));
+    }
+}

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultPlan;
+use crate::trace::TraceMode;
 
 /// How PEs learn their neighbours' loads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +96,17 @@ pub struct MachineConfig {
     /// Keep a structured trace of up to this many events (0 disables
     /// tracing; see [`crate::trace`]).
     pub trace_capacity: usize,
+    /// What a full trace buffer does with further events: keep the first
+    /// `trace_capacity` (the default) or ring-buffer the last.
+    #[serde(default)]
+    pub trace_mode: TraceMode,
+    /// Run the engine profiler: per-event-kind counts and wall times,
+    /// queue-depth high-water mark, control-message tag counters, exposed
+    /// as `Report::profile`. Costs one clock read per event; wall times are
+    /// nondeterministic, so leave this off (the default) for any run whose
+    /// report is compared bit-for-bit.
+    #[serde(default)]
+    pub profile: bool,
     /// Order in which each PE picks its next work item.
     pub queue_discipline: QueueDiscipline,
     /// Event-list implementation (heap or calendar queue); affects
@@ -145,6 +157,8 @@ impl Default for MachineConfig {
             per_pe_series: false,
             max_events: 500_000_000,
             trace_capacity: 0,
+            trace_mode: TraceMode::default(),
+            profile: false,
             queue_discipline: QueueDiscipline::Fifo,
             queue_backend: QueueBackend::default(),
             fail_pe: None,

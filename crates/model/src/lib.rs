@@ -45,4 +45,4 @@ pub use message::{ControlMsg, GoalId, GoalMsg};
 pub use metrics::{FaultMetrics, Report};
 pub use program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 pub use strategy::{Strategy, StrategyState};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceMode};

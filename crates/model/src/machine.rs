@@ -6,7 +6,9 @@
 //! without a communication co-processor — message handling), and each
 //! channel transfers one message at a time, with FIFO backlogs on both.
 
-use oracle_des::{DualQueue, FastHashMap, Histogram, IntervalSeries, OnlineStats, Rng, SimTime};
+use oracle_des::{
+    DualQueue, FastHashMap, Histogram, IntervalSeries, KindId, OnlineStats, Profiler, Rng, SimTime,
+};
 use oracle_topo::{ChannelId, PeId, Topology};
 
 use crate::channel::Channel;
@@ -46,6 +48,39 @@ pub(crate) enum Event {
     /// Recovery: the tracked goal has been silent for its whole ack
     /// window — re-spawn it if its response has still not combined.
     AckTimeout(GoalId),
+}
+
+/// Profiler registry names, indexed by [`Event::kind`]. Keep the two in
+/// sync.
+const EVENT_KIND_NAMES: [&str; 10] = [
+    "pe_done",
+    "channel_done",
+    "timer",
+    "load_bcast",
+    "fail_pe",
+    "link_down",
+    "link_up",
+    "slow_start",
+    "slow_end",
+    "ack_timeout",
+];
+
+impl Event {
+    /// Index of this event's kind in [`EVENT_KIND_NAMES`].
+    fn kind(&self) -> KindId {
+        KindId(match self {
+            Event::PeDone(_) => 0,
+            Event::ChannelDone(_) => 1,
+            Event::Timer(..) => 2,
+            Event::LoadBcast(_) => 3,
+            Event::FailPe(_) => 4,
+            Event::LinkDown(_) => 5,
+            Event::LinkUp(_) => 6,
+            Event::SlowStart(..) => 7,
+            Event::SlowEnd(_) => 8,
+            Event::AckTimeout(_) => 9,
+        })
+    }
 }
 
 /// Recovery bookkeeping for one spawned goal: enough to re-create it from
@@ -146,6 +181,10 @@ pub struct Core {
     pub(crate) global_series: IntervalSeries,
     pub(crate) root_result: Option<(i64, SimTime)>,
     pub(crate) trace: Trace,
+    /// Engine profiler (`Some` only when `config.profile` is set). Like the
+    /// trace, deliberately not part of a snapshot: a resumed run's profile
+    /// covers the segment since the restore.
+    pub(crate) profiler: Option<Box<Profiler>>,
     /// The effective fault plan (`config.fault_plan` with the legacy
     /// `fail_pe` shorthand folded in).
     pub(crate) plan: FaultPlan,
@@ -576,7 +615,12 @@ impl Core {
         match packet {
             Packet::Goal(_) => self.traffic.goal_hops += 1,
             Packet::Response { .. } => self.traffic.response_hops += 1,
-            Packet::Control(_) => self.traffic.control_msgs += 1,
+            Packet::Control(m) => {
+                self.traffic.control_msgs += 1;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.bump_tag(m.tag);
+                }
+            }
             Packet::LoadUpdate { .. } => self.traffic.load_updates += 1,
         }
     }
@@ -891,7 +935,10 @@ impl Machine {
                 dispatch_latency: OnlineStats::new(),
                 global_series: IntervalSeries::new(sampling),
                 root_result: None,
-                trace: Trace::new(config.trace_capacity),
+                trace: Trace::with_mode(config.trace_capacity, config.trace_mode),
+                profiler: config
+                    .profile
+                    .then(|| Box::new(Profiler::with_kinds(&EVENT_KIND_NAMES))),
                 plan,
                 fault_rng,
                 faults: FaultState::new(),
@@ -1013,7 +1060,21 @@ impl Machine {
     /// uninterrupted run passes through.
     pub fn advance_until(&mut self, pause_at: Option<u64>) -> Result<bool, SimError> {
         while let Some((at, ev)) = self.core.events.pop() {
-            self.handle_event(ev);
+            if self.core.profiler.is_some() {
+                // Profiled path: one clock read around the handler, plus
+                // the queue-depth high-water mark. The unprofiled path
+                // pays exactly the one branch above.
+                let kind = ev.kind();
+                let depth = self.core.events.len();
+                let t0 = std::time::Instant::now();
+                self.handle_event(ev);
+                if let Some(p) = self.core.profiler.as_mut() {
+                    p.note_queue_depth(depth);
+                    p.record(kind, t0);
+                }
+            } else {
+                self.handle_event(ev);
+            }
             if self.core.completed() {
                 return Ok(true);
             }
@@ -1401,6 +1462,17 @@ impl Machine {
         if user_work {
             core.global_series.add_busy(start, now);
         }
+        if core.trace.enabled() {
+            // Close the duration slice opened by GoalStarted (the Chrome
+            // exporter pairs the two into one track-local span).
+            if let Executing::Goal(ref goal, _) = exec {
+                core.trace.record(TraceEvent::GoalFinished {
+                    t: now.units(),
+                    goal: goal.id,
+                    pe,
+                });
+            }
+        }
 
         match exec {
             Executing::Goal(goal, Expansion::Leaf(value)) => {
@@ -1693,8 +1765,10 @@ impl Machine {
             .collect();
         let per_pe_goals: Vec<u64> = core.pes.iter().map(|p| p.goals_executed).collect();
         let peak_queue_len = core.pes.iter().map(|p| p.peak_queue).max().unwrap_or(0);
-        let avg_utilization = per_pe_utilization.iter().sum::<f64>() / num_pes as f64 * 100.0;
-        let speedup = num_pes as f64 * avg_utilization / 100.0;
+        // One unit everywhere: every utilization figure on the report is a
+        // fraction in [0, 1] (renderers convert to percent at the edge).
+        let avg_utilization = per_pe_utilization.iter().sum::<f64>() / num_pes as f64;
+        let speedup = num_pes as f64 * avg_utilization;
 
         let util_series: Vec<(u64, f64)> = core
             .global_series
@@ -1744,10 +1818,10 @@ impl Machine {
             chan_utils.iter().sum::<f64>() / chan_utils.len().max(1) as f64;
         let max_channel_utilization = chan_utils.drain(..).fold(0.0f64, f64::max);
 
-        let (hop_histogram, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
+        let (hop_histogram, hop_overflow, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
         let dispatch_latency_mean = core.dispatch_latency.mean();
         let dispatch_latency_max = core.dispatch_latency.max().unwrap_or(0.0);
-        let efficiency = core.seq_work as f64 / (num_pes as u64 * t) as f64 * 100.0;
+        let efficiency = core.seq_work as f64 / (num_pes as u64 * t) as f64;
 
         Report {
             strategy: self.strategy.name().to_string(),
@@ -1767,6 +1841,7 @@ impl Machine {
             util_series,
             per_pe_series,
             hop_histogram,
+            hop_overflow,
             avg_goal_distance,
             dispatch_latency_mean,
             dispatch_latency_max,
@@ -1780,6 +1855,7 @@ impl Machine {
             events: core.events.events_processed(),
             seed: core.config.seed,
             faults: core.faults.metrics(),
+            profile: core.profiler.as_ref().map(|p| p.report()),
         }
     }
 }
@@ -2230,5 +2306,90 @@ mod tests {
             r.completion_time,
             plain.completion_time
         );
+    }
+
+    #[test]
+    fn goal_slices_open_and_close_in_the_trace() {
+        let mut cfg = MachineConfig::default().with_seed(1);
+        cfg.trace_capacity = 100_000;
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(8)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        let (report, trace) = machine.run_traced().unwrap();
+        let started = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::GoalStarted { .. }))
+            .count() as u64;
+        let finished = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::GoalFinished { .. }))
+            .count() as u64;
+        assert_eq!(started, report.goals_executed);
+        assert_eq!(finished, started, "every slice that opens must close");
+    }
+
+    #[test]
+    fn keep_last_trace_retains_the_tail() {
+        let mut cfg = MachineConfig::default().with_seed(1);
+        cfg.trace_capacity = 50;
+        cfg.trace_mode = crate::trace::TraceMode::KeepLast;
+        let machine = Machine::new(
+            ring(4),
+            Box::new(Fib(9)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap();
+        let (report, trace) = machine.run_traced().unwrap();
+        assert_eq!(trace.len(), 50);
+        assert!(trace.dropped() > 0, "fib(9) emits far more than 50 events");
+        // The tail — not the prefix — is retained: the root completion is
+        // the run's last interesting event and must be present.
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RootCompleted { .. })));
+        // Chronological iteration stays monotone across the ring seam.
+        let times: Vec<u64> = trace.iter().map(|e| e.time()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.result, 34);
+    }
+
+    #[test]
+    fn profiler_counts_every_event_and_does_not_perturb_the_run() {
+        let mut cfg = MachineConfig::default().with_seed(6);
+        cfg.profile = true;
+        let profiled = Machine::new(
+            ring(4),
+            Box::new(Fib(10)),
+            Box::new(ScatterRing),
+            CostModel::unit(),
+            cfg,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let plain = run(10, Box::new(ScatterRing), 6);
+        assert!(plain.profile.is_none(), "profiling is opt-in");
+        let profile = profiled.profile.as_ref().expect("profile requested");
+        assert_eq!(
+            profile.total_events(),
+            profiled.events,
+            "every processed event lands in exactly one kind"
+        );
+        assert!(profile.queue_depth_hwm > 0);
+        assert!(profile
+            .kinds
+            .iter()
+            .any(|k| k.name == "pe_done" && k.count > 0));
+        // Profiling reads the wall clock but never the simulated state.
+        assert_eq!(profiled.completion_time, plain.completion_time);
+        assert_eq!(profiled.events, plain.events);
+        assert_eq!(profiled.hop_histogram, plain.hop_histogram);
     }
 }

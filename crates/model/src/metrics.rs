@@ -6,7 +6,7 @@
 //! per-interval utilization stream that drove the load monitor, and the
 //! message-distance distribution of the paper's Table 3.
 
-use oracle_des::Histogram;
+use oracle_des::{Histogram, ProfileReport};
 use serde::{Deserialize, Serialize};
 
 /// Message traffic counters, by message class.
@@ -89,14 +89,17 @@ pub struct Report {
     pub goals_executed: u64,
     /// Responses combined into waiting tasks.
     pub responses_processed: u64,
-    /// Overall average PE utilization, in percent (the paper's Y axis).
-    /// Without a co-processor this includes message-handling time.
+    /// Overall average PE utilization as a fraction in `[0, 1]` (the
+    /// paper's Y axis shows it in percent; renderers multiply by 100).
+    /// Without a co-processor this includes message-handling time. All
+    /// utilization fields of a report share this unit.
     pub avg_utilization: f64,
-    /// Useful-work efficiency in percent: user computation (split + leaf +
-    /// combine time) divided by `num_pes * completion_time`. Equals
-    /// `avg_utilization` when a co-processor handles all balancing work.
+    /// Useful-work efficiency as a fraction in `[0, 1]`: user computation
+    /// (split + leaf + combine time) divided by
+    /// `num_pes * completion_time`. Equals `avg_utilization` when a
+    /// co-processor handles all balancing work.
     pub efficiency: f64,
-    /// Speedup as the paper defines it: `num_pes * avg_utilization / 100`.
+    /// Speedup as the paper defines it: `num_pes * avg_utilization`.
     pub speedup: f64,
     /// Per-PE utilization fractions in `[0, 1]`.
     pub per_pe_utilization: Vec<f64>,
@@ -110,7 +113,14 @@ pub struct Report {
     pub per_pe_series: Option<Vec<Vec<f64>>>,
     /// Distribution of the distance (hops) each goal travelled from its
     /// creation PE to the PE that executed it — the paper's Table 3.
+    /// Together with `hop_overflow` this covers every executed goal.
     pub hop_histogram: Vec<u64>,
+    /// Goals whose hop count fell beyond the histogram's bucket range
+    /// (wandering placement on a small-diameter topology can revisit PEs
+    /// indefinitely). Counted here so the histogram plus this field always
+    /// sums to `goals_executed`; their true magnitudes still contribute to
+    /// `avg_goal_distance`.
+    pub hop_overflow: u64,
     /// Mean of that distribution ("Average" column of Table 3).
     pub avg_goal_distance: f64,
     /// Mean dispatch latency: time units from a goal's creation to the
@@ -144,6 +154,11 @@ pub struct Report {
     /// Fault-injection and recovery counters (all zero on a fault-free
     /// run).
     pub faults: FaultMetrics,
+    /// Engine profile (per-event-kind counts and wall times, queue-depth
+    /// high-water mark, control-tag counters); `None` unless the run had
+    /// `MachineConfig::profile` set. Wall times are nondeterministic.
+    #[serde(default)]
+    pub profile: Option<ProfileReport>,
 }
 
 impl Report {
@@ -160,10 +175,13 @@ impl Report {
         self.seq_work as f64 / self.num_pes as f64
     }
 
-    /// Build the hop fields from a histogram.
-    pub(crate) fn hop_fields(h: &Histogram) -> (Vec<u64>, f64) {
+    /// Build the hop fields from a histogram: the trimmed buckets, the
+    /// overflow count (observations past the bucket range — previously
+    /// lost, which broke goal conservation on wandering placements), and
+    /// the mean over *all* observations including overflow.
+    pub(crate) fn hop_fields(h: &Histogram) -> (Vec<u64>, u64, f64) {
         let upto = h.max_nonzero_bucket().map_or(0, |b| b + 1);
-        (h.buckets()[..upto].to_vec(), h.mean())
+        (h.buckets()[..upto].to_vec(), h.overflow(), h.mean())
     }
 
     /// Internal consistency checks (used by integration tests): goal
@@ -184,9 +202,14 @@ impl Report {
             );
         }
         assert!(
-            (0.0..=100.0 + 1e-9).contains(&self.avg_utilization),
+            (0.0..=1.0 + 1e-9).contains(&self.avg_utilization),
             "utilization out of range: {}",
             self.avg_utilization
+        );
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&self.efficiency),
+            "efficiency out of range: {}",
+            self.efficiency
         );
         assert!(
             self.speedup <= self.num_pes as f64 + 1e-9,
@@ -195,10 +218,10 @@ impl Report {
         for &u in &self.per_pe_utilization {
             assert!((0.0..=1.0 + 1e-9).contains(&u), "per-PE utilization {u}");
         }
-        let hist_total: u64 = self.hop_histogram.iter().sum();
+        let hist_total: u64 = self.hop_histogram.iter().sum::<u64>() + self.hop_overflow;
         assert_eq!(
             hist_total, self.goals_executed,
-            "hop histogram does not cover every executed goal"
+            "hop histogram (with overflow) does not cover every executed goal"
         );
         let pe_total: u64 = self.per_pe_goals.iter().sum();
         assert_eq!(
@@ -223,14 +246,15 @@ mod tests {
             goals_created: 3,
             goals_executed: 3,
             responses_processed: 2,
-            avg_utilization: speedup / 4.0 * 100.0,
-            efficiency: speedup / 4.0 * 100.0,
+            avg_utilization: speedup / 4.0,
+            efficiency: speedup / 4.0,
             speedup,
             per_pe_utilization: vec![0.5; 4],
             per_pe_goals: vec![1, 1, 1, 0],
             util_series: vec![],
             per_pe_series: None,
             hop_histogram: vec![1, 2],
+            hop_overflow: 0,
             avg_goal_distance: 0.5,
             dispatch_latency_mean: 1.0,
             dispatch_latency_max: 2.0,
@@ -244,6 +268,7 @@ mod tests {
             events: 10,
             seed: 1,
             faults: FaultMetrics::default(),
+            profile: None,
         }
     }
 
@@ -279,6 +304,50 @@ mod tests {
         r.faults.pes_crashed = 1;
         r.faults.goals_lost = 2;
         assert!(r.faults.any());
+        r.check_invariants();
+    }
+
+    #[test]
+    fn hop_fields_include_overflow() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(9); // past the bucket range
+        h.record(9);
+        let (buckets, overflow, mean) = Report::hop_fields(&h);
+        assert_eq!(buckets, vec![0, 1]);
+        assert_eq!(overflow, 2, "overflow must not be silently lost");
+        assert!(
+            (mean - 19.0 / 3.0).abs() < 1e-12,
+            "mean keeps true magnitudes"
+        );
+    }
+
+    #[test]
+    fn invariants_accept_overflowed_hop_histogram() {
+        let mut r = dummy(1.0);
+        r.goals_created = 5;
+        r.goals_executed = 5;
+        r.per_pe_goals = vec![2, 1, 1, 1];
+        r.hop_histogram = vec![1, 2];
+        r.hop_overflow = 2; // 3 in buckets + 2 overflowed = 5 executed
+        r.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "hop histogram")]
+    fn invariants_still_catch_uncovered_goals() {
+        let mut r = dummy(1.0);
+        r.hop_overflow = 0;
+        r.hop_histogram = vec![1]; // 1 != 3 executed
+        r.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization out of range")]
+    fn invariants_reject_percent_scale_utilization() {
+        let mut r = dummy(2.0);
+        // A percentage smuggled into the fraction-unit field must trip.
+        r.avg_utilization = 50.0;
         r.check_invariants();
     }
 

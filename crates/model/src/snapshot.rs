@@ -18,9 +18,10 @@
 //! one order both backends define identically), so a resumed run replays
 //! precisely the event sequence the uninterrupted run would have processed.
 //!
-//! The event trace is deliberately not part of a snapshot — traces are a
-//! debugging aid, and a resumed run's trace simply starts at the resume
-//! point.
+//! The event trace and the engine profiler are deliberately not part of a
+//! snapshot — both are observability aids, not simulated state: a resumed
+//! run's trace and profile simply start at the resume point (the simulated
+//! results stay bit-identical either way).
 
 use oracle_des::snapshot::{SnapError, SnapReader, SnapWriter};
 use oracle_des::{

@@ -42,6 +42,10 @@ pub enum TraceEvent {
     },
     /// A goal started executing.
     GoalStarted { t: u64, goal: GoalId, pe: PeId },
+    /// The goal's execution slice on `pe` completed (it responded or
+    /// spawned children). Paired with [`TraceEvent::GoalStarted`], this
+    /// bounds the duration events of the Chrome trace export.
+    GoalFinished { t: u64, goal: GoalId, pe: PeId },
     /// A response was produced toward the waiting parent.
     Responded {
         t: u64,
@@ -96,6 +100,7 @@ impl TraceEvent {
             | TraceEvent::GoalForwarded { t, .. }
             | TraceEvent::GoalAccepted { t, .. }
             | TraceEvent::GoalStarted { t, .. }
+            | TraceEvent::GoalFinished { t, .. }
             | TraceEvent::Responded { t, .. }
             | TraceEvent::ControlSent { t, .. }
             | TraceEvent::TimerFired { t, .. }
@@ -151,6 +156,9 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::GoalStarted { t, goal, pe } => {
                 write!(f, "[{t:>8}] goal {} executing on {pe}", goal.0)
+            }
+            TraceEvent::GoalFinished { t, goal, pe } => {
+                write!(f, "[{t:>8}] goal {} finished on {pe}", goal.0)
             }
             TraceEvent::Responded {
                 t,
@@ -209,23 +217,53 @@ impl std::fmt::Display for TraceEvent {
     }
 }
 
-/// A bounded event log. Once `capacity` events are recorded, further events
-/// are counted but dropped (the prefix of a run is usually what matters for
-/// debugging placement).
+/// What a full trace buffer does with further events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Keep the first `capacity` events and count the rest as dropped —
+    /// the prefix of a run is usually what matters for debugging
+    /// placement. The default.
+    #[default]
+    KeepFirst,
+    /// Ring buffer: keep the *last* `capacity` events, so a long run
+    /// retains its interesting tail (the events counted as dropped are the
+    /// overwritten oldest ones).
+    KeepLast,
+}
+
+/// A bounded event log. Once `capacity` events are recorded,
+/// [`TraceMode`] decides whether further events are dropped
+/// ([`TraceMode::KeepFirst`]) or overwrite the oldest ones
+/// ([`TraceMode::KeepLast`]); either way the losses are counted in
+/// [`Trace::dropped`], and exporters must surface that count — a truncated
+/// trace must never pass for a complete one.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    #[serde(default)]
+    mode: TraceMode,
+    /// In `KeepLast` mode once full: index of the oldest retained event
+    /// (the next overwrite target). Always 0 otherwise.
+    #[serde(default)]
+    head: usize,
 }
 
 impl Trace {
     /// A trace keeping at most `capacity` events (0 = tracing disabled).
     pub fn new(capacity: usize) -> Self {
+        Trace::with_mode(capacity, TraceMode::KeepFirst)
+    }
+
+    /// A trace keeping at most `capacity` events under `mode`.
+    pub fn with_mode(capacity: usize, mode: TraceMode) -> Self {
         Trace {
             events: Vec::new(),
             capacity,
             dropped: 0,
+            mode,
+            head: 0,
         }
     }
 
@@ -235,22 +273,54 @@ impl Trace {
         self.capacity > 0
     }
 
-    /// Record one event (drops beyond capacity).
+    /// The retention mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Record one event (per the retention mode once full).
     #[inline]
     pub fn record(&mut self, event: TraceEvent) {
         if self.events.len() < self.capacity {
             self.events.push(event);
         } else if self.capacity > 0 {
             self.dropped += 1;
+            if self.mode == TraceMode::KeepLast {
+                self.events[self.head] = event;
+                self.head += 1;
+                if self.head == self.capacity {
+                    self.head = 0;
+                }
+            }
         }
     }
 
-    /// The recorded events, in order.
+    /// The recorded events in storage order. Identical to chronological
+    /// order except in a wrapped `KeepLast` trace — use [`Trace::iter`]
+    /// when order matters.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Events dropped after the buffer filled.
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The retained events in chronological order (unrotates a wrapped
+    /// `KeepLast` ring).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, front) = self.events.split_at(self.head.min(self.events.len()));
+        front.iter().chain(tail.iter())
+    }
+
+    /// Events dropped after the buffer filled (in `KeepLast` mode: the
+    /// overwritten oldest events).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -259,10 +329,13 @@ impl Trace {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for e in &self.events {
+        if self.dropped > 0 && self.mode == TraceMode::KeepLast {
+            let _ = writeln!(out, "... {} earlier events overwritten", self.dropped);
+        }
+        for e in self.iter() {
             let _ = writeln!(out, "{e}");
         }
-        if self.dropped > 0 {
+        if self.dropped > 0 && self.mode == TraceMode::KeepFirst {
             let _ = writeln!(out, "... {} further events dropped", self.dropped);
         }
         out
@@ -295,6 +368,42 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);
         assert!(t.render().contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn keep_last_retains_the_tail_in_order() {
+        let mut t = Trace::with_mode(3, TraceMode::KeepLast);
+        for i in 0..7 {
+            t.record(TraceEvent::TimerFired {
+                t: i,
+                pe: PeId(0),
+                tag: i,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 4);
+        let times: Vec<u64> = t.iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![4, 5, 6], "chronological tail, unrotated");
+        assert!(t.render().contains("4 earlier events overwritten"));
+    }
+
+    #[test]
+    fn keep_last_without_wrap_matches_keep_first() {
+        let mut a = Trace::with_mode(5, TraceMode::KeepLast);
+        let mut b = Trace::new(5);
+        for i in 0..4 {
+            let e = TraceEvent::TimerFired {
+                t: i,
+                pe: PeId(1),
+                tag: 0,
+            };
+            a.record(e);
+            b.record(e);
+        }
+        assert_eq!(a.dropped(), 0);
+        let ta: Vec<u64> = a.iter().map(|e| e.time()).collect();
+        let tb: Vec<u64> = b.iter().map(|e| e.time()).collect();
+        assert_eq!(ta, tb);
     }
 
     #[test]

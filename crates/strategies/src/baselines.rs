@@ -174,7 +174,7 @@ mod tests {
         assert_eq!(r.avg_goal_distance, 0.0);
         assert!(r.per_pe_utilization[1..].iter().all(|&u| u == 0.0));
         // Utilization of a 5-PE machine doing sequential work ≈ 1/5.
-        assert!(r.avg_utilization < 25.0);
+        assert!(r.avg_utilization < 0.25);
     }
 
     #[test]

@@ -384,7 +384,7 @@ mod tests {
             13,
             MachineConfig::default(),
         );
-        assert!(r.avg_utilization > 5.0);
+        assert!(r.avg_utilization > 0.05);
     }
 
     #[test]

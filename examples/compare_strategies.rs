@@ -76,7 +76,7 @@ fn main() {
         table.row(vec![
             name,
             f2(r.speedup),
-            f1(r.avg_utilization),
+            f1(r.avg_utilization * 100.0),
             r.completion_time.to_string(),
             f2(r.avg_goal_distance),
             r.traffic.total().to_string(),

@@ -90,7 +90,12 @@ fn main() {
         assert_eq!(r.result, 92, "8-queens has 92 solutions");
         println!(
             "{:<10} solutions={} goals={} time={} util={:.1}% speedup={:.1}",
-            r.strategy, r.result, r.goals_executed, r.completion_time, r.avg_utilization, r.speedup
+            r.strategy,
+            r.result,
+            r.goals_executed,
+            r.completion_time,
+            r.avg_utilization * 100.0,
+            r.speedup
         );
     }
     println!("\nboth schemes computed the correct answer through the simulated machine");

@@ -93,6 +93,8 @@ fn main() {
     }
     println!(
         "\ncompleted at t={} with {:.1}% average utilization (speedup {:.1})",
-        report.completion_time, report.avg_utilization, report.speedup
+        report.completion_time,
+        report.avg_utilization * 100.0,
+        report.speedup
     );
 }

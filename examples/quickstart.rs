@@ -38,7 +38,10 @@ fn main() {
         );
         println!("  goals executed    {}", report.goals_executed);
         println!("  completion time   {} units", report.completion_time);
-        println!("  avg utilization   {:.1} %", report.avg_utilization);
+        println!(
+            "  avg utilization   {:.1} %",
+            report.avg_utilization * 100.0
+        );
         println!(
             "  speedup           {:.1} on {} PEs",
             report.speedup, report.num_pes

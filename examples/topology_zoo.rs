@@ -91,7 +91,7 @@ fn main() {
                 outcome.row(vec![
                     label,
                     f2(r.speedup),
-                    f1(r.avg_utilization),
+                    f1(r.avg_utilization * 100.0),
                     r.completion_time.to_string(),
                     f2(r.avg_goal_distance),
                     f2(r.max_channel_utilization),

@@ -270,3 +270,36 @@ fn no_coprocessor_slows_gm_more_than_cwn() {
         "software routing should not speed CWN up (penalty {cwn_penalty})"
     );
 }
+
+/// Goals that travel beyond the hop histogram's bucket range (64 buckets on
+/// small topologies) must not vanish from the report: they land in
+/// `hop_overflow`, the histogram + overflow still account for every
+/// executed goal, and the mean distance keeps their true magnitudes. A
+/// 70-hop random walk on a 4-PE ring overflows every spawned goal.
+#[test]
+fn hop_histogram_overflow_is_counted_not_lost() {
+    let report = SimulationBuilder::new()
+        .topology(TopologySpec::Ring { n: 4 })
+        .strategy(StrategySpec::RandomWalk { hops: 70 })
+        .workload(WorkloadSpec::fib(10))
+        .seed(5)
+        .run_validated()
+        .unwrap();
+    report.check_invariants();
+    assert!(
+        report.hop_overflow > 0,
+        "70-hop walks must overflow the 64-bucket histogram"
+    );
+    assert_eq!(
+        report.hop_histogram.iter().sum::<u64>() + report.hop_overflow,
+        report.goals_executed,
+        "histogram + overflow must cover every executed goal"
+    );
+    // Only the directly-injected root stays in-range, so the mean distance
+    // must sit near the walk length — not near the bucket cap.
+    assert!(
+        report.avg_goal_distance > 65.0,
+        "mean distance {} lost the overflowed magnitudes",
+        report.avg_goal_distance
+    );
+}

@@ -333,6 +333,93 @@ proptest! {
         }
         prop_assert_eq!(s.total_busy(), total);
     }
+
+    /// Utilization fractions stay in [0, 1] through width coarsening and a
+    /// checkpoint/resume round trip (`raw_parts`/`from_raw_parts`), and the
+    /// resumed series is bit-identical to the uninterrupted one.
+    #[test]
+    fn interval_series_fractions_survive_coarsening_and_resume(
+        width in 1u64..4,
+        gaps in prop::collection::vec((0u64..40, 1u64..1500), 1..40),
+        split in 0usize..40,
+    ) {
+        // Non-overlapping busy spans (like a real PE's), pushed far enough
+        // to force several pairwise coarsenings of the 8192-interval cap.
+        let mut spans = Vec::new();
+        let mut cursor = 0u64;
+        for &(gap, len) in &gaps {
+            spans.push((cursor + gap, cursor + gap + len));
+            cursor += gap + len;
+        }
+        let split = split.min(spans.len());
+
+        let mut whole = IntervalSeries::new(width);
+        for &(a, b) in &spans {
+            whole.add_busy(SimTime(a), SimTime(b));
+        }
+
+        let mut first = IntervalSeries::new(width);
+        for &(a, b) in &spans[..split] {
+            first.add_busy(SimTime(a), SimTime(b));
+        }
+        let (w, busy) = first.raw_parts();
+        let mut resumed = IntervalSeries::from_raw_parts(w, busy.to_vec());
+        for &(a, b) in &spans[split..] {
+            resumed.add_busy(SimTime(a), SimTime(b));
+        }
+
+        let horizon = SimTime(cursor.max(1));
+        let a = whole.utilization_series(horizon);
+        let b = resumed.utilization_series(horizon);
+        prop_assert_eq!(&a, &b, "resume diverged from the uninterrupted series");
+        prop_assert!(whole.raw_parts().1.len() <= IntervalSeries::MAX_INTERVALS);
+        for &(_, u) in &a {
+            prop_assert!((0.0..=1.0).contains(&u), "fraction {u} out of [0, 1]");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every strategy × topology, the exported traces are well-formed:
+    /// the Chrome trace_event file parses, every non-metadata event carries
+    /// pid/tid/ts, and timestamps are monotone per track; the JSONL export
+    /// round-trips through its validator with a truthful header.
+    #[test]
+    fn exported_traces_are_well_formed(
+        topology in topology_strategy(),
+        strategy in placement_strategy(),
+        keep_last in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // A small ring capacity exercises the wrapped (rotated) path.
+        let (capacity, mode) = if keep_last {
+            (128, TraceMode::KeepLast)
+        } else {
+            (50_000, TraceMode::KeepFirst)
+        };
+        let (report, trace) = SimulationBuilder::new()
+            .topology(topology)
+            .strategy(strategy)
+            .workload(WorkloadSpec::fib(9))
+            .seed(seed)
+            .trace_capacity(capacity)
+            .trace_mode(mode)
+            .run_traced()
+            .unwrap_or_else(|e| panic!("{topology} {strategy} seed {seed}: {e}"));
+
+        let chrome = export_trace(&trace, &report, TraceFormat::Chrome);
+        let summary = oracle::traceio::validate_chrome(&chrome)
+            .unwrap_or_else(|e| panic!("{topology} {strategy}: chrome: {e}"));
+        prop_assert_eq!(summary.dropped, trace.dropped());
+
+        let jsonl = export_trace(&trace, &report, TraceFormat::Jsonl);
+        let summary = oracle::traceio::validate_jsonl(&jsonl)
+            .unwrap_or_else(|e| panic!("{topology} {strategy}: jsonl: {e}"));
+        prop_assert_eq!(summary.events, trace.len());
+        prop_assert_eq!(summary.dropped, trace.dropped());
+    }
 }
 
 /// Random (valid) fault plans for a 4×4 grid: up to two crashes, a couple

@@ -1,0 +1,33 @@
+//! Open-traffic extension: maximum sustainable Poisson arrival rate per
+//! (topology, strategy) under a p99 sojourn-time target. Not a paper table
+//! — the paper runs one task tree to completion — but the sizing question
+//! a production load balancer is judged by, asked of the same four
+//! configurations.
+//!
+//! ```sh
+//! cargo run --release -p oracle-bench --bin capacity [--quick] [--csv] [--json]
+//! ```
+
+use oracle::experiments::capacity;
+use oracle_bench::HarnessArgs;
+
+fn main() {
+    // `--json` is specific to this harness: the per-probe search trail
+    // does not fit an aligned table.
+    let json = std::env::args().any(|a| a == "--json");
+    let args = HarnessArgs::parse_with(&["--json"]);
+    let cells = capacity::run(args.fidelity, args.seed);
+    if json {
+        println!("{}", capacity::to_json(&cells));
+        return;
+    }
+    args.emit(&capacity::render(&cells, args.fidelity));
+    if !args.csv {
+        let probes: usize = cells.iter().map(|c| c.probes.len()).sum();
+        println!(
+            "{} probe runs across {} configurations (--json for the search trail)",
+            probes,
+            cells.len()
+        );
+    }
+}

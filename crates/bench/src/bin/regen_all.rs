@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use oracle::builder::paper_strategies;
 use oracle::experiments::{
-    ablations, appendix, plots, resilience, table1, table2, table3, Fidelity,
+    ablations, appendix, capacity, plots, resilience, table1, table2, table3, Fidelity,
 };
 use oracle::prelude::*;
 use oracle::runner::seed_sweep;
@@ -248,6 +248,16 @@ fn main() {
         out += &resilience::to_json(&cells);
         out.push('\n');
         save("resilience.txt", out);
+    }
+
+    // Open-traffic capacity search (extension).
+    {
+        let cells = capacity::run(fidelity, seed);
+        let mut out = capacity::render(&cells, fidelity).to_string();
+        out.push('\n');
+        out += &capacity::to_json(&cells);
+        out.push('\n');
+        save("open_capacity.txt", out);
     }
 
     // Seed robustness.

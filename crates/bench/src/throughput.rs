@@ -32,8 +32,18 @@ pub struct Cell {
     pub events_per_sec: f64,
 }
 
+/// The fixed benchmark grid. The last element of each tuple is the
+/// open-traffic config — `None` for the closed (single task tree) cells.
+pub type GridSpec = (
+    String,
+    TopologySpec,
+    WorkloadSpec,
+    StrategySpec,
+    Option<OpenTraffic>,
+);
+
 /// The fixed benchmark grid.
-pub fn grid_specs() -> Vec<(String, TopologySpec, WorkloadSpec, StrategySpec)> {
+pub fn grid_specs() -> Vec<GridSpec> {
     let mut specs = Vec::new();
     for (tname, topology) in [
         ("grid:10", TopologySpec::grid(10)),
@@ -51,10 +61,25 @@ pub fn grid_specs() -> Vec<(String, TopologySpec, WorkloadSpec, StrategySpec)> {
                     topology,
                     workload,
                     strategy,
+                    None,
                 ));
             }
         }
     }
+    // One open-arrival cell: sustained Poisson traffic on the headline
+    // grid, exercising the arrival/injection/sojourn-tracking hot path the
+    // closed cells never touch.
+    let topology = TopologySpec::grid(10);
+    let (cwn, _) = paper_strategies(&topology);
+    let mut open = OpenTraffic::new("poisson:20".parse().expect("fixed bench spec"), 20_000);
+    open.warmup = 2_000;
+    specs.push((
+        "open-poisson:20-fib:11/grid:10/cwn".to_string(),
+        topology,
+        WorkloadSpec::fib(11),
+        cwn,
+        Some(open),
+    ));
     // Put the headline cell first.
     specs.sort_by_key(|(name, ..)| (name != "fib:20/grid:10/cwn") as u8);
     specs
@@ -64,13 +89,14 @@ pub fn grid_specs() -> Vec<(String, TopologySpec, WorkloadSpec, StrategySpec)> {
 /// progress line per cell to stderr.
 pub fn run_grid(reps: usize, seed: u64, backend: QueueBackend) -> Vec<Cell> {
     let mut cells = Vec::new();
-    for (name, topology, workload, strategy) in grid_specs() {
+    for (name, topology, workload, strategy, open) in grid_specs() {
         let config = SimulationBuilder::new()
             .topology(topology)
             .workload(workload)
             .strategy(strategy)
             .queue_backend(backend)
             .seed(seed)
+            .open(open)
             .config();
         let mut best_secs = f64::INFINITY;
         let mut report = None;
@@ -276,6 +302,9 @@ mod tests {
     fn headline_cell_is_first() {
         let specs = grid_specs();
         assert_eq!(specs[0].0, "fib:20/grid:10/cwn");
-        assert_eq!(specs.len(), 12);
+        assert_eq!(specs.len(), 13);
+        let open: Vec<_> = specs.iter().filter(|s| s.4.is_some()).collect();
+        assert_eq!(open.len(), 1, "exactly one open-arrival cell");
+        assert!(open[0].0.starts_with("open-"));
     }
 }

@@ -137,7 +137,13 @@ commands:
             [--series-out FILE] [--profile] [--heatmap FILE.ppm]
             [--faults PLAN|@FILE] [--audit-every N]
             [--checkpoint-every T [--checkpoint-dir DIR]] [--resume FILE]
+            [--arrivals SPEC] [--duration T] [--warmup T]
             run one simulation and print its report;
+            --arrivals SPEC switches to open-system traffic: requests
+            arrive per SPEC, each spawning one task tree of --workload,
+            for --duration sim units (default 20000) with the first
+            --warmup units (default duration/10) excluded from latency
+            statistics; `--workload open:ARRIVAL/WORKLOAD` is equivalent;
             --trace-out exports the event trace (default format jsonl;
             chrome produces a Perfetto-loadable trace_event file);
             --trace-last N ring-buffers the *last* N events instead of
@@ -166,7 +172,8 @@ commands:
             run CWN vs the Gradient Model with the paper's parameters
   batch FILE [--csv] [--threads N] [--profile]
             run a suite file (lines of:
-            TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN]);
+            TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN]
+            [arrivals=SPEC] [duration=T] [warmup=T]);
             --threads caps the worker pool (default: all cores; results
             are identical at any thread count);
             --profile profiles every run and prints the merged roll-up
@@ -174,7 +181,10 @@ commands:
             regenerate a paper table/figure: table1 | table2 | table3 |
             plots-dc-grid | plots-dc-dlm | plots-fib | plots-time-grid |
             plots-time-dlm | appendix | ablations |
-            resilience [--json] (fault-injection extension)
+            resilience [--json] (fault-injection extension) |
+            capacity [--json] (open-traffic extension: binary-search the
+            max sustainable Poisson arrival rate per strategy x topology
+            holding a p99 sojourn target)
   topo-info T [T ...] [--dot]
             print PEs, channels, diameter, mean distance — or Graphviz DOT
   list      list the available spec grammars
@@ -188,7 +198,11 @@ spec grammars:
             diffusion[:INTERVALxTHRESHOLDxMAX] | global
   workload: fib:18 | dc:4181 | dc:1x4181 | lopsided:BUDGETxSKEW% |
             random:BUDGETxMAXCHILDxGRAINxSEED | cyclic:PHASESxWIDTHxLEAVES |
-            tak:18x12x6
+            tak:18x12x6 | open:ARRIVAL/WORKLOAD
+  arrivals: PROCESS[@EDGES] where PROCESS is poisson:RATE |
+            burst:HIxLOxONxOFF | diurnal:PEAKxPERIOD | trace:PATH
+            (rates are arrivals per 1000 time units) and EDGES is
+            all | root | a comma-separated PE list
   faults:   `+`-separated terms of crash:PE@T | link:CH@DOWN..UP | loss:P% |
             slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none
 
@@ -269,6 +283,36 @@ fn parse_faults_flag(flags: &Flags) -> Result<oracle::model::FaultPlan, Failure>
 /// runs, still bounded.
 const DEFAULT_EXPORT_TRACE_CAP: usize = 1_000_000;
 
+/// Resolve the open-traffic flags (`--arrivals`, `--duration`, `--warmup`)
+/// and the `open:` workload spelling into the machine's traffic config.
+fn parse_open_flags(flags: &Flags, workload: &AnyWorkload) -> Result<Option<OpenTraffic>, Failure> {
+    let arrivals = match (workload, flags.value_of("--arrivals")) {
+        (AnyWorkload::Open(_), Some(_)) => {
+            return Err(Failure::config(
+                "--arrivals conflicts with an open: workload — pick one spelling",
+            ))
+        }
+        (AnyWorkload::Open(o), None) => Some(o.arrivals.clone()),
+        (AnyWorkload::Closed(_), Some(spec)) => Some(
+            spec.parse::<ArrivalSpec>()
+                .map_err(|e| Failure::config(format!("--arrivals: {e}")))?,
+        ),
+        (AnyWorkload::Closed(_), None) => None,
+    };
+    let Some(arrivals) = arrivals else {
+        if flags.value_of("--duration").is_some() || flags.value_of("--warmup").is_some() {
+            return Err(Failure::config(
+                "--duration/--warmup require --arrivals SPEC or an open: workload",
+            ));
+        }
+        return Ok(None);
+    };
+    let duration: u64 = flags.parse("--duration", oracle::runner::DEFAULT_OPEN_DURATION)?;
+    let mut open = OpenTraffic::new(arrivals, duration);
+    open.warmup = flags.parse("--warmup", open.warmup)?;
+    Ok(Some(open))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
     let mut trace_cap: usize = flags.parse("--trace", 0)?;
@@ -305,7 +349,9 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
 
     let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
     let strategy: StrategySpec = flags.parse("--strategy", StrategySpec::cwn_paper(true))?;
-    let workload: WorkloadSpec = flags.parse("--workload", WorkloadSpec::fib(15))?;
+    let any: AnyWorkload = flags.parse("--workload", AnyWorkload::Closed(WorkloadSpec::fib(15)))?;
+    let workload = any.workload();
+    let open = parse_open_flags(&flags, &any)?;
     let seed: u64 = flags.parse("--seed", 1)?;
     let audit_every: u64 = flags.parse("--audit-every", 0)?;
     let faults = parse_faults_flag(&flags)?;
@@ -316,6 +362,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
         trace_mode,
         profile: flags.has("--profile"),
         fault_plan: faults,
+        open,
         ..MachineConfig::default()
     };
     machine_cfg.seed = seed;
@@ -467,6 +514,31 @@ fn print_report(report: &Report, flags: &Flags) {
             println!("duplicate_responses,{}", report.faults.duplicate_responses);
             println!("retries_exhausted,{}", report.faults.retries_exhausted);
         }
+        if let Some(o) = &report.open {
+            match o.outcome {
+                OpenOutcome::Completed => println!("open_outcome,completed"),
+                OpenOutcome::Saturated { at, inflight } => {
+                    println!("open_outcome,saturated");
+                    println!("saturated_at,{at}");
+                    println!("saturated_inflight,{inflight}");
+                }
+            }
+            println!("open_duration,{}", o.duration);
+            println!("open_warmup,{}", o.warmup);
+            println!("arrivals_total,{}", o.arrivals);
+            println!("completions_total,{}", o.completions);
+            println!("completions_measured,{}", o.completions_measured);
+            println!("inflight_at_end,{}", o.inflight_at_end);
+            println!("offered_rate,{:.4}", o.offered_rate);
+            println!("throughput,{:.4}", o.throughput);
+            println!("sojourn_mean,{:.2}", o.sojourn_mean);
+            println!("sojourn_p50,{}", o.sojourn_p50);
+            println!("sojourn_p95,{}", o.sojourn_p95);
+            println!("sojourn_p99,{}", o.sojourn_p99);
+            println!("sojourn_max,{}", o.sojourn_max);
+            println!("qlen_time_avg,{:.2}", o.qlen_time_avg);
+            println!("qlen_p95,{}", o.qlen_p95);
+        }
     } else {
         println!(
             "{} on {} under {}",
@@ -500,6 +572,34 @@ fn print_report(report: &Report, flags: &Flags) {
                 report.faults.goals_lost,
                 report.faults.goals_respawned,
                 report.faults.messages_dropped
+            );
+        }
+        if let Some(o) = &report.open {
+            let outcome = match o.outcome {
+                OpenOutcome::Completed => "completed".to_string(),
+                OpenOutcome::Saturated { at, inflight } => {
+                    format!("SATURATED at t={at} ({inflight} requests in flight)")
+                }
+            };
+            println!(
+                "  open traffic      {outcome} (duration {}, warmup {})",
+                o.duration, o.warmup
+            );
+            println!(
+                "  requests          {} arrived / {} completed ({} measured, {} in flight at end)",
+                o.arrivals, o.completions, o.completions_measured, o.inflight_at_end
+            );
+            println!(
+                "  rates             offered {:.2} / carried {:.2} req per 1000 units",
+                o.offered_rate, o.throughput
+            );
+            println!(
+                "  sojourn           mean {:.1} / p50 {} / p95 {} / p99 {} / max {} units",
+                o.sojourn_mean, o.sojourn_p50, o.sojourn_p95, o.sojourn_p99, o.sojourn_max
+            );
+            println!(
+                "  queue length      time-avg {:.2} / p95 {}",
+                o.qlen_time_avg, o.qlen_p95
             );
         }
     }
@@ -574,7 +674,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
 
 fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
     use oracle::experiments::{
-        ablations, appendix, plots, resilience, table1, table2, table3, Fidelity,
+        ablations, appendix, capacity, plots, resilience, table1, table2, table3, Fidelity,
     };
     use oracle::topo::TopologySpec as T;
 
@@ -623,6 +723,24 @@ fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
                      (--json for per-cell fault counters)",
                     cells.len()
                 );
+            }
+        }
+        "capacity" => {
+            let cells = capacity::run(fidelity, seed);
+            if flags.has("--json") {
+                println!("{}", capacity::to_json(&cells));
+            } else {
+                println!("{}", capacity::render(&cells, fidelity));
+                if let Some(best) = cells
+                    .iter()
+                    .max_by(|a, b| a.max_rate.partial_cmp(&b.max_rate).unwrap())
+                {
+                    println!(
+                        "highest capacity: {}/{} at {:.2} req per 1000 units \
+                         (--json for per-probe data)",
+                        best.topology, best.strategy, best.max_rate
+                    );
+                }
             }
         }
         "plots-dc-grid" | "plots-dc-dlm" | "plots-fib" => {
@@ -937,6 +1055,74 @@ mod tests {
         assert!(err.message.contains("suite file"));
         assert_eq!((err.kind, err.code), ("config", 3));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_command_open_arrivals_smoke() {
+        let a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:8",
+            "--arrivals",
+            "poisson:4",
+            "--duration",
+            "2000",
+            "--warmup",
+            "200",
+            "--csv",
+        ]);
+        cmd_run(&a).expect("open run should succeed");
+        // The combined `open:` workload spelling is equivalent.
+        let a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "open:poisson:4/fib:8",
+            "--duration",
+            "2000",
+        ]);
+        cmd_run(&a).expect("open: workload run should succeed");
+    }
+
+    #[test]
+    fn open_flags_are_validated_as_config_errors() {
+        // Bad arrival spec: config error (exit 3), message names the token
+        // and quotes the grammar.
+        let err = cmd_run(&flags(&["--arrivals", "poisson:-3"])).unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        assert!(err.message.contains("\"-3\""), "{}", err.message);
+        assert!(err.message.contains("PROCESS[@EDGES]"), "{}", err.message);
+        // Bad open: workload spelling too.
+        let err = cmd_run(&flags(&["--workload", "open:nope:1/fib:8"])).unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        assert!(
+            err.message.contains("open:ARRIVAL/WORKLOAD"),
+            "{}",
+            err.message
+        );
+        // Both spellings at once conflict.
+        let err = cmd_run(&flags(&[
+            "--workload",
+            "open:poisson:4/fib:8",
+            "--arrivals",
+            "poisson:4",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.kind, err.code), ("config", 3));
+        // Windows without any arrival process are meaningless.
+        let err = cmd_run(&flags(&["--duration", "500"])).unwrap_err();
+        assert!(err.message.contains("--arrivals"), "{}", err.message);
+    }
+
+    #[test]
+    fn experiment_capacity_quick_smoke() {
+        cmd_experiment(&flags(&["capacity", "--quick"])).expect("capacity quick");
+        cmd_experiment(&flags(&["capacity", "--quick", "--json"])).expect("capacity json");
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl RunConfig {
     /// workload's analytic expectation.
     pub fn run_validated(&self) -> Result<Report, SimError> {
         let report = self.run()?;
+        // Open-traffic runs have no single root result or analytic goal
+        // count — every arrival spawns its own tree and the run ends on
+        // the clock, not on a value.
+        if self.machine.open.is_some() {
+            return Ok(report);
+        }
         if let Some(expected) = self.workload.build().expected_result() {
             if report.result != expected {
                 return Err(SimError::InvalidConfig(format!(
@@ -209,6 +215,21 @@ impl SimulationBuilder {
     pub fn fault_plan(mut self, plan: oracle_model::FaultPlan) -> Self {
         self.config.machine.fault_plan = plan;
         self
+    }
+
+    /// Run in the open-traffic regime: requests arrive per `traffic`'s
+    /// arrival process (each spawning the workload's task tree) and the
+    /// report carries steady-state sojourn metrics instead of a root
+    /// result. `None` restores the classic closed run.
+    pub fn open(mut self, traffic: Option<oracle_model::OpenTraffic>) -> Self {
+        self.config.machine.open = traffic;
+        self
+    }
+
+    /// Shorthand for [`SimulationBuilder::open`] with default windows: the
+    /// given arrivals over `duration` time units, warmup of one tenth.
+    pub fn arrivals(self, spec: oracle_model::ArrivalSpec, duration: u64) -> Self {
+        self.open(Some(oracle_model::OpenTraffic::new(spec, duration)))
     }
 
     /// The assembled configuration (for batching via [`crate::runner`]).

@@ -34,7 +34,10 @@ use crate::builder::RunConfig;
 pub const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50;
 /// Version of the checkpoint layout. Bumped on any layout change; reading
 /// refuses other versions rather than guessing.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the open-traffic configuration (arrival spec, measurement
+/// windows, saturation threshold) alongside the v2 machine snapshot.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Everything that can go wrong writing, reading, or resuming a checkpoint.
 #[derive(Debug)]
@@ -136,6 +139,16 @@ fn put_config(w: &mut SnapWriter, config: &RunConfig) {
     }
     w.str(&m.fault_plan.to_string());
     w.u64(m.audit_every);
+    match &m.open {
+        Some(open) => {
+            w.bool(true);
+            w.str(&open.arrivals.to_string());
+            w.u64(open.duration);
+            w.u64(open.warmup);
+            w.u64(open.saturation_inflight);
+        }
+        None => w.bool(false),
+    }
     w.u64(m.pe_speed_spread);
 }
 
@@ -223,6 +236,22 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
                 parse("fault-plan", fault_plan, e.to_string())
             })?;
     let audit_every = r.u64()?;
+    let open = if r.bool()? {
+        let arrivals = r.str()?;
+        let arrivals = arrivals
+            .parse()
+            .map_err(|e: oracle_model::ParseArrivalError| {
+                parse("arrival", arrivals, e.to_string())
+            })?;
+        Some(oracle_model::OpenTraffic {
+            arrivals,
+            duration: r.u64()?,
+            warmup: r.u64()?,
+            saturation_inflight: r.u64()?,
+        })
+    } else {
+        None
+    };
     let pe_speed_spread = r.u64()?;
 
     Ok(RunConfig {
@@ -252,6 +281,7 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
             fail_pe,
             fault_plan,
             audit_every,
+            open,
             pe_speed_spread,
         },
     })
@@ -434,6 +464,11 @@ mod tests {
         config.machine.load_info = LoadInfoMode::Instant;
         config.machine.queue_backend = QueueBackend::Heap;
         config.machine.fail_pe = Some((2, 1234));
+        config.machine.open = Some(oracle_model::OpenTraffic {
+            warmup: 500,
+            saturation_inflight: 77,
+            ..oracle_model::OpenTraffic::new("burst:8x0.5x2000x6000@3,7".parse().unwrap(), 9000)
+        });
         let mut w = SnapWriter::new();
         put_config(&mut w, &config);
         let bytes = w.into_bytes();
@@ -465,6 +500,41 @@ mod tests {
                 format!("{plain:?}"),
                 format!("{resumed:?}"),
                 "resume from {path:?} diverged"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_run_resumed_mid_measurement_window_is_bit_identical() {
+        let dir = scratch_dir("open");
+        let mut config = sample_config();
+        // Warmup ends at 300; checkpoints every 250 straddle the window
+        // boundary, so at least one resume starts mid-measurement.
+        config.machine.open = Some(oracle_model::OpenTraffic {
+            warmup: 300,
+            ..oracle_model::OpenTraffic::new("poisson:6".parse().unwrap(), 3000)
+        });
+        let plain = config.run().unwrap();
+        assert!(plain.open.is_some(), "open run must report open metrics");
+        let checkpointed = run_with_checkpoints(&config, 250, &dir).unwrap();
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{:?}", checkpointed.report),
+            "checkpointing changed the open-traffic simulation"
+        );
+        assert!(
+            checkpointed.checkpoints.len() >= 3,
+            "expected several checkpoints, got {:?}",
+            checkpointed.checkpoints
+        );
+        for path in &checkpointed.checkpoints {
+            let (config_back, resumed) = resume_run(path).unwrap();
+            assert_eq!(config_back, config);
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{resumed:?}"),
+                "open resume from {path:?} diverged"
             );
         }
         let _ = std::fs::remove_dir_all(&dir);

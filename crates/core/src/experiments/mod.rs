@@ -11,6 +11,7 @@
 //! | Appendix A-1..A-8 (hypercubes) | [`appendix`] |
 //! | §5 design-choice ablations | [`ablations`] |
 //! | Resilience under faults (extension) | [`resilience`] |
+//! | Open-traffic capacity search (extension) | [`capacity`] |
 //!
 //! Every function takes a [`Fidelity`]: `Paper` reruns the full
 //! configuration grid (minutes), `Quick` a miniature that exercises the same
@@ -18,6 +19,7 @@
 
 pub mod ablations;
 pub mod appendix;
+pub mod capacity;
 pub mod plots;
 pub mod resilience;
 pub mod table1;

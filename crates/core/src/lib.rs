@@ -74,10 +74,10 @@ pub mod prelude {
         export_series_csv, export_trace, validate_trace, TraceFormat, TraceSummary,
     };
     pub use oracle_model::{
-        Continuation, CostModel, Expansion, MachineConfig, Program, Report, SimError, Strategy,
-        TaskSpec, Trace, TraceEvent, TraceMode,
+        ArrivalSpec, Continuation, CostModel, Expansion, MachineConfig, OpenMetrics, OpenOutcome,
+        OpenTraffic, Program, Report, SimError, Strategy, TaskSpec, Trace, TraceEvent, TraceMode,
     };
     pub use oracle_strategies::StrategySpec;
     pub use oracle_topo::TopologySpec;
-    pub use oracle_workloads::WorkloadSpec;
+    pub use oracle_workloads::{AnyWorkload, OpenWorkload, WorkloadSpec};
 }

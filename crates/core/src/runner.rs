@@ -174,17 +174,25 @@ pub fn seed_sweep(config: RunConfig, base_seed: u64, n_seeds: u64) -> SeedSummar
     }
 }
 
+/// Duration of a suite-line open run when `duration=` is not given.
+pub const DEFAULT_OPEN_DURATION: u64 = 20_000;
+
 /// Parse a batch-suite description into run specs.
 ///
 /// One run per non-empty, non-`#` line:
 ///
 /// ```text
-/// # topology   strategy   workload   [seed=N] [faults=PLAN]
+/// # topology   strategy   workload   [seed=N] [faults=PLAN] [arrivals=SPEC] [duration=T] [warmup=T]
 /// grid:10      cwn:9x1    fib:15
 /// grid:10      gm:1x2x20  fib:15     seed=7
 /// dlm:10       cwn:5x1    dc:987
 /// grid:6       cwn:5x1    fib:12     seed=3   faults=crash:7@400+loss:1%+recover:500x8
+/// grid:6       cwn:5x1    fib:10     arrivals=poisson:4 duration=20000
 /// ```
+///
+/// `arrivals=` switches the line to the open-traffic regime (see
+/// [`oracle_model::open`]); `duration=`/`warmup=` set its measurement
+/// windows (defaults: 20000 and one tenth of the duration).
 ///
 /// Labels are generated from the three specs. Errors name the offending
 /// line.
@@ -196,9 +204,10 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if !(3..=5).contains(&fields.len()) {
+        if !(3..=8).contains(&fields.len()) {
             return Err(format!(
-                "line {}: expected `topology strategy workload [seed=N] [faults=PLAN]`, got {raw:?}",
+                "line {}: expected `topology strategy workload [seed=N] [faults=PLAN] \
+                 [arrivals=SPEC] [duration=T] [warmup=T]`, got {raw:?}",
                 lineno + 1
             ));
         }
@@ -224,6 +233,9 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
             .workload(workload)
             .config();
         let mut label_suffix = String::new();
+        let mut arrivals: Option<oracle_model::ArrivalSpec> = None;
+        let mut duration: Option<u64> = None;
+        let mut warmup: Option<u64> = None;
         for extra in &fields[3..] {
             if let Some(v) = extra.strip_prefix("seed=") {
                 config.machine.seed = v
@@ -235,13 +247,48 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
                         .map_err(|e: oracle_model::faults::ParseFaultPlanError| {
                             err("faults", format!("{v:?}: {e}"))
                         })?;
-                label_suffix = format!(" faults={v}");
+                label_suffix.push_str(&format!(" faults={v}"));
+            } else if let Some(v) = extra.strip_prefix("arrivals=") {
+                arrivals = Some(v.parse().map_err(|e: oracle_model::ParseArrivalError| {
+                    err("arrivals", e.to_string())
+                })?);
+                label_suffix.push_str(&format!(" arrivals={v}"));
+            } else if let Some(v) = extra.strip_prefix("duration=") {
+                duration =
+                    Some(v.parse().map_err(|_| {
+                        err("duration", format!("{extra:?} (expected duration=T)"))
+                    })?);
+            } else if let Some(v) = extra.strip_prefix("warmup=") {
+                warmup = Some(
+                    v.parse()
+                        .map_err(|_| err("warmup", format!("{extra:?} (expected warmup=T)")))?,
+                );
             } else {
                 return Err(err(
                     "field",
-                    format!("{extra:?} (expected seed=N or faults=PLAN)"),
+                    format!(
+                        "{extra:?} (expected seed=N, faults=PLAN, arrivals=SPEC, duration=T, \
+                         or warmup=T)"
+                    ),
                 ));
             }
+        }
+        match arrivals {
+            Some(spec) => {
+                let mut open =
+                    oracle_model::OpenTraffic::new(spec, duration.unwrap_or(DEFAULT_OPEN_DURATION));
+                if let Some(w) = warmup {
+                    open.warmup = w;
+                }
+                config.machine.open = Some(open);
+            }
+            None if duration.is_some() || warmup.is_some() => {
+                return Err(err(
+                    "field",
+                    "duration=/warmup= require arrivals=SPEC on the same line".into(),
+                ));
+            }
+            None => {}
         }
         specs.push(RunSpec::new(
             format!("{} {} {}{label_suffix}", fields[0], fields[1], fields[2]),
@@ -369,7 +416,7 @@ mod tests {
         let err = parse_suite("nonsense:4 cwn:4x1 fib:10").unwrap_err();
         assert!(err.contains("bad topology"), "{err}");
         let err = parse_suite("grid:4 cwn:4x1 fib:10 sneed=2").unwrap_err();
-        assert!(err.contains("seed=N or faults=PLAN"), "{err}");
+        assert!(err.contains("seed=N, faults=PLAN"), "{err}");
         let err = parse_suite("grid:4 cwn:4x1 fib:10 faults=crash:zz").unwrap_err();
         assert!(err.contains("bad faults"), "{err}");
     }
@@ -387,6 +434,43 @@ mod tests {
         let swapped =
             parse_suite("grid:6 cwn:5x1 fib:10 faults=crash:7@400+recover:500x8 seed=3\n").unwrap();
         assert_eq!(swapped[0].config, specs[0].config);
+    }
+
+    #[test]
+    fn parse_suite_accepts_open_arrivals() {
+        let text = "grid:4 cwn:4x1 fib:8 arrivals=poisson:3 duration=4000 warmup=500 seed=2\n";
+        let specs = parse_suite(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        let open = specs[0].config.machine.open.as_ref().unwrap();
+        assert_eq!(open.duration, 4000);
+        assert_eq!(open.warmup, 500);
+        assert_eq!(open.arrivals.to_string(), "poisson:3");
+        assert_eq!(specs[0].config.machine.seed, 2);
+        assert!(specs[0].label.contains("arrivals="), "{}", specs[0].label);
+
+        // Default duration/warmup apply when omitted.
+        let specs = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3\n").unwrap();
+        let open = specs[0].config.machine.open.as_ref().unwrap();
+        assert_eq!(open.duration, DEFAULT_OPEN_DURATION);
+        assert_eq!(open.warmup, DEFAULT_OPEN_DURATION / 10);
+
+        // And an open suite line actually runs to a report with metrics.
+        let specs = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:2 duration=2000\n").unwrap();
+        for (label, r) in run_batch(&specs) {
+            let r = r.unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert!(r.open.is_some(), "{label}: no open metrics");
+        }
+    }
+
+    #[test]
+    fn parse_suite_rejects_bad_open_fields() {
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=nope:3\n").unwrap_err();
+        assert!(err.contains("bad arrivals"), "{err}");
+        assert!(err.contains("poisson:RATE"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 duration=4000\n").unwrap_err();
+        assert!(err.contains("require arrivals"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 duration=zz\n").unwrap_err();
+        assert!(err.contains("bad duration"), "{err}");
     }
 
     #[test]

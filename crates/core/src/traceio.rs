@@ -149,6 +149,8 @@ fn kind_name(e: &TraceEvent) -> &'static str {
         TraceEvent::DuplicateResponse { .. } => "duplicate_response",
         TraceEvent::PeSlowed { .. } => "pe_slowed",
         TraceEvent::PeRestored { .. } => "pe_restored",
+        TraceEvent::RequestArrived { .. } => "request_arrived",
+        TraceEvent::RequestCompleted { .. } => "request_completed",
     }
 }
 
@@ -225,6 +227,23 @@ fn jsonl_event(e: &TraceEvent) -> String {
         }
         TraceEvent::PeSlowed { pe, factor, .. } => o.num("pe", pe.0 as u64).num("factor", factor),
         TraceEvent::PeRestored { pe, .. } => o.num("pe", pe.0 as u64),
+        TraceEvent::RequestArrived {
+            request, goal, pe, ..
+        } => o
+            .num("request", request)
+            .num("goal", goal.0)
+            .num("pe", pe.0 as u64),
+        TraceEvent::RequestCompleted {
+            request,
+            goal,
+            pe,
+            sojourn,
+            ..
+        } => o
+            .num("request", request)
+            .num("goal", goal.0)
+            .num("pe", pe.0 as u64)
+            .num("sojourn", sojourn),
     }
     .finish()
 }
@@ -388,7 +407,9 @@ pub fn export_chrome(trace: &Trace, report: &Report) -> String {
                     | TraceEvent::GoalRespawned { pe, .. }
                     | TraceEvent::DuplicateResponse { pe, .. }
                     | TraceEvent::PeSlowed { pe, .. }
-                    | TraceEvent::PeRestored { pe, .. } => pe.0 as u64,
+                    | TraceEvent::PeRestored { pe, .. }
+                    | TraceEvent::RequestArrived { pe, .. }
+                    | TraceEvent::RequestCompleted { pe, .. } => pe.0 as u64,
                     TraceEvent::Responded { from_pe, .. } => from_pe.0 as u64,
                     TraceEvent::ControlSent { from, .. } => from.0 as u64,
                     _ => net,
@@ -936,6 +957,43 @@ mod tests {
         let text = export_chrome(&trace, &report);
         let summary = validate_chrome(&text).unwrap();
         assert_eq!(summary.dropped, trace.dropped());
+    }
+
+    #[test]
+    fn open_run_trace_exports_carry_request_events() {
+        let (report, trace) = SimulationBuilder::new()
+            .topology(TopologySpec::grid(4))
+            .strategy(StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            })
+            .workload(WorkloadSpec::fib(8))
+            .seed(5)
+            .arrivals("poisson:4".parse().unwrap(), 3000)
+            .trace_capacity(200_000)
+            .run_traced()
+            .unwrap();
+        assert!(report.open.is_some());
+
+        let jsonl = export_jsonl(&trace, &report);
+        let summary = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(summary.events, trace.len());
+        assert!(
+            jsonl.lines().any(|l| l.contains("\"request_arrived\"")),
+            "no request_arrived events in the JSONL export"
+        );
+        assert!(
+            jsonl
+                .lines()
+                .any(|l| l.contains("\"request_completed\"") && l.contains("\"sojourn\"")),
+            "no request_completed events with sojourn in the JSONL export"
+        );
+
+        let chrome = export_chrome(&trace, &report);
+        let summary = validate_chrome(&chrome).unwrap();
+        assert!(summary.events > 0);
+        assert!(chrome.contains("request_arrived"));
+        assert!(chrome.contains("request_completed"));
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use inline::InlineVec;
 pub use profile::{KindId, KindProfile, ProfileReport, Profiler};
 pub use rng::Rng;
 pub use snapshot::{SnapError, SnapReader, SnapWriter};
-pub use stats::{BusyTracker, Histogram, IntervalSeries, OnlineStats};
+pub use stats::{BusyTracker, Histogram, IntervalSeries, LogHistogram, OnlineStats};
 pub use time::SimTime;

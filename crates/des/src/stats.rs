@@ -10,6 +10,9 @@
 //! * [`OnlineStats`] — single-pass mean/variance/min/max (Welford).
 //! * [`Histogram`] — integer-bucket histogram, used for the paper's Table 3
 //!   (distribution of goal-message hop distances).
+//! * [`LogHistogram`] — fixed-bucket log histogram for streaming percentile
+//!   estimation (open-system sojourn times and time-weighted queue-length
+//!   distributions).
 //! * [`BusyTracker`] — accumulates the busy time of one resource (a PE or a
 //!   channel) and yields its utilization over any horizon.
 //! * [`IntervalSeries`] — splits busy time into fixed-width sampling
@@ -248,6 +251,185 @@ impl Histogram {
         self.overflow += other.overflow;
         self.total += other.total;
         self.sum += other.sum;
+    }
+}
+
+/// Streaming percentile estimator over `u64` values: a fixed-bucket log
+/// histogram (HDR-style). Values below [`LogHistogram::LINEAR_BUCKETS`] get
+/// one exact bucket each; larger values share 8 sub-buckets per power-of-two
+/// octave, bounding the relative error of any reported quantile to 12.5%
+/// while memory stays a fixed 496 buckets regardless of the value range.
+///
+/// Observations can carry an integer weight ([`LogHistogram::record_n`]),
+/// which makes the same structure serve two duties in the open-system
+/// measurement layer: per-request sojourn times (weight 1 each) and
+/// time-weighted queue-length distributions (weight = time spent at that
+/// length).
+///
+/// ```
+/// use oracle_des::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=100 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.total(), 100);
+/// assert_eq!(h.quantile(1.0), 100); // the max is tracked exactly
+/// let p50 = h.quantile(0.5);
+/// assert!((44..=50).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    total: u64,
+    /// Weighted sum of observed values (f64: sojourn sums can exceed u64).
+    sum: f64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Values below this get one exact bucket each.
+    pub const LINEAR_BUCKETS: u64 = 16;
+    /// Sub-buckets per power-of-two octave above the linear range.
+    const SUB: u64 = 8;
+    /// Total bucket count: 16 linear + 8 per octave for octaves 4..=63.
+    const NUM_BUCKETS: usize = 16 + 60 * 8;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; Self::NUM_BUCKETS],
+            total: 0,
+            sum: 0.0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `value` (exact below the linear range, then the
+    /// octave's top-3-bits sub-bucket).
+    fn index(value: u64) -> usize {
+        if value < Self::LINEAR_BUCKETS {
+            value as usize
+        } else {
+            let octave = 63 - value.leading_zeros() as u64; // >= 4
+            let sub = (value >> (octave - 3)) & (Self::SUB - 1);
+            (Self::LINEAR_BUCKETS + (octave - 4) * Self::SUB + sub) as usize
+        }
+    }
+
+    /// Smallest value that lands in bucket `idx` (the reported quantile
+    /// representative).
+    fn floor_of(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < Self::LINEAR_BUCKETS {
+            idx
+        } else {
+            let octave = 4 + (idx - Self::LINEAR_BUCKETS) / Self::SUB;
+            let sub = (idx - Self::LINEAR_BUCKETS) % Self::SUB;
+            (Self::SUB + sub) << (octave - 3)
+        }
+    }
+
+    /// Record one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `weight` observations of `value` (no-op at zero weight).
+    pub fn record_n(&mut self, value: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.buckets[Self::index(value)] += weight;
+        self.total += weight;
+        self.sum += value as f64 * weight as f64;
+        self.max = self.max.max(value);
+    }
+
+    /// Total weight recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value observed (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Weighted mean of all observations, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`): the lower bound of the first
+    /// bucket whose cumulative weight reaches `q * total`, except that a
+    /// quantile landing in the top non-empty bucket reports the exact
+    /// tracked maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        let mut hit = 0usize;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                hit = i;
+                break;
+            }
+        }
+        if Self::index(self.max) == hit {
+            self.max
+        } else {
+            Self::floor_of(hit)
+        }
+    }
+
+    /// The raw fields `(buckets, total, sum, max)`, for checkpointing.
+    pub fn raw_parts(&self) -> (&[u64], u64, f64, u64) {
+        (&self.buckets, self.total, self.sum, self.max)
+    }
+
+    /// Rebuild a histogram from fields captured by
+    /// [`LogHistogram::raw_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` has the wrong length.
+    pub fn from_raw_parts(buckets: Vec<u64>, total: u64, sum: f64, max: u64) -> Self {
+        assert_eq!(
+            buckets.len(),
+            Self::NUM_BUCKETS,
+            "log histogram bucket count mismatch"
+        );
+        LogHistogram {
+            buckets,
+            total,
+            sum,
+            max,
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -548,6 +730,92 @@ mod tests {
     #[should_panic(expected = "different widths")]
     fn histogram_merge_width_mismatch_panics() {
         Histogram::new(2).merge(&Histogram::new(3));
+    }
+
+    #[test]
+    fn log_histogram_exact_below_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        // Every value below the linear range is its own bucket, so every
+        // quantile is exact.
+        assert_eq!(h.quantile(1.0 / 16.0), 0);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.total(), 16);
+        assert!((h.mean() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 1_000, 10_000, 1_000_000, u64::MAX / 2] {
+            h.record(v);
+            let q = h.quantile(1.0);
+            assert_eq!(q, h.max(), "top quantile must be the exact max");
+        }
+        // A mid quantile lands on a bucket floor within 12.5% below the
+        // true value.
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 <= 1000 && p50 as f64 >= 1000.0 * 0.875, "p50 = {p50}");
+    }
+
+    #[test]
+    fn log_histogram_weighted_and_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut h = LogHistogram::new();
+        h.record_n(0, 95); // e.g. 95 time units at queue length 0
+        h.record_n(10, 5); // 5 units at length 10
+        h.record_n(3, 0); // zero weight: ignored
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 10);
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_round_trips_raw_parts() {
+        let mut h = LogHistogram::new();
+        for v in [0, 5, 17, 900, 123_456_789] {
+            h.record(v);
+        }
+        let (buckets, total, sum, max) = h.raw_parts();
+        let back = LogHistogram::from_raw_parts(buckets.to_vec(), total, sum, max);
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.max(), h.max());
+        for q in [0.1, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(back.quantile(q), h.quantile(q));
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_sequential() {
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..200u64 {
+            let v = i * i * 37 % 100_000;
+            whole.record(v);
+            if i < 80 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultPlan;
+use crate::open::OpenTraffic;
 use crate::trace::TraceMode;
 
 /// How PEs learn their neighbours' loads.
@@ -134,6 +135,12 @@ pub struct MachineConfig {
     /// an unaudited one.
     #[serde(default)]
     pub audit_every: u64,
+    /// Open-system traffic: `Some` replaces the single root goal with a
+    /// stream of arriving requests (each spawning the workload's task tree)
+    /// measured by steady-state sojourn times instead of completion time.
+    /// `None` (the default) is the classic closed run. See [`crate::open`].
+    #[serde(default)]
+    pub open: Option<OpenTraffic>,
     /// Heterogeneous-machine extension: each PE's execution costs are
     /// multiplied by a seeded per-PE factor drawn uniformly from
     /// `1..=pe_speed_spread`. 1 (the default) models the paper's uniform
@@ -164,6 +171,7 @@ impl Default for MachineConfig {
             fail_pe: None,
             fault_plan: FaultPlan::default(),
             audit_every: 0,
+            open: None,
             pe_speed_spread: 1,
         }
     }
@@ -189,6 +197,9 @@ impl MachineConfig {
         }
         if !(0.0..1.0).contains(&self.fault_plan.message_loss) {
             return Err("fault_plan.message_loss must be in [0, 1)".into());
+        }
+        if let Some(open) = &self.open {
+            open.validate()?;
         }
         Ok(())
     }

@@ -30,6 +30,7 @@ pub mod faults;
 pub mod machine;
 pub mod message;
 pub mod metrics;
+pub mod open;
 pub mod pe;
 pub mod program;
 pub mod snapshot;
@@ -42,7 +43,10 @@ pub use error::SimError;
 pub use faults::{FaultPlan, LinkWindow, PeCrash, RecoveryParams, Slowdown};
 pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
-pub use metrics::{FaultMetrics, Report};
+pub use metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report};
+pub use open::{
+    ArrivalProcess, ArrivalSpec, EdgeSet, OpenTraffic, ParseArrivalError, ARRIVAL_GRAMMAR,
+};
 pub use program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 pub use strategy::{Strategy, StrategyState};
 pub use trace::{Trace, TraceEvent, TraceMode};

@@ -17,7 +17,8 @@ use crate::cost::CostModel;
 use crate::error::SimError;
 use crate::faults::{FaultPlan, PeCrash};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
-use crate::metrics::{FaultMetrics, Report, TrafficCounters};
+use crate::metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report, TrafficCounters};
+use crate::open::{Inflight, OpenState};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
 use crate::program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 use crate::strategy::Strategy;
@@ -48,11 +49,13 @@ pub(crate) enum Event {
     /// Recovery: the tracked goal has been silent for its whole ack
     /// window — re-spawn it if its response has still not combined.
     AckTimeout(GoalId),
+    /// Open traffic: the next external request arrives now.
+    Arrival,
 }
 
 /// Profiler registry names, indexed by [`Event::kind`]. Keep the two in
 /// sync.
-const EVENT_KIND_NAMES: [&str; 10] = [
+const EVENT_KIND_NAMES: [&str; 11] = [
     "pe_done",
     "channel_done",
     "timer",
@@ -63,6 +66,7 @@ const EVENT_KIND_NAMES: [&str; 10] = [
     "slow_start",
     "slow_end",
     "ack_timeout",
+    "arrival",
 ];
 
 impl Event {
@@ -79,6 +83,7 @@ impl Event {
             Event::SlowStart(..) => 7,
             Event::SlowEnd(_) => 8,
             Event::AckTimeout(_) => 9,
+            Event::Arrival => 10,
         })
     }
 }
@@ -180,6 +185,9 @@ pub struct Core {
     /// Summed user-busy time across all PEs, per sampling interval.
     pub(crate) global_series: IntervalSeries,
     pub(crate) root_result: Option<(i64, SimTime)>,
+    /// Open-traffic runtime state (`Some` iff `config.open` is set); boxed
+    /// so the closed-run hot path pays one null check and no space.
+    pub(crate) open: Option<Box<OpenState>>,
     pub(crate) trace: Trace,
     /// Engine profiler (`Some` only when `config.profile` is set). Like the
     /// trace, deliberately not part of a snapshot: a resumed run's profile
@@ -472,6 +480,7 @@ impl Core {
             }
         }
         self.pes[pe.idx()].enqueue(WorkItem::Goal(goal));
+        self.note_open_qlen(1);
         self.try_start(pe);
     }
 
@@ -534,17 +543,36 @@ impl Core {
     /// Remove the most recently queued goal from `pe` (the Gradient Model's
     /// export primitive).
     pub fn take_newest_goal(&mut self, pe: PeId) -> Option<GoalMsg> {
-        self.pes[pe.idx()].take_newest_goal()
+        let taken = self.pes[pe.idx()].take_newest_goal();
+        if taken.is_some() {
+            self.note_open_qlen(-1);
+        }
+        taken
     }
 
     /// Remove the oldest queued goal from `pe`.
     pub fn take_oldest_goal(&mut self, pe: PeId) -> Option<GoalMsg> {
-        self.pes[pe.idx()].take_oldest_goal()
+        let taken = self.pes[pe.idx()].take_oldest_goal();
+        if taken.is_some() {
+            self.note_open_qlen(-1);
+        }
+        taken
     }
 
     // ------------------------------------------------------------------
     // Internals.
     // ------------------------------------------------------------------
+
+    /// Open traffic: account a change of `delta` in the total queued-goal
+    /// count for the time-weighted queue-length distribution. One branch
+    /// on closed runs.
+    #[inline]
+    fn note_open_qlen(&mut self, delta: i64) {
+        if let Some(open) = self.open.as_deref_mut() {
+            let now = self.events.now().units();
+            open.note_qlen(now, delta);
+        }
+    }
 
     /// Index of `nbr` within `pe`'s sorted neighbour list.
     #[inline]
@@ -678,6 +706,32 @@ impl Core {
                 if self.plan.recovery.is_some() {
                     self.faults.outstanding.remove(&child);
                 }
+                if self.open.is_some() {
+                    // An open-traffic request completed: record its
+                    // sojourn (inside the measurement window) instead of
+                    // declaring the run over.
+                    let now = self.events.now().units();
+                    let open = self.open.as_deref_mut().expect("checked above");
+                    let Some(infl) = open.inflight.remove(&child) else {
+                        return; // superseded respawn attempt of a request
+                    };
+                    open.completions_total += 1;
+                    let sojourn = now - infl.arrived;
+                    if now >= open.warmup && now < open.duration {
+                        open.sojourn.record(sojourn);
+                        open.sojourn_stats.record(sojourn as f64);
+                    }
+                    if self.trace.enabled() {
+                        self.trace.record(TraceEvent::RequestCompleted {
+                            t: now,
+                            request: infl.request,
+                            goal: child,
+                            pe: from_pe,
+                            sojourn,
+                        });
+                    }
+                    return;
+                }
                 self.root_result = Some((value, self.events.now()));
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent::RootCompleted {
@@ -776,6 +830,9 @@ impl Core {
         let Some(item) = self.pes[pe.idx()].dequeue(discipline) else {
             return;
         };
+        if matches!(item, WorkItem::Goal(_)) {
+            self.note_open_qlen(-1);
+        }
         let speed = self.pes[pe.idx()].cost_factor * self.pes[pe.idx()].transient_factor;
         let (exec, cost, is_user_work) = match item {
             WorkItem::Goal(goal) => {
@@ -828,9 +885,14 @@ impl Core {
         self.events.schedule_after(cost, Event::PeDone(pe));
     }
 
-    /// True once the root task's result has been produced.
+    /// True once the run is over: the root result was produced (closed
+    /// runs), or the time horizon was reached / the saturation trip wire
+    /// fired (open runs).
     pub(crate) fn completed(&self) -> bool {
-        self.root_result.is_some()
+        match &self.open {
+            None => self.root_result.is_some(),
+            Some(open) => open.saturated.is_some() || self.events.now().units() >= open.duration,
+        }
     }
 }
 
@@ -913,6 +975,15 @@ impl Machine {
         // leaves the strategy's randomness bit-identical to a run without
         // fault support at all.
         let fault_rng = Rng::seed_from_u64(config.seed ^ 0xD0E5_F00D_5EED_CAFE);
+        // Open traffic resolves edges and loads any arrival trace file up
+        // front, so a bad spec fails here rather than mid-run.
+        let open = match &config.open {
+            Some(o) => Some(Box::new(
+                OpenState::build(o, config.seed, topo.num_pes(), config.root_pe)
+                    .map_err(SimError::InvalidConfig)?,
+            )),
+            None => None,
+        };
         let events = match config.queue_backend {
             QueueBackend::Heap => DualQueue::heap_with_capacity(1024),
             QueueBackend::Calendar => DualQueue::calendar(),
@@ -935,6 +1006,7 @@ impl Machine {
                 dispatch_latency: OnlineStats::new(),
                 global_series: IntervalSeries::new(sampling),
                 root_result: None,
+                open,
                 trace: Trace::with_mode(config.trace_capacity, config.trace_mode),
                 profiler: config
                     .profile
@@ -1042,7 +1114,14 @@ impl Machine {
                 .schedule_at(SimTime(s.until), Event::SlowEnd(PeId(s.pe)));
         }
 
-        // Inject the root goal.
+        // Closed run: inject the root goal. Open run: arm the first
+        // arrival instead (each arrival injects its own root-level goal).
+        if let Some(open) = self.core.open.as_deref_mut() {
+            if let Some(at) = open.next_arrival(0) {
+                self.core.events.schedule_at(SimTime(at), Event::Arrival);
+            }
+            return;
+        }
         let root_spec = self.core.program.root();
         let root_goal = self.core.make_goal(root_spec, None);
         self.core.track_goal(&root_goal, 0, 0);
@@ -1132,7 +1211,10 @@ impl Machine {
     /// `Ok(true)` and produce the report (or the stall error when the
     /// calendar drained without a root result).
     pub fn finish(mut self) -> Result<(Report, Trace), SimError> {
-        if !self.core.completed() {
+        // An open run may also end by draining the calendar early (arrival
+        // schedule exhausted and all work done); its report is always
+        // buildable, with any shortfall visible in the open metrics.
+        if self.core.open.is_none() && !self.core.completed() {
             return Err(self.stall_error());
         }
         let report = self.build_report();
@@ -1222,6 +1304,7 @@ impl Machine {
                     });
                 }
             }
+            Event::Arrival => self.handle_arrival(),
             Event::AckTimeout(goal) => {
                 // Acceptance at a live PE is the acknowledgment: a goal
                 // resident somewhere healthy is making progress (long-lived
@@ -1245,6 +1328,72 @@ impl Machine {
         }
     }
 
+    /// Open traffic: one external request arrives — inject it as a fresh
+    /// root-level goal at the next edge PE, check the saturation trip
+    /// wire, and arm the next arrival.
+    fn handle_arrival(&mut self) {
+        let now = self.core.events.now().units();
+        let Some(open) = self.core.open.as_deref_mut() else {
+            return; // stale event on a closed run (cannot happen)
+        };
+        // Trace replay may pin the entry PE; taking the override also
+        // advances the replay cursor, so it must precede the next-arrival
+        // peek.
+        let override_pe = open.trace_pe_override();
+        let next_at = open.next_arrival(now);
+        let (edges_len, start) = (open.edges.len() as u32, open.edge_idx);
+        if let Some(at) = next_at {
+            self.core.events.schedule_at(SimTime(at), Event::Arrival);
+        }
+        // Entry PE: the explicit trace PE if alive, else round-robin over
+        // the edge set skipping crashed PEs. With every candidate dead the
+        // request is refused at the door (it never enters the system).
+        let mut entry = None;
+        if let Some(pe) = override_pe {
+            if !self.core.pes[pe as usize].failed {
+                entry = Some(PeId(pe));
+            }
+        } else {
+            for k in 0..edges_len {
+                let i = (start + k) % edges_len;
+                let cand = self.core.open.as_ref().expect("open mode").edges[i as usize];
+                if !self.core.pes[cand as usize].failed {
+                    self.core.open.as_deref_mut().expect("open mode").edge_idx =
+                        (i + 1) % edges_len;
+                    entry = Some(PeId(cand));
+                    break;
+                }
+            }
+        }
+        let Some(pe) = entry else { return };
+        let spec = self.core.program.root();
+        let goal = self.core.make_goal(spec, None);
+        let open = self.core.open.as_deref_mut().expect("open mode");
+        let request = open.next_request;
+        open.next_request += 1;
+        open.arrivals_total += 1;
+        open.inflight.insert(
+            goal.id,
+            Inflight {
+                request,
+                arrived: now,
+            },
+        );
+        if open.saturated.is_none() && open.inflight.len() as u64 > open.threshold {
+            open.saturated = Some((now, open.inflight.len() as u64));
+        }
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::RequestArrived {
+                t: now,
+                request,
+                goal: goal.id,
+                pe,
+            });
+        }
+        self.core.track_goal(&goal, 0, now);
+        self.strategy.on_goal_created(&mut self.core, pe, goal);
+    }
+
     /// Kill `pe`: everything it held is lost; it never executes again. The
     /// recovery layer re-spawns the goals that were resident there and
     /// orphans the ones whose waiting parents died with it (the
@@ -1255,6 +1404,7 @@ impl Machine {
         }
         let now = self.core.events.now();
         let p = &mut self.core.pes[pe.idx()];
+        let queued_goals = p.queued_goals;
         let lost = p.queued_goals as u64
             + matches!(p.executing, Some(Executing::Goal(..))) as u64
             + p.waiting.len() as u64;
@@ -1266,6 +1416,7 @@ impl Machine {
         p.queued_goals = 0;
         p.queued_responses = 0;
         p.busy.set_idle(now);
+        self.core.note_open_qlen(-(queued_goals as i64));
         self.core.faults.pes_crashed += 1;
         self.core.faults.goals_lost += lost;
         if self.core.trace.enabled() {
@@ -1349,6 +1500,16 @@ impl Machine {
             }
         };
         let goal = self.core.make_goal(entry.spec, entry.parent);
+        if entry.parent.is_none() {
+            // An open-traffic request's root goal was re-spawned: keep the
+            // in-flight entry keyed by the live attempt so the completion
+            // still finds (and times) the original arrival.
+            if let Some(open) = self.core.open.as_deref_mut() {
+                if let Some(infl) = open.inflight.remove(&old) {
+                    open.inflight.insert(goal.id, infl);
+                }
+            }
+        }
         self.core.faults.goals_respawned += 1;
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::GoalRespawned {
@@ -1743,8 +1904,14 @@ impl Machine {
 
     fn build_report(&mut self) -> Report {
         let core = &mut self.core;
-        let (result, t_done) = core.root_result.expect("report before completion");
-        let horizon = t_done;
+        // Closed runs end the instant the root result appears; open runs
+        // end at the horizon (duration, saturation instant, or a drained
+        // calendar) with no single result value.
+        let (result, horizon) = if core.open.is_some() {
+            (0, core.events.now())
+        } else {
+            core.root_result.expect("report before completion")
+        };
 
         // Close any open busy span (possible only for routing work).
         for i in 0..core.pes.len() {
@@ -1818,6 +1985,35 @@ impl Machine {
             chan_utils.iter().sum::<f64>() / chan_utils.len().max(1) as f64;
         let max_channel_utilization = chan_utils.drain(..).fold(0.0f64, f64::max);
 
+        let open_metrics = core.open.as_deref_mut().map(|open| {
+            let end = horizon.units();
+            open.flush_qlen(end);
+            let outcome = match open.saturated {
+                Some((at, inflight)) => OpenOutcome::Saturated { at, inflight },
+                None => OpenOutcome::Completed,
+            };
+            let window = end.min(open.duration).saturating_sub(open.warmup).max(1);
+            OpenMetrics {
+                outcome,
+                duration: open.duration,
+                warmup: open.warmup,
+                arrivals: open.arrivals_total,
+                completions: open.completions_total,
+                completions_measured: open.sojourn.total(),
+                inflight_at_end: open.inflight.len() as u64,
+                offered_rate: open.arrivals_total as f64 * crate::open::RATE_UNIT
+                    / end.max(1) as f64,
+                throughput: open.sojourn.total() as f64 * crate::open::RATE_UNIT / window as f64,
+                sojourn_mean: open.sojourn_stats.mean(),
+                sojourn_p50: open.sojourn.quantile(0.50),
+                sojourn_p95: open.sojourn.quantile(0.95),
+                sojourn_p99: open.sojourn.quantile(0.99),
+                sojourn_max: open.sojourn.max(),
+                qlen_time_avg: open.qlen_hist.mean(),
+                qlen_p95: open.qlen_hist.quantile(0.95),
+            }
+        });
+
         let (hop_histogram, hop_overflow, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
         let dispatch_latency_mean = core.dispatch_latency.mean();
         let dispatch_latency_max = core.dispatch_latency.max().unwrap_or(0.0);
@@ -1856,6 +2052,7 @@ impl Machine {
             seed: core.config.seed,
             faults: core.faults.metrics(),
             profile: core.profiler.as_ref().map(|p| p.report()),
+            open: open_metrics,
         }
     }
 }

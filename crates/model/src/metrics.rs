@@ -67,6 +67,66 @@ impl FaultMetrics {
     }
 }
 
+/// How an open-traffic run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpenOutcome {
+    /// The run reached its configured duration (or the arrival schedule
+    /// was exhausted and all work drained) with the backlog bounded.
+    Completed,
+    /// The saturation trip wire fired: `inflight` requests were in flight
+    /// at time `at`, so the offered load exceeds what the machine can
+    /// sustain. The statistics cover the run up to that instant.
+    Saturated { at: u64, inflight: u64 },
+}
+
+impl OpenOutcome {
+    /// True when the run ended by saturation.
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, OpenOutcome::Saturated { .. })
+    }
+}
+
+/// Steady-state measurements of an open-traffic run (`None` on the report
+/// of a classic closed run). Sojourn figures cover only requests completing
+/// inside the measurement window `[warmup, duration)`; queue-length figures
+/// are time-weighted over the same window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenMetrics {
+    /// How the run ended.
+    pub outcome: OpenOutcome,
+    /// Configured run duration (simulated units).
+    pub duration: u64,
+    /// Configured warmup window.
+    pub warmup: u64,
+    /// Requests injected over the whole run.
+    pub arrivals: u64,
+    /// Requests completed over the whole run.
+    pub completions: u64,
+    /// Requests completed inside the measurement window (the population of
+    /// the sojourn statistics).
+    pub completions_measured: u64,
+    /// Requests still in flight when the run ended.
+    pub inflight_at_end: u64,
+    /// Offered load: arrivals per 1000 time units over the whole run.
+    pub offered_rate: f64,
+    /// Carried load: measured completions per 1000 time units of
+    /// measurement window.
+    pub throughput: f64,
+    /// Mean sojourn time (arrival to result) in the window.
+    pub sojourn_mean: f64,
+    /// Sojourn percentiles from the log-bucketed histogram (<= 12.5%
+    /// relative bucket error).
+    pub sojourn_p50: u64,
+    pub sojourn_p95: u64,
+    pub sojourn_p99: u64,
+    /// Largest measured sojourn.
+    pub sojourn_max: u64,
+    /// Time-weighted mean of the total queued-goal count.
+    pub qlen_time_avg: f64,
+    /// Time-weighted 95th percentile of the total queued-goal count.
+    pub qlen_p95: u64,
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -159,6 +219,11 @@ pub struct Report {
     /// `MachineConfig::profile` set. Wall times are nondeterministic.
     #[serde(default)]
     pub profile: Option<ProfileReport>,
+    /// Steady-state open-traffic measurements; `None` on a closed run.
+    /// When `Some`, `completion_time` is the run's end time (duration or
+    /// saturation instant) and `result` is 0 (there is no single root).
+    #[serde(default)]
+    pub open: Option<OpenMetrics>,
 }
 
 impl Report {
@@ -190,7 +255,10 @@ impl Report {
     /// execute; superseded attempts may still be in queues at completion),
     /// so the equality relaxes to an upper bound there.
     pub fn check_invariants(&self) {
-        if self.faults.any() {
+        if self.faults.any() || self.open.is_some() {
+            // Open runs end at a time horizon, not at quiescence: goals
+            // still queued or in flight at the horizon were created but
+            // never executed.
             assert!(
                 self.goals_executed <= self.goals_created,
                 "more goals executed than created"
@@ -269,6 +337,7 @@ mod tests {
             seed: 1,
             faults: FaultMetrics::default(),
             profile: None,
+            open: None,
         }
     }
 
@@ -349,6 +418,33 @@ mod tests {
         // A percentage smuggled into the fraction-unit field must trip.
         r.avg_utilization = 50.0;
         r.check_invariants();
+    }
+
+    #[test]
+    fn invariants_relax_conservation_on_open_runs() {
+        let mut r = dummy(1.0);
+        r.goals_created = 5; // 2 still queued when the horizon hit
+        r.open = Some(OpenMetrics {
+            outcome: OpenOutcome::Completed,
+            duration: 100,
+            warmup: 10,
+            arrivals: 3,
+            completions: 1,
+            completions_measured: 1,
+            inflight_at_end: 2,
+            offered_rate: 30.0,
+            throughput: 11.1,
+            sojourn_mean: 12.0,
+            sojourn_p50: 12,
+            sojourn_p95: 12,
+            sojourn_p99: 12,
+            sojourn_max: 12,
+            qlen_time_avg: 0.5,
+            qlen_p95: 2,
+        });
+        r.check_invariants();
+        assert!(!r.open.as_ref().unwrap().outcome.is_saturated());
+        assert!(OpenOutcome::Saturated { at: 5, inflight: 9 }.is_saturated());
     }
 
     #[test]

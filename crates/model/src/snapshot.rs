@@ -25,13 +25,15 @@
 
 use oracle_des::snapshot::{SnapError, SnapReader, SnapWriter};
 use oracle_des::{
-    BusyTracker, FastHashMap, Histogram, IntervalSeries, OnlineStats, QueueSnapshot, Rng, SimTime,
+    BusyTracker, FastHashMap, Histogram, IntervalSeries, LogHistogram, OnlineStats, QueueSnapshot,
+    Rng, SimTime,
 };
 use oracle_topo::{ChannelId, PeId};
 
 use crate::channel::Channel;
 use crate::machine::{Event, Machine, Outstanding};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
+use crate::open::{Inflight, OpenState, ProcessState};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
 use crate::program::{Expansion, TaskList, TaskSpec};
 use crate::strategy::StrategyState;
@@ -41,7 +43,10 @@ use crate::SimError;
 pub const SNAPSHOT_MAGIC: u32 = 0x4D53_4E50;
 /// Version of the machine snapshot layout. Bumped on any layout change;
 /// restore refuses other versions rather than guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the open-traffic block (arrival RNG, process cursor, in-flight
+/// request table, sojourn/queue-length statistics).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a restore failed: the blob itself was undecodable, or it decoded
 /// fine but does not belong to this machine.
@@ -402,6 +407,7 @@ fn put_event(w: &mut SnapWriter, ev: &Event) {
             w.u8(9);
             w.u64(goal.0);
         }
+        Event::Arrival => w.u8(10),
     }
 }
 
@@ -417,6 +423,7 @@ fn get_event(r: &mut SnapReader) -> Result<Event, SnapError> {
         7 => Event::SlowStart(PeId(r.u32()?), r.u64()?),
         8 => Event::SlowEnd(PeId(r.u32()?)),
         9 => Event::AckTimeout(GoalId(r.u64()?)),
+        10 => Event::Arrival,
         t => {
             return Err(SnapError::Invalid {
                 what: "event tag",
@@ -465,6 +472,140 @@ fn get_hist(r: &mut SnapReader) -> Result<Histogram, SnapError> {
     let total = r.u64()?;
     let sum = r.u64()?;
     Ok(Histogram::from_raw_parts(buckets, overflow, total, sum))
+}
+
+fn put_log_hist(w: &mut SnapWriter, h: &LogHistogram) {
+    let (buckets, total, sum, max) = h.raw_parts();
+    w.usize(buckets.len());
+    for &b in buckets {
+        w.u64(b);
+    }
+    w.u64(total);
+    w.f64(sum);
+    w.u64(max);
+}
+
+fn get_log_hist(r: &mut SnapReader) -> Result<LogHistogram, SnapError> {
+    let n = r.usize()?;
+    if n != LogHistogram::new().raw_parts().0.len() {
+        return Err(SnapError::Invalid {
+            what: "log histogram bucket count",
+            value: n as u64,
+        });
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.u64()?);
+    }
+    let total = r.u64()?;
+    let sum = r.f64()?;
+    let max = r.u64()?;
+    Ok(LogHistogram::from_raw_parts(buckets, total, sum, max))
+}
+
+/// Serialize the mutable open-traffic state. The immutable parameters
+/// (rates, edge list, windows, threshold, trace entries) are rebuilt from
+/// the run configuration on restore; only the cursors, counters, tables,
+/// and statistics travel in the blob.
+fn put_open(w: &mut SnapWriter, open: &OpenState) {
+    put_rng(w, &open.rng);
+    match &open.process {
+        ProcessState::Poisson { .. } => w.u8(0),
+        ProcessState::Burst { on, phase_end, .. } => {
+            w.u8(1);
+            w.bool(*on);
+            w.u64(*phase_end);
+        }
+        ProcessState::Diurnal { .. } => w.u8(2),
+        ProcessState::Trace { idx, .. } => {
+            w.u8(3);
+            w.usize(*idx);
+        }
+    }
+    w.u32(open.edge_idx);
+    w.u64(open.next_request);
+    w.u64(open.arrivals_total);
+    w.u64(open.completions_total);
+    match open.saturated {
+        Some((at, inflight)) => {
+            w.bool(true);
+            w.u64(at);
+            w.u64(inflight);
+        }
+        None => w.bool(false),
+    }
+    w.u64(open.qlen_cur);
+    w.u64(open.qlen_last);
+    put_log_hist(w, &open.sojourn);
+    put_stats(w, &open.sojourn_stats);
+    put_log_hist(w, &open.qlen_hist);
+    // In-flight requests in sorted goal-id order — map iteration order
+    // must not leak into the blob.
+    let mut ids: Vec<GoalId> = open.inflight.keys().copied().collect();
+    ids.sort_unstable();
+    w.usize(ids.len());
+    for id in ids {
+        let infl = open.inflight[&id];
+        w.u64(id.0);
+        w.u64(infl.request);
+        w.u64(infl.arrived);
+    }
+}
+
+/// Restore state written by [`put_open`] into the freshly built
+/// [`OpenState`] (whose immutable parameters came from the configuration).
+fn get_open(r: &mut SnapReader, open: &mut OpenState) -> Result<(), RestoreFail> {
+    open.rng = get_rng(r)?;
+    let tag = r.u8()?;
+    match (&mut open.process, tag) {
+        (ProcessState::Poisson { .. }, 0) => {}
+        (ProcessState::Burst { on, phase_end, .. }, 1) => {
+            *on = r.bool()?;
+            *phase_end = r.u64()?;
+        }
+        (ProcessState::Diurnal { .. }, 2) => {}
+        (ProcessState::Trace { entries, idx }, 3) => {
+            let i = r.usize()?;
+            if i > entries.len() {
+                return Err(RestoreFail::Mismatch(format!(
+                    "snapshot arrival-trace cursor {i} exceeds this machine's trace \
+                     length {}",
+                    entries.len()
+                )));
+            }
+            *idx = i;
+        }
+        (_, t) => {
+            return Err(RestoreFail::Mismatch(format!(
+                "snapshot arrival process (tag {t}) does not match this machine's \
+                 configured process"
+            )))
+        }
+    }
+    open.edge_idx = r.u32()?;
+    open.next_request = r.u64()?;
+    open.arrivals_total = r.u64()?;
+    open.completions_total = r.u64()?;
+    open.saturated = if r.bool()? {
+        Some((r.u64()?, r.u64()?))
+    } else {
+        None
+    };
+    open.qlen_cur = r.u64()?;
+    open.qlen_last = r.u64()?;
+    open.sojourn = get_log_hist(r)?;
+    open.sojourn_stats = get_stats(r)?;
+    open.qlen_hist = get_log_hist(r)?;
+    open.inflight = FastHashMap::default();
+    for _ in 0..r.usize()? {
+        let id = GoalId(r.u64()?);
+        let infl = Inflight {
+            request: r.u64()?,
+            arrived: r.u64()?,
+        };
+        open.inflight.insert(id, infl);
+    }
+    Ok(())
 }
 
 fn put_busy(w: &mut SnapWriter, b: &BusyTracker) {
@@ -727,6 +868,15 @@ impl Machine {
         w.u64(f.duplicate_responses);
         w.u64(f.retries_exhausted);
         put_stats(&mut w, &f.recovery_latency);
+        // Open-traffic runtime state; presence must match the restoring
+        // machine's configuration.
+        match self.core.open.as_deref() {
+            Some(open) => {
+                w.bool(true);
+                put_open(&mut w, open);
+            }
+            None => w.bool(false),
+        }
         for pe in &self.core.pes {
             put_pe(&mut w, pe);
         }
@@ -835,6 +985,22 @@ impl Machine {
         self.core.faults.duplicate_responses = r.u64()?;
         self.core.faults.retries_exhausted = r.u64()?;
         self.core.faults.recovery_latency = get_stats(&mut r)?;
+        let has_open = r.bool()?;
+        match (has_open, self.core.open.as_deref_mut()) {
+            (true, Some(open)) => get_open(&mut r, open)?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(RestoreFail::Mismatch(
+                    "snapshot is of an open-traffic run but this machine is a closed run".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(RestoreFail::Mismatch(
+                    "snapshot is of a closed run but this machine has open traffic configured"
+                        .into(),
+                ))
+            }
+        }
         for pe in &mut self.core.pes {
             get_pe(&mut r, pe)?;
         }
@@ -879,6 +1045,7 @@ mod tests {
     use crate::cost::CostModel;
     use crate::faults::{FaultPlan, RecoveryParams};
     use crate::machine::Core;
+    use crate::open::{ArrivalSpec, OpenTraffic};
     use crate::program::Program;
     use crate::strategy::Strategy;
     use oracle_topo::misc::ring;
@@ -999,6 +1166,42 @@ mod tests {
             ..MachineConfig::default().with_seed(11)
         };
         resume_matches_uninterrupted(cfg);
+    }
+
+    #[test]
+    fn open_resume_is_bit_identical_mid_measurement_window() {
+        let spec: ArrivalSpec = "poisson:5".parse().unwrap();
+        let cfg = MachineConfig {
+            open: Some(OpenTraffic {
+                warmup: 200,
+                ..OpenTraffic::new(spec, 2000)
+            }),
+            ..MachineConfig::default().with_seed(9)
+        };
+        // Early pause (still in warmup).
+        resume_matches_uninterrupted(cfg.clone());
+
+        // Pause well inside the measurement window, where sojourn samples
+        // and the in-flight table are non-trivial.
+        let mut plain = machine(cfg.clone());
+        plain.begin();
+        let baseline = run_to_end(plain);
+
+        let mut first = machine(cfg.clone());
+        first.begin();
+        let done = first.advance_until(Some(900)).unwrap();
+        assert!(!done, "open run should pause before its horizon");
+        let bytes = first.snapshot_bytes();
+        assert_eq!(run_to_end(first), baseline);
+
+        let mut resumed = machine(cfg);
+        resumed.restore_bytes(&bytes).unwrap();
+        assert_eq!(run_to_end(resumed), baseline);
+
+        // An open snapshot refuses a closed machine (and vice versa).
+        let mut closed = machine(MachineConfig::default().with_seed(9));
+        let err = closed.restore_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("open-traffic"), "{err}");
     }
 
     #[test]

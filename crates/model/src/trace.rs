@@ -90,6 +90,23 @@ pub enum TraceEvent {
     PeSlowed { t: u64, pe: PeId, factor: u64 },
     /// The slowdown window on `pe` closed.
     PeRestored { t: u64, pe: PeId },
+    /// Open traffic: request `request` arrived and entered as root goal
+    /// `goal` at `pe`.
+    RequestArrived {
+        t: u64,
+        request: u64,
+        goal: GoalId,
+        pe: PeId,
+    },
+    /// Open traffic: the request that entered as `goal` produced its
+    /// result on `pe`, `sojourn` time units after arriving.
+    RequestCompleted {
+        t: u64,
+        request: u64,
+        goal: GoalId,
+        pe: PeId,
+        sojourn: u64,
+    },
 }
 
 impl TraceEvent {
@@ -113,7 +130,9 @@ impl TraceEvent {
             | TraceEvent::GoalRespawned { t, .. }
             | TraceEvent::DuplicateResponse { t, .. }
             | TraceEvent::PeSlowed { t, .. }
-            | TraceEvent::PeRestored { t, .. } => t,
+            | TraceEvent::PeRestored { t, .. }
+            | TraceEvent::RequestArrived { t, .. }
+            | TraceEvent::RequestCompleted { t, .. } => t,
         }
     }
 }
@@ -213,6 +232,27 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::PeRestored { t, pe } => {
                 write!(f, "[{t:>8}] {pe} back to full speed")
             }
+            TraceEvent::RequestArrived {
+                t,
+                request,
+                goal,
+                pe,
+            } => write!(
+                f,
+                "[{t:>8}] request {request} arrived at {pe} as goal {}",
+                goal.0
+            ),
+            TraceEvent::RequestCompleted {
+                t,
+                request,
+                goal,
+                pe,
+                sojourn,
+            } => write!(
+                f,
+                "[{t:>8}] request {request} (goal {}) completed on {pe}, sojourn {sojourn}",
+                goal.0
+            ),
         }
     }
 }
@@ -491,6 +531,30 @@ mod tests {
         assert_eq!(restored.time(), 48);
         assert!(slowed.to_string().contains("slowed x4"));
         assert!(restored.to_string().contains("full speed"));
+    }
+
+    #[test]
+    fn open_traffic_events_format_and_report_time() {
+        let e = TraceEvent::RequestArrived {
+            t: 50,
+            request: 12,
+            goal: GoalId(77),
+            pe: PeId(3),
+        };
+        assert_eq!(e.time(), 50);
+        assert!(e.to_string().contains("request 12 arrived"));
+        assert!(e.to_string().contains("goal 77"));
+
+        let e = TraceEvent::RequestCompleted {
+            t: 51,
+            request: 12,
+            goal: GoalId(77),
+            pe: PeId(4),
+            sojourn: 41,
+        };
+        assert_eq!(e.time(), 51);
+        assert!(e.to_string().contains("request 12"));
+        assert!(e.to_string().contains("sojourn 41"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod cyclic;
 pub mod dc;
 pub mod fib;
 pub mod lopsided;
+pub mod open;
 pub mod random_tree;
 pub mod spec;
 pub mod tak;
@@ -29,8 +30,9 @@ pub use cyclic::Cyclic;
 pub use dc::DivideConquer;
 pub use fib::Fibonacci;
 pub use lopsided::Lopsided;
+pub use open::{AnyWorkload, OpenWorkload, OPEN_WORKLOAD_GRAMMAR};
 pub use random_tree::RandomTree;
-pub use spec::WorkloadSpec;
+pub use spec::{WorkloadSpec, WORKLOAD_GRAMMAR};
 pub use tak::Tak;
 
 /// The paper's six Fibonacci problem sizes.

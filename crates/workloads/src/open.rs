@@ -1,0 +1,164 @@
+//! The `open:` workload family — an arrival process paired with the task
+//! subtree each arriving request spawns.
+//!
+//! Closed workloads (`fib:18`, `dc:4181`, ...) run one task tree to
+//! completion; an open workload keeps injecting fresh trees at edge PEs for
+//! a fixed duration, which is the regime steady-state latency and capacity
+//! questions live in. The combined spec reads
+//! `open:ARRIVAL/WORKLOAD`, e.g. `open:poisson:5@all/fib:11` — the last `/`
+//! separates the two halves, so `trace:` file paths containing slashes stay
+//! intact.
+
+use std::fmt;
+use std::str::FromStr;
+
+use oracle_model::{ArrivalSpec, OpenTraffic, ARRIVAL_GRAMMAR};
+
+use crate::spec::{ParseWorkloadError, WorkloadSpec, WORKLOAD_GRAMMAR};
+
+/// The accepted open-workload grammar, quoted in every parse error.
+pub const OPEN_WORKLOAD_GRAMMAR: &str = "open:ARRIVAL/WORKLOAD";
+
+/// An arrival process plus the per-request task subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenWorkload {
+    /// What each arriving request computes.
+    pub workload: WorkloadSpec,
+    /// When and where requests arrive.
+    pub arrivals: ArrivalSpec,
+}
+
+impl OpenWorkload {
+    /// Build the traffic config for this workload with the given duration.
+    pub fn traffic(&self, duration: u64) -> OpenTraffic {
+        OpenTraffic::new(self.arrivals.clone(), duration)
+    }
+}
+
+impl fmt::Display for OpenWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "open:{}/{}", self.arrivals, self.workload)
+    }
+}
+
+impl FromStr for OpenWorkload {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |what: String| {
+            ParseWorkloadError(format!(
+                "{what}; expected {OPEN_WORKLOAD_GRAMMAR} where ARRIVAL is \
+                 {ARRIVAL_GRAMMAR} and WORKLOAD is {WORKLOAD_GRAMMAR}"
+            ))
+        };
+        let rest = s
+            .strip_prefix("open:")
+            .ok_or_else(|| err(format!("{s:?} does not start with `open:`")))?;
+        let (arrival, workload) = rest
+            .rsplit_once('/')
+            .ok_or_else(|| err(format!("{s:?} has no `/` between arrival and workload")))?;
+        let arrivals: ArrivalSpec = arrival.parse().map_err(|e| err(format!("{e}")))?;
+        let workload: WorkloadSpec = workload.parse().map_err(|e| err(format!("{e}")))?;
+        Ok(OpenWorkload { workload, arrivals })
+    }
+}
+
+/// Either a closed workload or an open one — what a CLI workload token or a
+/// suite line denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyWorkload {
+    /// A single task tree run to completion.
+    Closed(WorkloadSpec),
+    /// An arrival process spawning task trees for a fixed duration.
+    Open(OpenWorkload),
+}
+
+impl AnyWorkload {
+    /// The per-task-tree workload in either case.
+    pub fn workload(&self) -> WorkloadSpec {
+        match self {
+            AnyWorkload::Closed(w) => *w,
+            AnyWorkload::Open(o) => o.workload,
+        }
+    }
+}
+
+impl fmt::Display for AnyWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyWorkload::Closed(w) => w.fmt(f),
+            AnyWorkload::Open(o) => o.fmt(f),
+        }
+    }
+}
+
+impl FromStr for AnyWorkload {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("open:") {
+            Ok(AnyWorkload::Open(s.parse()?))
+        } else {
+            Ok(AnyWorkload::Closed(s.parse()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_combined_specs() {
+        for s in [
+            "open:poisson:5/fib:11",
+            "open:burst:8x1x200x800@root/dc:1x55",
+            "open:diurnal:6x5000@0,3/random:200x4x3x7",
+        ] {
+            let parsed: OpenWorkload = s.parse().unwrap();
+            assert_eq!(parsed.to_string(), s);
+            let any: AnyWorkload = s.parse().unwrap();
+            assert_eq!(any, AnyWorkload::Open(parsed));
+        }
+    }
+
+    #[test]
+    fn trace_paths_keep_their_slashes() {
+        let o: OpenWorkload = "open:trace:/tmp/a/b.txt@all/fib:9".parse().unwrap();
+        assert_eq!(o.workload, WorkloadSpec::fib(9));
+        assert_eq!(o.arrivals.to_string(), "trace:/tmp/a/b.txt");
+    }
+
+    #[test]
+    fn errors_name_the_broken_half() {
+        let cases = [
+            ("open:poisson:5", "no `/`"),
+            ("open:poisson:zap/fib:9", "\"zap\""),
+            ("open:poisson:5/fib:bad", "\"bad\""),
+            ("poisson:5/fib:9", "does not start with `open:`"),
+        ];
+        for (bad, needle) in cases {
+            let msg = bad.parse::<OpenWorkload>().unwrap_err().to_string();
+            assert!(msg.contains(needle), "{bad:?}: {msg}");
+            assert!(msg.contains(OPEN_WORKLOAD_GRAMMAR), "{bad:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn any_workload_dispatches_on_prefix() {
+        let c: AnyWorkload = "fib:9".parse().unwrap();
+        assert_eq!(c, AnyWorkload::Closed(WorkloadSpec::fib(9)));
+        assert_eq!(c.workload(), WorkloadSpec::fib(9));
+        let o: AnyWorkload = "open:poisson:3/fib:9".parse().unwrap();
+        assert_eq!(o.workload(), WorkloadSpec::fib(9));
+        assert!("open:junk".parse::<AnyWorkload>().is_err());
+    }
+
+    #[test]
+    fn traffic_builder_applies_duration() {
+        let o: OpenWorkload = "open:poisson:5/fib:9".parse().unwrap();
+        let t = o.traffic(10_000);
+        assert_eq!(t.duration, 10_000);
+        assert_eq!(t.warmup, 1_000);
+    }
+}

@@ -111,7 +111,13 @@ impl fmt::Display for WorkloadSpec {
     }
 }
 
+/// The accepted workload grammar, quoted in every parse error.
+pub const WORKLOAD_GRAMMAR: &str = "fib:N | dc:N | dc:MxN | lopsided:BUDGETxSKEW \
+     | random:BUDGETxKIDSxSPREADxSEED | cyclic:PHASESxWIDTHxLEAVES | tak:XxYxZ";
+
 /// Error parsing a [`WorkloadSpec`] from a string.
+///
+/// The message names the offending token and quotes the valid grammar.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseWorkloadError(pub String);
 
@@ -127,12 +133,23 @@ impl FromStr for WorkloadSpec {
     type Err = ParseWorkloadError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseWorkloadError(s.to_string());
-        let (kind, args) = s.split_once(':').ok_or_else(err)?;
+        let err = |what: String| ParseWorkloadError(format!("{what}; expected {WORKLOAD_GRAMMAR}"));
+        let (kind, args) = s
+            .split_once(':')
+            .ok_or_else(|| err(format!("{s:?} has no `:` between kind and arguments")))?;
         let nums: Vec<i64> = args
             .split('x')
-            .map(|p| p.parse().map_err(|_| err()))
+            .map(|p| {
+                p.parse()
+                    .map_err(|_| err(format!("{p:?} in {s:?} is not an integer")))
+            })
             .collect::<Result<_, _>>()?;
+        let arity = |want: &str| {
+            err(format!(
+                "{kind}: takes {want} argument(s), got {} in {s:?}",
+                nums.len()
+            ))
+        };
         match (kind, nums.as_slice()) {
             ("fib", [n]) => Ok(WorkloadSpec::fib(*n)),
             ("dc", [x]) => Ok(WorkloadSpec::dc(*x)),
@@ -157,7 +174,12 @@ impl FromStr for WorkloadSpec {
                 y: *y,
                 z: *z,
             }),
-            _ => Err(err()),
+            ("fib", _) => Err(arity("1")),
+            ("dc", _) => Err(arity("1 or 2")),
+            ("lopsided", _) => Err(arity("2")),
+            ("random", _) => Err(arity("4")),
+            ("cyclic", _) | ("tak", _) => Err(arity("3")),
+            _ => Err(err(format!("unknown workload kind {kind:?}"))),
         }
     }
 }
@@ -207,6 +229,21 @@ mod tests {
     fn parse_rejects_nonsense() {
         for bad in ["", "fib", "fib:x", "dc:1x2x3", "nope:1"] {
             assert!(bad.parse::<WorkloadSpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_token_and_grammar() {
+        let cases = [
+            ("fib", "no `:`"),
+            ("fib:x", "is not an integer"),
+            ("dc:1x2x3", "takes 1 or 2 argument(s), got 3"),
+            ("nope:1", "unknown workload kind \"nope\""),
+        ];
+        for (bad, needle) in cases {
+            let msg = bad.parse::<WorkloadSpec>().unwrap_err().to_string();
+            assert!(msg.contains(needle), "{bad:?}: {msg}");
+            assert!(msg.contains(WORKLOAD_GRAMMAR), "{bad:?}: {msg}");
         }
     }
 }

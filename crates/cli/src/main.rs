@@ -138,12 +138,24 @@ commands:
             [--faults PLAN|@FILE] [--audit-every N]
             [--checkpoint-every T [--checkpoint-dir DIR]] [--resume FILE]
             [--arrivals SPEC] [--duration T] [--warmup T]
+            [--deadline T] [--retry MAXxBASE] [--admission POLICY]
+            [--breaker COOLDOWN]
             run one simulation and print its report;
             --arrivals SPEC switches to open-system traffic: requests
             arrive per SPEC, each spawning one task tree of --workload,
             for --duration sim units (default 20000) with the first
             --warmup units (default duration/10) excluded from latency
             statistics; `--workload open:ARRIVAL/WORKLOAD` is equivalent;
+            --deadline T abandons requests whose sojourn exceeds T (a
+            completion past it is a dead loss, not a success);
+            --retry MAXxBASE re-injects requests lost to crashes or link
+            faults, up to MAX times with exponential backoff from BASE
+            (jittered, from a dedicated RNG stream — deterministic);
+            --admission POLICY sheds arrivals at the door: queue:N (total
+            queued goals), util:F (mean utilization threshold), or
+            bucket:RATExBURST (token bucket, RATE per 1000 units);
+            --breaker COOLDOWN stops routing into a crashed neighborhood
+            until COOLDOWN units after the region recovers;
             --trace-out exports the event trace (default format jsonl;
             chrome produces a Perfetto-loadable trace_event file);
             --trace-last N ring-buffers the *last* N events instead of
@@ -173,7 +185,8 @@ commands:
   batch FILE [--csv] [--threads N] [--profile]
             run a suite file (lines of:
             TOPOLOGY STRATEGY WORKLOAD [seed=N] [faults=PLAN]
-            [arrivals=SPEC] [duration=T] [warmup=T]);
+            [arrivals=SPEC] [duration=T] [warmup=T] [deadline=T]
+            [retry=MAXxBASE] [admission=POLICY] [breaker=COOLDOWN]);
             --threads caps the worker pool (default: all cores; results
             are identical at any thread count);
             --profile profiles every run and prints the merged roll-up
@@ -184,7 +197,12 @@ commands:
             resilience [--json] (fault-injection extension) |
             capacity [--json] (open-traffic extension: binary-search the
             max sustainable Poisson arrival rate per strategy x topology
-            holding a p99 sojourn target)
+            holding a p99 sojourn target) |
+            degradation [--json] [--check] (overload extension: goodput
+            under overload x fault intensity, unprotected vs the full
+            deadline+retry+admission+breaker stack; --check additionally
+            asserts goodput degrades monotonically and every run
+            conserves arrivals, exiting 2 on violation)
   topo-info T [T ...] [--dot]
             print PEs, channels, diameter, mean distance — or Graphviz DOT
   list      list the available spec grammars
@@ -206,8 +224,11 @@ spec grammars:
   faults:   `+`-separated terms of crash:PE@T | link:CH@DOWN..UP | loss:P% |
             slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none
 
-exit codes: 0 success | 2 simulation failed (invariant violation, goals
-            lost, stall, …) | 3 configuration or I/O error
+exit codes: 0 success (saturation is a measured outcome, not a failure) |
+            2 simulation failed (invariant violation, goals lost, stall,
+            …) | 3 configuration or I/O error | 4 overloaded (admission
+            control shed the majority of arrivals) | 5 deadline exhausted
+            (no request ever completed within its deadline)
             failures print one line to stderr: error[CLASS]: message";
 
 /// Pull `--flag value` pairs and boolean flags out of an argument list.
@@ -300,17 +321,74 @@ fn parse_open_flags(flags: &Flags, workload: &AnyWorkload) -> Result<Option<Open
         (AnyWorkload::Closed(_), None) => None,
     };
     let Some(arrivals) = arrivals else {
-        if flags.value_of("--duration").is_some() || flags.value_of("--warmup").is_some() {
-            return Err(Failure::config(
-                "--duration/--warmup require --arrivals SPEC or an open: workload",
-            ));
+        for flag in [
+            "--duration",
+            "--warmup",
+            "--deadline",
+            "--retry",
+            "--admission",
+            "--breaker",
+        ] {
+            if flags.value_of(flag).is_some() {
+                return Err(Failure::config(format!(
+                    "{flag} requires --arrivals SPEC or an open: workload"
+                )));
+            }
         }
         return Ok(None);
     };
     let duration: u64 = flags.parse("--duration", oracle::runner::DEFAULT_OPEN_DURATION)?;
     let mut open = OpenTraffic::new(arrivals, duration);
     open.warmup = flags.parse("--warmup", open.warmup)?;
+    if let Some(v) = flags.value_of("--deadline") {
+        open.deadline = Some(
+            v.parse()
+                .map_err(|e| Failure::config(format!("--deadline {v:?}: {e}")))?,
+        );
+    }
+    if let Some(v) = flags.value_of("--retry") {
+        open.retry = Some(
+            v.parse::<RetryPolicy>()
+                .map_err(|e| Failure::config(format!("--retry {v:?}: {e}")))?,
+        );
+    }
+    if let Some(v) = flags.value_of("--admission") {
+        open.admission = Some(
+            v.parse::<AdmissionPolicy>()
+                .map_err(|e| Failure::config(format!("--admission {v:?}: {e}")))?,
+        );
+    }
+    if let Some(v) = flags.value_of("--breaker") {
+        open.breaker = Some(
+            v.parse()
+                .map_err(|e| Failure::config(format!("--breaker {v:?}: {e}")))?,
+        );
+    }
     Ok(Some(open))
+}
+
+/// Classify a degraded open-traffic outcome after its report was printed:
+/// `Overloaded` and `DeadlineExhausted` earn their own exit codes so CI can
+/// branch on them, while `Saturated` stays a success (the trip wire is the
+/// capacity search's measurement instrument, not a failure).
+fn open_outcome_failure(report: &Report) -> Result<(), Failure> {
+    match report.open.as_ref().map(|o| &o.outcome) {
+        Some(OpenOutcome::Overloaded { shed, arrivals }) => Err(Failure {
+            kind: "overloaded",
+            code: 4,
+            message: format!(
+                "admission control shed the majority of arrivals ({shed} of {arrivals})"
+            ),
+        }),
+        Some(OpenOutcome::DeadlineExhausted { abandoned }) => Err(Failure {
+            kind: "deadline-exhausted",
+            code: 5,
+            message: format!(
+                "no request ever completed within its deadline ({abandoned} abandoned)"
+            ),
+        }),
+        _ => Ok(()),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), Failure> {
@@ -344,7 +422,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
             config.workload, config.topology, config.strategy
         );
         print_report(&report, &flags);
-        return Ok(());
+        return open_outcome_failure(&report);
     }
 
     let topology: TopologySpec = flags.parse("--topology", TopologySpec::grid(10))?;
@@ -390,7 +468,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
             println!("checkpoint: {}", path.display());
         }
         print_report(&out.report, &flags);
-        return Ok(());
+        return open_outcome_failure(&out.report);
     }
 
     let (report, trace) = config.run_traced().map_err(sim_failure)?;
@@ -453,7 +531,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
         println!("\nevent trace ({which} {} events):", trace.len());
         print!("{}", trace.render());
     }
-    Ok(())
+    open_outcome_failure(&report)
 }
 
 /// `trace-check FILE [--format jsonl|chrome]` — structural validation of an
@@ -522,6 +600,15 @@ fn print_report(report: &Report, flags: &Flags) {
                     println!("saturated_at,{at}");
                     println!("saturated_inflight,{inflight}");
                 }
+                OpenOutcome::Overloaded { shed, arrivals } => {
+                    println!("open_outcome,overloaded");
+                    println!("overloaded_shed,{shed}");
+                    println!("overloaded_arrivals,{arrivals}");
+                }
+                OpenOutcome::DeadlineExhausted { abandoned } => {
+                    println!("open_outcome,deadline-exhausted");
+                    println!("deadline_abandoned,{abandoned}");
+                }
             }
             println!("open_duration,{}", o.duration);
             println!("open_warmup,{}", o.warmup);
@@ -531,6 +618,17 @@ fn print_report(report: &Report, flags: &Flags) {
             println!("inflight_at_end,{}", o.inflight_at_end);
             println!("offered_rate,{:.4}", o.offered_rate);
             println!("throughput,{:.4}", o.throughput);
+            println!("goodput,{:.4}", o.goodput);
+            if let Some(d) = o.deadline {
+                println!("deadline,{d}");
+            }
+            println!("shed,{}", o.shed);
+            println!("shed_rate,{:.4}", o.shed_rate);
+            println!("abandoned_deadline,{}", o.abandoned_deadline);
+            println!("abandoned_retries,{}", o.abandoned_retries);
+            println!("abandonment_rate,{:.4}", o.abandonment_rate);
+            println!("retries,{}", o.retries);
+            println!("breaker_opens,{}", o.breaker_opens);
             println!("sojourn_mean,{:.2}", o.sojourn_mean);
             println!("sojourn_p50,{}", o.sojourn_p50);
             println!("sojourn_p95,{}", o.sojourn_p95);
@@ -580,6 +678,12 @@ fn print_report(report: &Report, flags: &Flags) {
                 OpenOutcome::Saturated { at, inflight } => {
                     format!("SATURATED at t={at} ({inflight} requests in flight)")
                 }
+                OpenOutcome::Overloaded { shed, arrivals } => {
+                    format!("OVERLOADED ({shed} of {arrivals} arrivals shed at the door)")
+                }
+                OpenOutcome::DeadlineExhausted { abandoned } => {
+                    format!("DEADLINE EXHAUSTED ({abandoned} requests blew their budget)")
+                }
             };
             println!(
                 "  open traffic      {outcome} (duration {}, warmup {})",
@@ -590,9 +694,23 @@ fn print_report(report: &Report, flags: &Flags) {
                 o.arrivals, o.completions, o.completions_measured, o.inflight_at_end
             );
             println!(
-                "  rates             offered {:.2} / carried {:.2} req per 1000 units",
-                o.offered_rate, o.throughput
+                "  rates             offered {:.2} / carried {:.2} / useful {:.2} req per \
+                 1000 units",
+                o.offered_rate, o.throughput, o.goodput
             );
+            if o.deadline.is_some() || o.shed > 0 || o.retries > 0 {
+                println!(
+                    "  overload          {} shed ({:.1} %) / {} past deadline / {} out of \
+                     retries ({:.1} % abandoned) / {} retries / {} breaker opens",
+                    o.shed,
+                    o.shed_rate * 100.0,
+                    o.abandoned_deadline,
+                    o.abandoned_retries,
+                    o.abandonment_rate * 100.0,
+                    o.retries,
+                    o.breaker_opens
+                );
+            }
             println!(
                 "  sojourn           mean {:.1} / p50 {} / p95 {} / p99 {} / max {} units",
                 o.sojourn_mean, o.sojourn_p50, o.sojourn_p95, o.sojourn_p99, o.sojourn_max
@@ -674,7 +792,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
 
 fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
     use oracle::experiments::{
-        ablations, appendix, capacity, plots, resilience, table1, table2, table3, Fidelity,
+        ablations, appendix, capacity, degradation, plots, resilience, table1, table2, table3,
+        Fidelity,
     };
     use oracle::topo::TopologySpec as T;
 
@@ -741,6 +860,53 @@ fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
                         best.topology, best.strategy, best.max_rate
                     );
                 }
+            }
+        }
+        "degradation" => {
+            let cells = degradation::run(fidelity, seed);
+            let checked = if flags.has("--check") {
+                degradation::verify(&cells).map_err(|e| Failure {
+                    kind: "degradation",
+                    code: 2,
+                    message: format!("degradation physics check failed:\n{e}"),
+                })?;
+                true
+            } else {
+                false
+            };
+            if flags.has("--json") {
+                println!("{}", degradation::to_json(&cells));
+            } else {
+                println!("{}", degradation::render(&cells, fidelity));
+                // Prefer the best *finite* ratio for the headline: where the
+                // unprotected baseline preserved nothing the ratio is inf,
+                // which is the common case, not the interesting one.
+                let finite = cells
+                    .iter()
+                    .filter(|c| c.protection_ratio().is_finite() && c.protection_ratio() > 0.0)
+                    .max_by(|a, b| a.protection_ratio().total_cmp(&b.protection_ratio()));
+                if let Some(best) = finite {
+                    println!(
+                        "best protection: {}/{} under {} faults preserves {:.1}x the \
+                         unprotected goodput (--json for per-cell data)",
+                        best.topology,
+                        best.strategy,
+                        best.fault_name(),
+                        best.protection_ratio()
+                    );
+                } else if cells.iter().any(|c| c.protection_ratio().is_infinite()) {
+                    println!(
+                        "best protection: the protected stack preserved goodput in every \
+                         cell where the unprotected baseline preserved none \
+                         (--json for per-cell data)"
+                    );
+                }
+            }
+            if checked {
+                println!(
+                    "checks passed: goodput monotone non-increasing in fault intensity; \
+                     every run conserves arrivals"
+                );
             }
         }
         "plots-dc-grid" | "plots-dc-dlm" | "plots-fib" => {
@@ -1123,6 +1289,110 @@ mod tests {
     fn experiment_capacity_quick_smoke() {
         cmd_experiment(&flags(&["capacity", "--quick"])).expect("capacity quick");
         cmd_experiment(&flags(&["capacity", "--quick", "--json"])).expect("capacity json");
+    }
+
+    #[test]
+    fn experiment_degradation_quick_smoke() {
+        cmd_experiment(&flags(&["degradation", "--quick", "--check"])).expect("degradation quick");
+        cmd_experiment(&flags(&["degradation", "--quick", "--json"])).expect("degradation json");
+    }
+
+    #[test]
+    fn run_command_overload_flags_smoke() {
+        let a = flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:8",
+            "--arrivals",
+            "poisson:4",
+            "--duration",
+            "2000",
+            "--warmup",
+            "200",
+            "--deadline",
+            "1500",
+            "--retry",
+            "2x100",
+            "--admission",
+            "queue:32",
+            "--breaker",
+            "300",
+            "--faults",
+            "crash:5@600",
+            "--csv",
+        ]);
+        cmd_run(&a).expect("a lightly loaded protected run completes");
+    }
+
+    #[test]
+    fn overload_flags_require_arrivals_and_valid_grammars() {
+        for flag in ["--deadline", "--retry", "--admission", "--breaker"] {
+            let err = cmd_run(&flags(&[flag, "1x1"])).unwrap_err();
+            assert_eq!((err.kind, err.code), ("config", 3));
+            assert!(err.message.contains("--arrivals"), "{}", err.message);
+        }
+        for (flag, bad) in [
+            ("--deadline", "soon"),
+            ("--retry", "zz"),
+            ("--admission", "magic:9"),
+            ("--breaker", "-4"),
+        ] {
+            let err = cmd_run(&flags(&["--arrivals", "poisson:4", flag, bad])).unwrap_err();
+            assert_eq!((err.kind, err.code), ("config", 3));
+            assert!(err.message.contains(flag), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn degraded_open_outcomes_map_to_their_exit_codes() {
+        // A tight token bucket in front of a hopeless offered load sheds
+        // the majority of arrivals: exit 4, class "overloaded".
+        let err = cmd_run(&flags(&[
+            "--topology",
+            "ring:4",
+            "--strategy",
+            "local",
+            "--workload",
+            "fib:8",
+            "--arrivals",
+            "poisson:400",
+            "--duration",
+            "3000",
+            "--warmup",
+            "100",
+            "--admission",
+            "bucket:1x2",
+            "--csv",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.kind, err.code), ("overloaded", 4), "{}", err.message);
+
+        // A deadline below the fastest possible sojourn is unservable:
+        // exit 5, class "deadline-exhausted".
+        let err = cmd_run(&flags(&[
+            "--topology",
+            "grid:4",
+            "--strategy",
+            "cwn:4x1",
+            "--workload",
+            "fib:8",
+            "--arrivals",
+            "poisson:2",
+            "--duration",
+            "3000",
+            "--deadline",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            (err.kind, err.code),
+            ("deadline-exhausted", 5),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ use std::time::Duration;
 
 use oracle_des::Rng;
 use oracle_model::{
-    CostModel, FaultPlan, LinkWindow, MachineConfig, PeCrash, RecoveryParams, SimError, Slowdown,
+    AdmissionPolicy, CostModel, FaultPlan, LinkWindow, MachineConfig, OpenTraffic, PeCrash,
+    RecoveryParams, RetryPolicy, SimError, Slowdown,
 };
 use oracle_strategies::StrategySpec;
 use oracle_topo::TopologySpec;
@@ -82,6 +83,10 @@ pub struct ChaosCase {
     /// The injected fault schedule (possibly empty: fault-free cases keep
     /// the auditor honest on the happy path too).
     pub plan: FaultPlan,
+    /// Open-arrival traffic for roughly a third of the cases, so the
+    /// harness fuzzes the open regime (arrivals × faults × overload
+    /// knobs), not just closed trees.
+    pub open: Option<OpenTraffic>,
 }
 
 impl ChaosCase {
@@ -97,6 +102,7 @@ impl ChaosCase {
                 audit_every: chaos.audit_every,
                 max_events: chaos.max_events,
                 fault_plan: self.plan.clone(),
+                open: self.open.clone(),
                 ..MachineConfig::default()
             },
         }
@@ -104,8 +110,12 @@ impl ChaosCase {
 
     /// One-line label for progress output.
     pub fn label(&self) -> String {
+        let open = match &self.open {
+            Some(o) => format!(" arrivals={}", o.arrivals),
+            None => String::new(),
+        };
         format!(
-            "case {:03}: {} {} {} seed={} faults={}",
+            "case {:03}: {} {} {} seed={} faults={}{open}",
             self.index, self.topology, self.strategy, self.workload, self.seed, self.plan
         )
     }
@@ -118,6 +128,24 @@ impl ChaosCase {
         );
         if !self.plan.is_empty() {
             line.push_str(&format!(" faults={}", self.plan));
+        }
+        if let Some(open) = &self.open {
+            line.push_str(&format!(
+                " arrivals={} duration={} warmup={}",
+                open.arrivals, open.duration, open.warmup
+            ));
+            if let Some(d) = open.deadline {
+                line.push_str(&format!(" deadline={d}"));
+            }
+            if let Some(p) = &open.retry {
+                line.push_str(&format!(" retry={p}"));
+            }
+            if let Some(p) = &open.admission {
+                line.push_str(&format!(" admission={p}"));
+            }
+            if let Some(c) = open.breaker {
+                line.push_str(&format!(" breaker={c}"));
+            }
         }
         line
     }
@@ -335,6 +363,56 @@ fn random_plan(rng: &mut Rng, num_pes: usize, num_channels: usize) -> FaultPlan 
     plan
 }
 
+/// Open-arrival traffic for roughly a third of the cases. Rates stay
+/// modest and horizons short (2000–6000) so a case still runs in
+/// milliseconds; the overload knobs are sampled independently so the
+/// auditor sees every combination of deadline × retry × admission ×
+/// breaker over time.
+fn random_open(rng: &mut Rng) -> Option<OpenTraffic> {
+    if rng.below(3) != 0 {
+        return None;
+    }
+    let spec = if rng.below(4) == 0 {
+        format!(
+            "burst:{}x1x{}x{}",
+            rng.range_inclusive(3, 8),
+            rng.range_inclusive(100, 300),
+            rng.range_inclusive(200, 500)
+        )
+    } else {
+        format!("poisson:{}", rng.range_inclusive(2, 8))
+    };
+    let spec = spec.parse().expect("generated arrival specs are valid");
+    let mut open = OpenTraffic::new(spec, rng.range_inclusive(2000, 6000));
+    if rng.below(2) == 0 {
+        open.deadline = Some(rng.range_inclusive(500, 3000));
+    }
+    if rng.below(2) == 0 {
+        open.retry = Some(RetryPolicy {
+            max: rng.range_inclusive(1, 4) as u32,
+            base: rng.range_inclusive(50, 300),
+        });
+    }
+    match rng.below(4) {
+        0 => {
+            open.admission = Some(AdmissionPolicy::QueueDepth {
+                max: rng.range_inclusive(4, 16),
+            })
+        }
+        1 => {
+            open.admission = Some(AdmissionPolicy::TokenBucket {
+                rate: rng.range_inclusive(2, 10) as f64,
+                burst: rng.range_inclusive(2, 8),
+            })
+        }
+        _ => {}
+    }
+    if rng.below(3) == 0 {
+        open.breaker = Some(rng.range_inclusive(200, 800));
+    }
+    Some(open)
+}
+
 /// Generate the full case list for a sweep (pure function of the config).
 pub fn generate_cases(config: &ChaosConfig) -> Vec<ChaosCase> {
     let mut rng = Rng::seed_from_u64(config.seed ^ 0xC4A0_5EED);
@@ -348,6 +426,7 @@ pub fn generate_cases(config: &ChaosConfig) -> Vec<ChaosCase> {
                 workload: random_workload(&mut rng),
                 seed: rng.below(1 << 32),
                 plan: random_plan(&mut rng, topo.num_pes(), topo.num_channels()),
+                open: random_open(&mut rng),
                 topology,
             }
         })
@@ -415,7 +494,8 @@ pub fn run_case(case: &ChaosCase, config: &ChaosConfig) -> ChaosOutcome {
 // ---------------------------------------------------------------------
 
 /// Every one-step reduction of a case: drop one fault-plan term, zero the
-/// loss rate, drop recovery, or shrink the workload.
+/// loss rate, drop recovery, drop one overload knob (or the open traffic
+/// wholesale), or shrink the workload.
 fn reductions(case: &ChaosCase) -> Vec<ChaosCase> {
     let mut out = Vec::new();
     let mut push = |f: &dyn Fn(&mut ChaosCase)| {
@@ -443,6 +523,21 @@ fn reductions(case: &ChaosCase) -> Vec<ChaosCase> {
     }
     if case.plan.recovery.is_some() {
         push(&|c: &mut ChaosCase| c.plan.recovery = None);
+    }
+    if let Some(open) = &case.open {
+        if open.deadline.is_some() {
+            push(&|c: &mut ChaosCase| c.open.as_mut().unwrap().deadline = None);
+        }
+        if open.retry.is_some() {
+            push(&|c: &mut ChaosCase| c.open.as_mut().unwrap().retry = None);
+        }
+        if open.admission.is_some() {
+            push(&|c: &mut ChaosCase| c.open.as_mut().unwrap().admission = None);
+        }
+        if open.breaker.is_some() {
+            push(&|c: &mut ChaosCase| c.open.as_mut().unwrap().breaker = None);
+        }
+        push(&|c: &mut ChaosCase| c.open = None);
     }
     match case.workload {
         WorkloadSpec::Fibonacci { n } if n > 8 => {
@@ -585,6 +680,34 @@ mod tests {
             assert_eq!(specs.len(), 1);
             assert_eq!(specs[0].config.machine.seed, case.seed);
             assert_eq!(specs[0].config.machine.fault_plan, case.plan);
+            assert_eq!(
+                specs[0].config.machine.open,
+                case.open,
+                "{}",
+                case.suite_line()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_samples_the_open_regime() {
+        let cases = generate_cases(&quick_config(48, 9));
+        let open: Vec<_> = cases.iter().filter_map(|c| c.open.as_ref()).collect();
+        assert!(
+            open.len() >= 8,
+            "only {} of 48 cases are open-arrival",
+            open.len()
+        );
+        assert!(
+            open.iter().any(|o| o.deadline.is_some())
+                && open.iter().any(|o| o.retry.is_some())
+                && open.iter().any(|o| o.admission.is_some())
+                && open.iter().any(|o| o.breaker.is_some()),
+            "overload knobs are not all exercised"
+        );
+        for o in open {
+            o.validate().expect("generated open traffic is valid");
+            assert!((2000..=6000).contains(&o.duration));
         }
     }
 

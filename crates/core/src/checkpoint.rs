@@ -37,7 +37,10 @@ pub const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50;
 ///
 /// v2 added the open-traffic configuration (arrival spec, measurement
 /// windows, saturation threshold) alongside the v2 machine snapshot.
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// v3 added the overload-protection knobs (deadline, retry policy,
+/// admission policy, breaker cooldown) alongside the v3 machine snapshot.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Everything that can go wrong writing, reading, or resuming a checkpoint.
 #[derive(Debug)]
@@ -146,6 +149,37 @@ fn put_config(w: &mut SnapWriter, config: &RunConfig) {
             w.u64(open.duration);
             w.u64(open.warmup);
             w.u64(open.saturation_inflight);
+            match open.deadline {
+                Some(d) => {
+                    w.bool(true);
+                    w.u64(d);
+                }
+                None => w.bool(false),
+            }
+            // Retry and admission policies travel in their compact string
+            // grammars (the same round-trippable Display/FromStr pairs the
+            // CLI flags use).
+            match &open.retry {
+                Some(p) => {
+                    w.bool(true);
+                    w.str(&p.to_string());
+                }
+                None => w.bool(false),
+            }
+            match &open.admission {
+                Some(p) => {
+                    w.bool(true);
+                    w.str(&p.to_string());
+                }
+                None => w.bool(false),
+            }
+            match open.breaker {
+                Some(c) => {
+                    w.bool(true);
+                    w.u64(c);
+                }
+                None => w.bool(false),
+            }
         }
         None => w.bool(false),
     }
@@ -243,11 +277,37 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
             .map_err(|e: oracle_model::ParseArrivalError| {
                 parse("arrival", arrivals, e.to_string())
             })?;
+        let duration = r.u64()?;
+        let warmup = r.u64()?;
+        let saturation_inflight = r.u64()?;
+        let deadline = if r.bool()? { Some(r.u64()?) } else { None };
+        let retry =
+            if r.bool()? {
+                let s = r.str()?;
+                Some(s.parse().map_err(|e: oracle_model::ParseOverloadError| {
+                    parse("retry", s, e.to_string())
+                })?)
+            } else {
+                None
+            };
+        let admission = if r.bool()? {
+            let s = r.str()?;
+            Some(s.parse().map_err(|e: oracle_model::ParseOverloadError| {
+                parse("admission", s, e.to_string())
+            })?)
+        } else {
+            None
+        };
+        let breaker = if r.bool()? { Some(r.u64()?) } else { None };
         Some(oracle_model::OpenTraffic {
             arrivals,
-            duration: r.u64()?,
-            warmup: r.u64()?,
-            saturation_inflight: r.u64()?,
+            duration,
+            warmup,
+            saturation_inflight,
+            deadline,
+            retry,
+            admission,
+            breaker,
         })
     } else {
         None
@@ -467,6 +527,10 @@ mod tests {
         config.machine.open = Some(oracle_model::OpenTraffic {
             warmup: 500,
             saturation_inflight: 77,
+            deadline: Some(1500),
+            retry: Some("3x200".parse().unwrap()),
+            admission: Some("bucket:12x5".parse().unwrap()),
+            breaker: Some(800),
             ..oracle_model::OpenTraffic::new("burst:8x0.5x2000x6000@3,7".parse().unwrap(), 9000)
         });
         let mut w = SnapWriter::new();
@@ -535,6 +599,52 @@ mod tests {
                 format!("{plain:?}"),
                 format!("{resumed:?}"),
                 "open resume from {path:?} diverged"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saturated_run_resumed_mid_window_is_bit_identical() {
+        let dir = scratch_dir("saturated");
+        let mut config = sample_config();
+        // Offered load far past capacity with a low trip wire: the run ends
+        // `Saturated` mid-measurement-window. Checkpoints every 150 units
+        // straddle both the warmup boundary and the trip, auditing the
+        // trip-wire/checkpoint interaction the resume path must preserve.
+        config.machine.open = Some(oracle_model::OpenTraffic {
+            warmup: 200,
+            saturation_inflight: 48,
+            deadline: Some(900),
+            ..oracle_model::OpenTraffic::new("poisson:60".parse().unwrap(), 6000)
+        });
+        let plain = config.run().unwrap();
+        let open = plain.open.as_ref().expect("open metrics");
+        assert!(
+            matches!(open.outcome, oracle_model::OpenOutcome::Saturated { .. }),
+            "run must trip the saturation wire, got {:?}",
+            open.outcome
+        );
+        let checkpointed = run_with_checkpoints(&config, 150, &dir).unwrap();
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{:?}", checkpointed.report),
+            "checkpointing changed the saturated run"
+        );
+        assert!(
+            !checkpointed.checkpoints.is_empty(),
+            "saturated run tripped before the first checkpoint"
+        );
+        // The Debug rendering covers the full report — outcome, counters,
+        // and every sojourn-histogram quantile — so equality here is the
+        // bit-for-bit pin.
+        for path in &checkpointed.checkpoints {
+            let (config_back, resumed) = resume_run(path).unwrap();
+            assert_eq!(config_back, config);
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{resumed:?}"),
+                "saturated resume from {path:?} diverged"
             );
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -12,6 +12,7 @@
 //! | §5 design-choice ablations | [`ablations`] |
 //! | Resilience under faults (extension) | [`resilience`] |
 //! | Open-traffic capacity search (extension) | [`capacity`] |
+//! | Graceful degradation under overload (extension) | [`degradation`] |
 //!
 //! Every function takes a [`Fidelity`]: `Paper` reruns the full
 //! configuration grid (minutes), `Quick` a miniature that exercises the same
@@ -20,6 +21,7 @@
 pub mod ablations;
 pub mod appendix;
 pub mod capacity;
+pub mod degradation;
 pub mod plots;
 pub mod resilience;
 pub mod table1;

@@ -74,8 +74,9 @@ pub mod prelude {
         export_series_csv, export_trace, validate_trace, TraceFormat, TraceSummary,
     };
     pub use oracle_model::{
-        ArrivalSpec, Continuation, CostModel, Expansion, MachineConfig, OpenMetrics, OpenOutcome,
-        OpenTraffic, Program, Report, SimError, Strategy, TaskSpec, Trace, TraceEvent, TraceMode,
+        AdmissionPolicy, ArrivalSpec, Continuation, CostModel, Expansion, MachineConfig,
+        OpenMetrics, OpenOutcome, OpenTraffic, Program, Report, RetryPolicy, SimError, Strategy,
+        TaskSpec, Trace, TraceEvent, TraceMode,
     };
     pub use oracle_strategies::StrategySpec;
     pub use oracle_topo::TopologySpec;

@@ -183,16 +183,23 @@ pub const DEFAULT_OPEN_DURATION: u64 = 20_000;
 ///
 /// ```text
 /// # topology   strategy   workload   [seed=N] [faults=PLAN] [arrivals=SPEC] [duration=T] [warmup=T]
+/// #                                  [deadline=T] [retry=MAXxBASE] [admission=POLICY] [breaker=T]
 /// grid:10      cwn:9x1    fib:15
 /// grid:10      gm:1x2x20  fib:15     seed=7
 /// dlm:10       cwn:5x1    dc:987
 /// grid:6       cwn:5x1    fib:12     seed=3   faults=crash:7@400+loss:1%+recover:500x8
 /// grid:6       cwn:5x1    fib:10     arrivals=poisson:4 duration=20000
+/// grid:6       cwn:5x1    fib:10     arrivals=poisson:40 deadline=800 retry=3x100 admission=queue:8
 /// ```
 ///
 /// `arrivals=` switches the line to the open-traffic regime (see
 /// [`oracle_model::open`]); `duration=`/`warmup=` set its measurement
-/// windows (defaults: 20000 and one tenth of the duration).
+/// windows (defaults: 20000 and one tenth of the duration). The
+/// overload-protection knobs — `deadline=` (per-request deadline),
+/// `retry=` (cap × base backoff), `admission=`
+/// (`queue:MAX`/`util:FRACTION`/`bucket:RATExBURST`), and `breaker=`
+/// (circuit-breaker cooldown) — also require `arrivals=` on the same
+/// line.
 ///
 /// Labels are generated from the three specs. Errors name the offending
 /// line.
@@ -204,10 +211,11 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if !(3..=8).contains(&fields.len()) {
+        if !(3..=12).contains(&fields.len()) {
             return Err(format!(
                 "line {}: expected `topology strategy workload [seed=N] [faults=PLAN] \
-                 [arrivals=SPEC] [duration=T] [warmup=T]`, got {raw:?}",
+                 [arrivals=SPEC] [duration=T] [warmup=T] [deadline=T] [retry=MAXxBASE] \
+                 [admission=POLICY] [breaker=T]`, got {raw:?}",
                 lineno + 1
             ));
         }
@@ -236,6 +244,10 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
         let mut arrivals: Option<oracle_model::ArrivalSpec> = None;
         let mut duration: Option<u64> = None;
         let mut warmup: Option<u64> = None;
+        let mut deadline: Option<u64> = None;
+        let mut retry: Option<oracle_model::RetryPolicy> = None;
+        let mut admission: Option<oracle_model::AdmissionPolicy> = None;
+        let mut breaker: Option<u64> = None;
         for extra in &fields[3..] {
             if let Some(v) = extra.strip_prefix("seed=") {
                 config.machine.seed = v
@@ -263,12 +275,35 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
                     v.parse()
                         .map_err(|_| err("warmup", format!("{extra:?} (expected warmup=T)")))?,
                 );
+            } else if let Some(v) = extra.strip_prefix("deadline=") {
+                deadline =
+                    Some(v.parse().map_err(|_| {
+                        err("deadline", format!("{extra:?} (expected deadline=T)"))
+                    })?);
+                label_suffix.push_str(&format!(" deadline={v}"));
+            } else if let Some(v) = extra.strip_prefix("retry=") {
+                retry =
+                    Some(v.parse().map_err(|e: oracle_model::ParseOverloadError| {
+                        err("retry", e.to_string())
+                    })?);
+                label_suffix.push_str(&format!(" retry={v}"));
+            } else if let Some(v) = extra.strip_prefix("admission=") {
+                admission = Some(v.parse().map_err(|e: oracle_model::ParseOverloadError| {
+                    err("admission", e.to_string())
+                })?);
+                label_suffix.push_str(&format!(" admission={v}"));
+            } else if let Some(v) = extra.strip_prefix("breaker=") {
+                breaker = Some(
+                    v.parse()
+                        .map_err(|_| err("breaker", format!("{extra:?} (expected breaker=T)")))?,
+                );
+                label_suffix.push_str(&format!(" breaker={v}"));
             } else {
                 return Err(err(
                     "field",
                     format!(
                         "{extra:?} (expected seed=N, faults=PLAN, arrivals=SPEC, duration=T, \
-                         or warmup=T)"
+                         warmup=T, deadline=T, retry=MAXxBASE, admission=POLICY, or breaker=T)"
                     ),
                 ));
             }
@@ -280,12 +315,24 @@ pub fn parse_suite(text: &str) -> Result<Vec<RunSpec>, String> {
                 if let Some(w) = warmup {
                     open.warmup = w;
                 }
+                open.deadline = deadline;
+                open.retry = retry;
+                open.admission = admission;
+                open.breaker = breaker;
                 config.machine.open = Some(open);
             }
-            None if duration.is_some() || warmup.is_some() => {
+            None if duration.is_some()
+                || warmup.is_some()
+                || deadline.is_some()
+                || retry.is_some()
+                || admission.is_some()
+                || breaker.is_some() =>
+            {
                 return Err(err(
                     "field",
-                    "duration=/warmup= require arrivals=SPEC on the same line".into(),
+                    "duration=/warmup=/deadline=/retry=/admission=/breaker= require \
+                     arrivals=SPEC on the same line"
+                        .into(),
                 ));
             }
             None => {}
@@ -471,6 +518,51 @@ mod tests {
         assert!(err.contains("require arrivals"), "{err}");
         let err = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 duration=zz\n").unwrap_err();
         assert!(err.contains("bad duration"), "{err}");
+    }
+
+    #[test]
+    fn parse_suite_accepts_overload_knobs() {
+        let text = "grid:4 cwn:4x1 fib:8 arrivals=poisson:30 deadline=800 retry=3x100 \
+                    admission=queue:8 breaker=400\n";
+        let specs = parse_suite(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        let open = specs[0].config.machine.open.as_ref().unwrap();
+        assert_eq!(open.deadline, Some(800));
+        assert_eq!(open.retry.as_ref().unwrap().to_string(), "3x100");
+        assert_eq!(open.admission.as_ref().unwrap().to_string(), "queue:8");
+        assert_eq!(open.breaker, Some(400));
+        for knob in [
+            "deadline=800",
+            "retry=3x100",
+            "admission=queue:8",
+            "breaker=400",
+        ] {
+            assert!(specs[0].label.contains(knob), "{}", specs[0].label);
+        }
+
+        // All three admission grammars parse.
+        for policy in ["util:0.8", "bucket:12x5"] {
+            let line = format!("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 admission={policy}\n");
+            let specs = parse_suite(&line).unwrap();
+            let open = specs[0].config.machine.open.as_ref().unwrap();
+            assert_eq!(open.admission.as_ref().unwrap().to_string(), policy);
+        }
+    }
+
+    #[test]
+    fn parse_suite_rejects_bad_overload_fields() {
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 deadline=800\n").unwrap_err();
+        assert!(err.contains("require arrivals"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 admission=queue:8\n").unwrap_err();
+        assert!(err.contains("require arrivals"), "{err}");
+        let err = parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 retry=zz\n").unwrap_err();
+        assert!(err.contains("bad retry"), "{err}");
+        let err =
+            parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 admission=magic:9\n").unwrap_err();
+        assert!(err.contains("bad admission"), "{err}");
+        let err =
+            parse_suite("grid:4 cwn:4x1 fib:8 arrivals=poisson:3 deadline=soon\n").unwrap_err();
+        assert!(err.contains("bad deadline"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   `accounted <= created <= accounted + lost` (the crash sweep counts a
 //!   lost *waiting task* as a lost goal even though that goal already
 //!   executed, so the loss side may over-count but never under-count).
+//! - `arrival-conservation` — in open-traffic runs, every arrival is in
+//!   exactly one bucket: completed, shed at admission, abandoned (deadline
+//!   or retry exhaustion), or still in the system (in flight or awaiting a
+//!   retry backoff).
+//! - `retry-cap` — no tracked request has recorded more re-injection
+//!   attempts than the configured retry cap.
 
 use crate::machine::Core;
 use crate::message::Packet;
@@ -174,6 +180,40 @@ pub(crate) fn audit(core: &Core, strategy: &dyn Strategy) -> Result<(), SimError
         }
     } else if accounted > core.goals_created || core.goals_created > accounted + lost {
         return fail("task-conservation", digest());
+    }
+
+    if let Some(open) = core.open.as_deref() {
+        let in_system = open.requests_in_system();
+        let settled = open.completions_total
+            + open.shed_total
+            + open.abandoned_deadline
+            + open.abandoned_retries;
+        if open.arrivals_total != settled + in_system {
+            return fail(
+                "arrival-conservation",
+                format!(
+                    "arrivals={} completed={} shed={} abandoned-deadline={} \
+                     abandoned-retries={} in-system={in_system}",
+                    open.arrivals_total,
+                    open.completions_total,
+                    open.shed_total,
+                    open.abandoned_deadline,
+                    open.abandoned_retries
+                ),
+            );
+        }
+        let cap = open.retry.map_or(0, |p| p.max);
+        for (goal, infl) in open.inflight.iter().chain(open.retry_pending.iter()) {
+            if infl.attempts > cap {
+                return fail(
+                    "retry-cap",
+                    format!(
+                        "request={} goal={} attempts={} cap={cap}",
+                        infl.request, goal.0, infl.attempts
+                    ),
+                );
+            }
+        }
     }
 
     Ok(())

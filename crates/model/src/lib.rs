@@ -45,7 +45,8 @@ pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
 pub use metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report};
 pub use open::{
-    ArrivalProcess, ArrivalSpec, EdgeSet, OpenTraffic, ParseArrivalError, ARRIVAL_GRAMMAR,
+    AdmissionPolicy, ArrivalProcess, ArrivalSpec, EdgeSet, OpenTraffic, ParseArrivalError,
+    ParseOverloadError, RetryPolicy, ADMISSION_GRAMMAR, ARRIVAL_GRAMMAR, RETRY_GRAMMAR,
 };
 pub use program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 pub use strategy::{Strategy, StrategyState};

@@ -18,7 +18,7 @@ use crate::error::SimError;
 use crate::faults::{FaultPlan, PeCrash};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
 use crate::metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report, TrafficCounters};
-use crate::open::{Inflight, OpenState};
+use crate::open::{AdmissionPolicy, Inflight, OpenState};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
 use crate::program::{Continuation, Expansion, Program, TaskList, TaskSpec};
 use crate::strategy::Strategy;
@@ -51,11 +51,14 @@ pub(crate) enum Event {
     AckTimeout(GoalId),
     /// Open traffic: the next external request arrives now.
     Arrival,
+    /// Open traffic: the backoff of the lost request whose dead root goal
+    /// had this id expires — re-inject it at the next live edge PE.
+    Retry(GoalId),
 }
 
 /// Profiler registry names, indexed by [`Event::kind`]. Keep the two in
 /// sync.
-const EVENT_KIND_NAMES: [&str; 11] = [
+const EVENT_KIND_NAMES: [&str; 12] = [
     "pe_done",
     "channel_done",
     "timer",
@@ -67,6 +70,7 @@ const EVENT_KIND_NAMES: [&str; 11] = [
     "slow_end",
     "ack_timeout",
     "arrival",
+    "retry",
 ];
 
 impl Event {
@@ -84,6 +88,7 @@ impl Event {
             Event::SlowEnd(_) => 8,
             Event::AckTimeout(_) => 9,
             Event::Arrival => 10,
+            Event::Retry(_) => 11,
         })
     }
 }
@@ -379,8 +384,16 @@ impl Core {
             channels,
             rng,
             config,
+            open,
+            events,
             ..
         } = self;
+        // The circuit breaker (open runs only) vetoes routing into
+        // neighbourhoods it has not yet re-trusted after a fault.
+        let breaker = open
+            .as_deref()
+            .filter(|o| o.breaker_cooldown.is_some() && !o.breaker.is_empty());
+        let now = events.now().units();
         let mut best: Option<(PeId, u32)> = None;
         let mut ties = 0u64;
         for (i, n) in topo.neighbors(pe).iter().enumerate() {
@@ -388,6 +401,9 @@ impl Core {
                 continue;
             }
             if pes[n.pe.idx()].failed || channels[n.channel.idx()].down {
+                continue;
+            }
+            if breaker.is_some_and(|o| o.breaker_blocked(now, pe.0, n.pe.0)) {
                 continue;
             }
             let load = match config.load_info {
@@ -426,6 +442,7 @@ impl Core {
             .iter()
             .enumerate()
             .filter(|(_, n)| !self.pes[n.pe.idx()].failed && !self.channels[n.channel.idx()].down)
+            .filter(|(_, n)| !self.breaker_blocked(pe, n.pe))
             .map(|(i, n)| match self.config.load_info {
                 LoadInfoMode::Instant => self.load(n.pe),
                 LoadInfoMode::Piggyback { .. } => p.known_load[i],
@@ -440,6 +457,9 @@ impl Core {
         let mut best: Option<(PeId, u32)> = None;
         for (i, n) in self.topo.neighbors(pe).iter().enumerate() {
             if self.pes[n.pe.idx()].failed || self.channels[n.channel.idx()].down {
+                continue;
+            }
+            if self.breaker_blocked(pe, n.pe) {
                 continue;
             }
             let load = match self.config.load_info {
@@ -572,6 +592,65 @@ impl Core {
             let now = self.events.now().units();
             open.note_qlen(now, delta);
         }
+    }
+
+    /// Open traffic: is routing from `pe` toward `nbr` vetoed by the
+    /// circuit breaker? Always false on closed runs or with the breaker
+    /// unconfigured.
+    #[inline]
+    fn breaker_blocked(&self, pe: PeId, nbr: PeId) -> bool {
+        match self.open.as_deref() {
+            Some(o) if o.breaker_cooldown.is_some() && !o.breaker.is_empty() => {
+                o.breaker_blocked(self.events.now().units(), pe.0, nbr.0)
+            }
+            _ => false,
+        }
+    }
+
+    /// Open traffic: `nbr` (as seen from `pe`) crashed or its link
+    /// dropped — open the breaker toward it.
+    fn breaker_note_down(&mut self, pe: PeId, nbr: PeId) {
+        if let Some(o) = self.open.as_deref_mut() {
+            if o.breaker_cooldown.is_some() {
+                o.breaker_open(pe.0, nbr.0);
+            }
+        }
+    }
+
+    /// Open traffic: the link from `pe` toward `nbr` recovered — move the
+    /// breaker to its half-open cooldown window.
+    fn breaker_note_up(&mut self, pe: PeId, nbr: PeId) {
+        let now = self.events.now().units();
+        if let Some(o) = self.open.as_deref_mut() {
+            if o.breaker_cooldown.is_some() {
+                o.breaker_recover(now, pe.0, nbr.0);
+            }
+        }
+    }
+
+    /// Open traffic: the root goal of an in-flight request was lost to a
+    /// fault. With a retry policy (and no recovery layer — recovery
+    /// re-spawns the same goal slot itself and keeps the in-flight entry
+    /// keyed to the live attempt), park the request in the retry-pending
+    /// table and arm its backoff; an exhausted budget abandons it. Lost
+    /// non-root goals return from the in-flight lookup untouched.
+    fn note_request_lost(&mut self, goal: GoalId) {
+        let Some(open) = self.open.as_deref_mut() else {
+            return;
+        };
+        let Some(policy) = open.retry else {
+            return;
+        };
+        let Some(infl) = open.inflight.remove(&goal) else {
+            return;
+        };
+        if infl.attempts >= policy.max {
+            open.abandoned_retries += 1;
+            return;
+        }
+        let delay = open.retry_backoff(policy.base, infl.attempts);
+        open.retry_pending.insert(goal, infl);
+        self.events.schedule_after(delay, Event::Retry(goal));
     }
 
     /// Index of `nbr` within `pe`'s sorted neighbour list.
@@ -709,17 +788,30 @@ impl Core {
                 if self.open.is_some() {
                     // An open-traffic request completed: record its
                     // sojourn (inside the measurement window) instead of
-                    // declaring the run over.
+                    // declaring the run over. The deadline is accounted
+                    // lazily right here — a completion whose sojourn
+                    // (clocked from the *original* arrival, never reset by
+                    // retries) exceeds the deadline is a dead loss, not a
+                    // success, so the sojourn quantiles are by construction
+                    // quantiles of the within-deadline completions.
                     let now = self.events.now().units();
                     let open = self.open.as_deref_mut().expect("checked above");
                     let Some(infl) = open.inflight.remove(&child) else {
                         return; // superseded respawn attempt of a request
                     };
-                    open.completions_total += 1;
                     let sojourn = now - infl.arrived;
-                    if now >= open.warmup && now < open.duration {
-                        open.sojourn.record(sojourn);
-                        open.sojourn_stats.record(sojourn as f64);
+                    let in_window = now >= open.warmup && now < open.duration;
+                    if open.deadline.is_some_and(|d| sojourn > d) {
+                        open.abandoned_deadline += 1;
+                        if in_window {
+                            open.abandoned_deadline_measured += 1;
+                        }
+                    } else {
+                        open.completions_total += 1;
+                        if in_window {
+                            open.sojourn.record(sojourn);
+                            open.sojourn_stats.record(sojourn as f64);
+                        }
                     }
                     if self.trace.enabled() {
                         self.trace.record(TraceEvent::RequestCompleted {
@@ -807,6 +899,10 @@ impl Core {
                 o.resident = None; // the loss voids any acceptance
                 self.events.schedule_after(0, Event::AckTimeout(goal));
             }
+        } else {
+            // No recovery layer: the request-retry policy (if configured)
+            // gets to re-inject a lost root request from the edge.
+            self.note_request_lost(goal);
         }
     }
 
@@ -1305,6 +1401,7 @@ impl Machine {
                 }
             }
             Event::Arrival => self.handle_arrival(),
+            Event::Retry(old) => self.handle_retry(old),
             Event::AckTimeout(goal) => {
                 // Acceptance at a live PE is the acknowledgment: a goal
                 // resident somewhere healthy is making progress (long-lived
@@ -1347,7 +1444,9 @@ impl Machine {
         }
         // Entry PE: the explicit trace PE if alive, else round-robin over
         // the edge set skipping crashed PEs. With every candidate dead the
-        // request is refused at the door (it never enters the system).
+        // request is refused at the door: it still counts as an arrival,
+        // and as shed (it never enters the system), which keeps the
+        // arrival-conservation identity exact under faults.
         let mut entry = None;
         if let Some(pe) = override_pe {
             if !self.core.pes[pe as usize].failed {
@@ -1365,7 +1464,42 @@ impl Machine {
                 }
             }
         }
-        let Some(pe) = entry else { return };
+        let Some(pe) = entry else {
+            let open = self.core.open.as_deref_mut().expect("open mode");
+            open.arrivals_total += 1;
+            open.shed_total += 1;
+            return;
+        };
+        // Edge admission control: an arrival that fails the configured
+        // check is shed at the door — no goal is created, nothing queues.
+        if let Some(policy) = self.core.open.as_deref().expect("open mode").admission {
+            let admitted = match policy {
+                AdmissionPolicy::QueueDepth { max } => {
+                    (self.core.pes[pe.idx()].queued_goals as u64) < max
+                }
+                AdmissionPolicy::Utilization { threshold } => {
+                    let live = self.core.pes.iter().filter(|p| !p.failed);
+                    let (mut executing, mut total) = (0u64, 0u64);
+                    for p in live {
+                        total += 1;
+                        executing += p.executing.is_some() as u64;
+                    }
+                    (executing as f64) < threshold * total.max(1) as f64
+                }
+                AdmissionPolicy::TokenBucket { rate, burst } => self
+                    .core
+                    .open
+                    .as_deref_mut()
+                    .expect("open mode")
+                    .bucket_admit(now, rate, burst),
+            };
+            if !admitted {
+                let open = self.core.open.as_deref_mut().expect("open mode");
+                open.arrivals_total += 1;
+                open.shed_total += 1;
+                return;
+            }
+        }
         let spec = self.core.program.root();
         let goal = self.core.make_goal(spec, None);
         let open = self.core.open.as_deref_mut().expect("open mode");
@@ -1377,15 +1511,82 @@ impl Machine {
             Inflight {
                 request,
                 arrived: now,
+                attempts: 0,
             },
         );
-        if open.saturated.is_none() && open.inflight.len() as u64 > open.threshold {
-            open.saturated = Some((now, open.inflight.len() as u64));
+        if open.saturated.is_none() && open.requests_in_system() > open.threshold {
+            open.saturated = Some((now, open.requests_in_system()));
         }
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::RequestArrived {
                 t: now,
                 request,
+                goal: goal.id,
+                pe,
+            });
+        }
+        self.core.track_goal(&goal, 0, now);
+        self.strategy.on_goal_created(&mut self.core, pe, goal);
+    }
+
+    /// Open traffic: a lost request's backoff expired — re-inject it as a
+    /// fresh root goal at the next live edge PE, carrying the original
+    /// arrival instant (the deadline clock never resets) and one more
+    /// attempt on its budget. A request whose deadline already passed
+    /// while it waited is abandoned, as is one that finds every edge PE
+    /// dead (crashed PEs never come back, so further backoff cannot help).
+    fn handle_retry(&mut self, old: GoalId) {
+        let now = self.core.events.now().units();
+        let Some(open) = self.core.open.as_deref_mut() else {
+            return;
+        };
+        let Some(infl) = open.retry_pending.remove(&old) else {
+            return; // superseded (cannot happen: one Retry event per parking)
+        };
+        if open
+            .deadline
+            .is_some_and(|d| now.saturating_sub(infl.arrived) > d)
+        {
+            open.abandoned_deadline += 1;
+            if now >= open.warmup && now < open.duration {
+                open.abandoned_deadline_measured += 1;
+            }
+            return;
+        }
+        let (edges_len, start) = (open.edges.len() as u32, open.edge_idx);
+        let mut entry = None;
+        for k in 0..edges_len {
+            let i = (start + k) % edges_len;
+            let cand = self.core.open.as_ref().expect("open mode").edges[i as usize];
+            if !self.core.pes[cand as usize].failed {
+                self.core.open.as_deref_mut().expect("open mode").edge_idx = (i + 1) % edges_len;
+                entry = Some(PeId(cand));
+                break;
+            }
+        }
+        let Some(pe) = entry else {
+            self.core
+                .open
+                .as_deref_mut()
+                .expect("open mode")
+                .abandoned_retries += 1;
+            return;
+        };
+        let spec = self.core.program.root();
+        let goal = self.core.make_goal(spec, None);
+        let open = self.core.open.as_deref_mut().expect("open mode");
+        open.retries_total += 1;
+        open.inflight.insert(
+            goal.id,
+            Inflight {
+                attempts: infl.attempts + 1,
+                ..infl
+            },
+        );
+        if self.core.trace.enabled() {
+            self.core.trace.record(TraceEvent::RequestArrived {
+                t: now,
+                request: infl.request,
                 goal: goal.id,
                 pe,
             });
@@ -1403,6 +1604,29 @@ impl Machine {
             return; // double crash in the plan
         }
         let now = self.core.events.now();
+        // Request retry (no recovery layer: recovery's own crash sweep
+        // re-keys the in-flight table itself): collect every goal id that
+        // dies with the PE — queued, executing, or pinned waiting — before
+        // the state is cleared. Sorted, because `waiting` is a hash map
+        // and its iteration order must never reach the retry RNG. The
+        // in-flight lookup inside `note_request_lost` keeps only the ids
+        // that are actually root requests.
+        let mut lost_roots: Vec<GoalId> = Vec::new();
+        if self.core.plan.recovery.is_none()
+            && self.core.open.as_deref().is_some_and(|o| o.retry.is_some())
+        {
+            let p = &self.core.pes[pe.idx()];
+            for item in &p.queue {
+                if let WorkItem::Goal(g) = item {
+                    lost_roots.push(g.id);
+                }
+            }
+            if let Some(Executing::Goal(g, _)) = &p.executing {
+                lost_roots.push(g.id);
+            }
+            lost_roots.extend(p.waiting.keys().copied());
+            lost_roots.sort();
+        }
         let p = &mut self.core.pes[pe.idx()];
         let queued_goals = p.queued_goals;
         let lost = p.queued_goals as u64
@@ -1453,12 +1677,18 @@ impl Machine {
             self.core.sweep_orphans = orphans;
             self.core.sweep_respawns = respawns;
         }
+        for id in lost_roots {
+            self.core.note_request_lost(id);
+        }
         // Live neighbours learn of the crash (the physical machine would
         // detect it via keep-alives; the simulator is omniscient). Index
         // re-borrowing lets the strategy take `&mut Core` inside the loop.
+        // The circuit breaker opens toward the corpse first, so strategy
+        // reactions to the down notification already see it blocked.
         for i in 0..self.core.topo.neighbors(pe).len() {
             let nbr = self.core.topo.neighbors(pe)[i].pe;
             if !self.core.pes[nbr.idx()].failed {
+                self.core.breaker_note_down(nbr, pe);
                 self.strategy.on_neighbor_down(&mut self.core, nbr, pe);
             }
         }
@@ -1546,6 +1776,7 @@ impl Machine {
             for j in 0..self.core.topo.channel_members(ch).len() {
                 let b = self.core.topo.channel_members(ch)[j];
                 if b != a {
+                    self.core.breaker_note_down(a, b);
                     self.strategy.on_neighbor_down(&mut self.core, a, b);
                 }
             }
@@ -1586,6 +1817,7 @@ impl Machine {
             for j in 0..self.core.topo.channel_members(ch).len() {
                 let b = self.core.topo.channel_members(ch)[j];
                 if b != a && !self.core.pes[b.idx()].failed {
+                    self.core.breaker_note_up(a, b);
                     self.strategy.on_neighbor_up(&mut self.core, a, b);
                 }
             }
@@ -1988,11 +2220,34 @@ impl Machine {
         let open_metrics = core.open.as_deref_mut().map(|open| {
             let end = horizon.units();
             open.flush_qlen(end);
+            // Outcome classification, most- to least-severe: the trip
+            // wire beats everything (the run physically ended there);
+            // then majority-shed overload; then an unservable deadline;
+            // then a clean completion.
             let outcome = match open.saturated {
                 Some((at, inflight)) => OpenOutcome::Saturated { at, inflight },
+                None if open.admission.is_some()
+                    && open.arrivals_total > 0
+                    && open.shed_total * 2 > open.arrivals_total =>
+                {
+                    OpenOutcome::Overloaded {
+                        shed: open.shed_total,
+                        arrivals: open.arrivals_total,
+                    }
+                }
+                None if open.deadline.is_some()
+                    && open.completions_total == 0
+                    && open.abandoned_deadline > 0 =>
+                {
+                    OpenOutcome::DeadlineExhausted {
+                        abandoned: open.abandoned_deadline,
+                    }
+                }
                 None => OpenOutcome::Completed,
             };
             let window = end.min(open.duration).saturating_sub(open.warmup).max(1);
+            let carried = open.sojourn.total() + open.abandoned_deadline_measured;
+            let abandoned = open.abandoned_total();
             OpenMetrics {
                 outcome,
                 duration: open.duration,
@@ -2000,10 +2255,11 @@ impl Machine {
                 arrivals: open.arrivals_total,
                 completions: open.completions_total,
                 completions_measured: open.sojourn.total(),
-                inflight_at_end: open.inflight.len() as u64,
+                inflight_at_end: open.requests_in_system(),
                 offered_rate: open.arrivals_total as f64 * crate::open::RATE_UNIT
                     / end.max(1) as f64,
-                throughput: open.sojourn.total() as f64 * crate::open::RATE_UNIT / window as f64,
+                throughput: carried as f64 * crate::open::RATE_UNIT / window as f64,
+                goodput: open.sojourn.total() as f64 * crate::open::RATE_UNIT / window as f64,
                 sojourn_mean: open.sojourn_stats.mean(),
                 sojourn_p50: open.sojourn.quantile(0.50),
                 sojourn_p95: open.sojourn.quantile(0.95),
@@ -2011,6 +2267,22 @@ impl Machine {
                 sojourn_max: open.sojourn.max(),
                 qlen_time_avg: open.qlen_hist.mean(),
                 qlen_p95: open.qlen_hist.quantile(0.95),
+                deadline: open.deadline,
+                shed: open.shed_total,
+                shed_rate: if open.arrivals_total > 0 {
+                    open.shed_total as f64 / open.arrivals_total as f64
+                } else {
+                    0.0
+                },
+                abandoned_deadline: open.abandoned_deadline,
+                abandoned_retries: open.abandoned_retries,
+                abandonment_rate: if open.arrivals_total > 0 {
+                    abandoned as f64 / open.arrivals_total as f64
+                } else {
+                    0.0
+                },
+                retries: open.retries_total,
+                breaker_opens: open.breaker_opens,
             }
         });
 

@@ -77,12 +77,25 @@ pub enum OpenOutcome {
     /// at time `at`, so the offered load exceeds what the machine can
     /// sustain. The statistics cover the run up to that instant.
     Saturated { at: u64, inflight: u64 },
+    /// Admission control shed the majority of arrivals: the machine
+    /// protected itself, but the offered load was far past what it could
+    /// carry. `shed` of `arrivals` requests were refused at the door.
+    Overloaded { shed: u64, arrivals: u64 },
+    /// A deadline was configured and *no* request ever completed within
+    /// it (`abandoned` blew their budget): the deadline is unservable at
+    /// this load.
+    DeadlineExhausted { abandoned: u64 },
 }
 
 impl OpenOutcome {
     /// True when the run ended by saturation.
     pub fn is_saturated(&self) -> bool {
         matches!(self, OpenOutcome::Saturated { .. })
+    }
+
+    /// True for the degraded outcomes (anything but `Completed`).
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, OpenOutcome::Completed)
     }
 }
 
@@ -103,19 +116,28 @@ pub struct OpenMetrics {
     /// Requests completed over the whole run.
     pub completions: u64,
     /// Requests completed inside the measurement window (the population of
-    /// the sojourn statistics).
+    /// the sojourn statistics). With a deadline configured this counts
+    /// only within-deadline completions.
     pub completions_measured: u64,
-    /// Requests still in flight when the run ended.
+    /// Requests still in the system when the run ended: routed subtrees
+    /// plus requests waiting out a retry backoff.
     pub inflight_at_end: u64,
     /// Offered load: arrivals per 1000 time units over the whole run.
     pub offered_rate: f64,
-    /// Carried load: measured completions per 1000 time units of
-    /// measurement window.
+    /// Carried load: measured completions (including ones past their
+    /// deadline — the machine did the work even if the client walked away)
+    /// per 1000 time units of measurement window.
     pub throughput: f64,
+    /// Useful carried load: measured *within-deadline* completions per
+    /// 1000 time units of measurement window. Equals `throughput` when no
+    /// deadline is configured.
+    pub goodput: f64,
     /// Mean sojourn time (arrival to result) in the window.
     pub sojourn_mean: f64,
     /// Sojourn percentiles from the log-bucketed histogram (<= 12.5%
-    /// relative bucket error).
+    /// relative bucket error). With a deadline configured these are
+    /// quantiles of the within-deadline completions (`sojourn_p99` is the
+    /// "deadline-hit p99").
     pub sojourn_p50: u64,
     pub sojourn_p95: u64,
     pub sojourn_p99: u64,
@@ -125,6 +147,25 @@ pub struct OpenMetrics {
     pub qlen_time_avg: f64,
     /// Time-weighted 95th percentile of the total queued-goal count.
     pub qlen_p95: u64,
+    /// Configured per-request deadline (`None` when off).
+    pub deadline: Option<u64>,
+    /// Arrivals refused at the door over the whole run: admission control
+    /// plus arrivals that found every edge PE dead.
+    pub shed: u64,
+    /// `shed / arrivals` (0 when there were no arrivals).
+    pub shed_rate: f64,
+    /// Requests that completed past their deadline (dead losses).
+    pub abandoned_deadline: u64,
+    /// Requests dropped after exhausting their retry budget (or with no
+    /// live edge PE left to re-enter at).
+    pub abandoned_retries: u64,
+    /// `(abandoned_deadline + abandoned_retries) / arrivals` (0 when there
+    /// were no arrivals).
+    pub abandonment_rate: f64,
+    /// Re-injections performed by the request-retry layer.
+    pub retries: u64,
+    /// Circuit-breaker transitions from closed to open.
+    pub breaker_opens: u64,
 }
 
 /// The result of one simulation run.
@@ -296,6 +337,20 @@ impl Report {
             pe_total, self.goals_executed,
             "per-PE goal counts do not cover every executed goal"
         );
+        if let Some(o) = &self.open {
+            // Every arrival is accounted exactly once: refused at the
+            // door, completed in time, completed late, dropped by the
+            // retry layer, or still in the system at the horizon.
+            assert_eq!(
+                o.arrivals,
+                o.completions
+                    + o.shed
+                    + o.abandoned_deadline
+                    + o.abandoned_retries
+                    + o.inflight_at_end,
+                "open-traffic arrival conservation violated"
+            );
+        }
     }
 }
 
@@ -434,6 +489,7 @@ mod tests {
             inflight_at_end: 2,
             offered_rate: 30.0,
             throughput: 11.1,
+            goodput: 11.1,
             sojourn_mean: 12.0,
             sojourn_p50: 12,
             sojourn_p95: 12,
@@ -441,10 +497,25 @@ mod tests {
             sojourn_max: 12,
             qlen_time_avg: 0.5,
             qlen_p95: 2,
+            deadline: None,
+            shed: 0,
+            shed_rate: 0.0,
+            abandoned_deadline: 0,
+            abandoned_retries: 0,
+            abandonment_rate: 0.0,
+            retries: 0,
+            breaker_opens: 0,
         });
         r.check_invariants();
         assert!(!r.open.as_ref().unwrap().outcome.is_saturated());
         assert!(OpenOutcome::Saturated { at: 5, inflight: 9 }.is_saturated());
+        assert!(!OpenOutcome::Completed.is_degraded());
+        assert!(OpenOutcome::Overloaded {
+            shed: 8,
+            arrivals: 10
+        }
+        .is_degraded());
+        assert!(OpenOutcome::DeadlineExhausted { abandoned: 4 }.is_degraded());
     }
 
     #[test]

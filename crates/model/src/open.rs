@@ -17,10 +17,13 @@
 //!   grammar (`poisson:4.5@all`, `burst:8x0.5x2000x6000`, `trace:arr.txt@0,3`).
 //! * [`OpenTraffic`] — the full open-run configuration carried by
 //!   [`MachineConfig`](crate::config::MachineConfig): spec + measurement
-//!   windows + saturation threshold.
+//!   windows + saturation threshold, plus the overload-protection knobs
+//!   ([`RetryPolicy`], [`AdmissionPolicy`], per-request deadlines, and the
+//!   per-region circuit breaker).
 //! * [`OpenState`] — the runtime side (pub(crate)): the dedicated arrival
 //!   RNG stream, in-flight request table, sojourn/queue-length histograms,
-//!   and the saturation trip wire.
+//!   the saturation trip wire, and the mutable overload state (token
+//!   bucket, pending retries, breaker table, shed/abandon counters).
 //!
 //! All rates are expressed in **arrivals per 1000 simulated time units** —
 //! the same order of magnitude as the cost model's task grain, so `poisson:1`
@@ -37,6 +40,12 @@ use crate::message::GoalId;
 /// XOR'd into the run seed for the arrival stream, so open traffic never
 /// perturbs the strategy's (or the fault layer's) random sequence.
 pub(crate) const ARRIVAL_SEED_SALT: u64 = 0xA881_4A11_F00D_5EED;
+
+/// XOR'd into the run seed for the retry-backoff jitter stream. A
+/// dedicated stream keeps retries from perturbing the arrival, fault, or
+/// strategy sequences, so enabling retry changes *only* retry timing and
+/// results stay identical across `--threads` and queue backends.
+pub(crate) const RETRY_SEED_SALT: u64 = 0xBACC_0FF5_7A1E_5EED;
 
 /// Rates are per this many simulated time units.
 pub const RATE_UNIT: f64 = 1000.0;
@@ -251,6 +260,141 @@ impl fmt::Display for ArrivalSpec {
     }
 }
 
+/// Error parsing a [`RetryPolicy`] or [`AdmissionPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOverloadError(pub String);
+
+impl fmt::Display for ParseOverloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid overload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseOverloadError {}
+
+/// The retry grammar, quoted by every [`RetryPolicy`] parse error.
+pub const RETRY_GRAMMAR: &str = "MAXxBASE (e.g. 3x200): up to MAX re-injections per \
+     request, exponential backoff from BASE time units with +-50% jitter";
+
+/// The admission grammar, quoted by every [`AdmissionPolicy`] parse error.
+pub const ADMISSION_GRAMMAR: &str = "queue:MAX | util:FRACTION | bucket:RATExBURST \
+     (RATE tokens per 1000 time units, burst capacity BURST), e.g. queue:64, \
+     util:0.9, bucket:12x32";
+
+/// Retry policy for requests lost to crashes or link faults: the lost
+/// request is re-injected at the next edge PE after an exponential backoff
+/// with jitter, up to `max` attempts; exhausting the budget abandons the
+/// request (a dead loss, counted in the abandonment rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum re-injections per request.
+    pub max: u32,
+    /// Backoff before the first retry; doubles per attempt, scaled by a
+    /// jitter factor drawn uniformly from [0.5, 1.5) off the dedicated
+    /// retry RNG stream.
+    pub base: u64,
+}
+
+impl FromStr for RetryPolicy {
+    type Err = ParseOverloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |tok: &str, what: &str| {
+            ParseOverloadError(format!("bad {what} {tok:?}; expected {RETRY_GRAMMAR}"))
+        };
+        let Some((max, base)) = s.split_once('x') else {
+            return Err(bad(s, "retry policy (missing `x`)"));
+        };
+        let max: u32 = max.parse().map_err(|_| bad(max, "retry max"))?;
+        if max == 0 {
+            return Err(bad(s, "retry max (must be positive)"));
+        }
+        let base: u64 = base.parse().map_err(|_| bad(base, "retry base backoff"))?;
+        if base == 0 {
+            return Err(bad(s, "retry base backoff (must be positive)"));
+        }
+        Ok(RetryPolicy { max, base })
+    }
+}
+
+impl fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.max, self.base)
+    }
+}
+
+/// Edge admission-control policy: arrivals that fail the check are shed at
+/// injection (refused before any goal is created) instead of melting the
+/// machine down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Shed when the entry PE already holds at least `max` queued goals.
+    QueueDepth { max: u64 },
+    /// Shed when at least this fraction of PEs are mid-execution.
+    Utilization { threshold: f64 },
+    /// Token bucket: capacity `burst` tokens, refilled at `rate` per
+    /// [`RATE_UNIT`]; an arrival that finds no whole token is shed.
+    TokenBucket { rate: f64, burst: u64 },
+}
+
+impl FromStr for AdmissionPolicy {
+    type Err = ParseOverloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |tok: &str, what: &str| {
+            ParseOverloadError(format!("bad {what} {tok:?}; expected {ADMISSION_GRAMMAR}"))
+        };
+        let Some((kind, args)) = s.split_once(':') else {
+            return Err(bad(s, "admission policy (missing `:`)"));
+        };
+        match kind {
+            "queue" => {
+                let max: u64 = args.parse().map_err(|_| bad(args, "queue depth"))?;
+                if max == 0 {
+                    return Err(bad(args, "queue depth (must be positive)"));
+                }
+                Ok(AdmissionPolicy::QueueDepth { max })
+            }
+            "util" => {
+                let threshold: f64 = args
+                    .parse()
+                    .map_err(|_| bad(args, "utilization threshold"))?;
+                if !threshold.is_finite() || threshold <= 0.0 || threshold > 1.0 {
+                    return Err(bad(args, "utilization threshold (must be in (0, 1])"));
+                }
+                Ok(AdmissionPolicy::Utilization { threshold })
+            }
+            "bucket" => {
+                let Some((rate, burst)) = args.split_once('x') else {
+                    return Err(bad(args, "token bucket (need RATExBURST)"));
+                };
+                let rate: f64 = rate.parse().map_err(|_| bad(rate, "token-bucket rate"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(bad(args, "token-bucket rate (must be positive)"));
+                }
+                let burst: u64 = burst
+                    .parse()
+                    .map_err(|_| bad(burst, "token-bucket burst"))?;
+                if burst == 0 {
+                    return Err(bad(args, "token-bucket burst (must be positive)"));
+                }
+                Ok(AdmissionPolicy::TokenBucket { rate, burst })
+            }
+            other => Err(bad(other, "admission policy kind")),
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionPolicy::QueueDepth { max } => write!(f, "queue:{max}"),
+            AdmissionPolicy::Utilization { threshold } => write!(f, "util:{threshold}"),
+            AdmissionPolicy::TokenBucket { rate, burst } => write!(f, "bucket:{rate}x{burst}"),
+        }
+    }
+}
+
 /// Open-traffic configuration, carried on
 /// [`MachineConfig::open`](crate::config::MachineConfig::open). `None`
 /// there means the classic closed run (one root goal, run to completion).
@@ -268,18 +412,51 @@ pub struct OpenTraffic {
     /// soon as this many requests are in flight at once. 0 selects an
     /// automatic threshold of `32 * num_pes + 256`.
     pub saturation_inflight: u64,
+    /// Per-request deadline: a request whose sojourn exceeds this many
+    /// time units is a dead loss (abandoned), not a success — the client
+    /// already walked away. The deadline clock starts at the *original*
+    /// arrival instant and is never reset by retries. `None` disables.
+    #[serde(default)]
+    pub deadline: Option<u64>,
+    /// Retry lost requests with exponential backoff + jitter.
+    /// `None` disables.
+    #[serde(default)]
+    pub retry: Option<RetryPolicy>,
+    /// Edge admission control: shed arrivals at injection. `None` admits
+    /// everything.
+    #[serde(default)]
+    pub admission: Option<AdmissionPolicy>,
+    /// Per-region circuit breaker: once a neighbour crashes or its link
+    /// drops, stop routing new subtrees toward it; after the link
+    /// recovers, keep the breaker half-open for this many time units
+    /// before trusting the region again. `None` disables.
+    #[serde(default)]
+    pub breaker: Option<u64>,
 }
 
 impl OpenTraffic {
     /// An open run with the given arrivals and duration, default warmup
-    /// (one tenth of the duration) and automatic saturation threshold.
+    /// (one tenth of the duration), automatic saturation threshold, and
+    /// every overload-protection knob off.
     pub fn new(arrivals: ArrivalSpec, duration: u64) -> Self {
         OpenTraffic {
             arrivals,
             duration,
             warmup: duration / 10,
             saturation_inflight: 0,
+            deadline: None,
+            retry: None,
+            admission: None,
+            breaker: None,
         }
+    }
+
+    /// Is any overload-protection mechanism configured?
+    pub fn protected(&self) -> bool {
+        self.deadline.is_some()
+            || self.retry.is_some()
+            || self.admission.is_some()
+            || self.breaker.is_some()
     }
 
     /// Validate internal consistency.
@@ -297,6 +474,37 @@ impl OpenTraffic {
             if pes.is_empty() {
                 return Err("open traffic: edge PE list must be non-empty".into());
             }
+        }
+        if self.deadline == Some(0) {
+            return Err("open traffic: deadline must be positive".into());
+        }
+        if let Some(r) = &self.retry {
+            if r.max == 0 || r.base == 0 {
+                return Err("open traffic: retry max and base must be positive".into());
+            }
+        }
+        if let Some(a) = &self.admission {
+            match a {
+                AdmissionPolicy::QueueDepth { max } if *max == 0 => {
+                    return Err("open traffic: admission queue depth must be positive".into());
+                }
+                AdmissionPolicy::Utilization { threshold }
+                    if !threshold.is_finite() || *threshold <= 0.0 || *threshold > 1.0 =>
+                {
+                    return Err(
+                        "open traffic: admission utilization threshold must be in (0, 1]".into(),
+                    );
+                }
+                AdmissionPolicy::TokenBucket { rate, burst }
+                    if !rate.is_finite() || *rate <= 0.0 || *burst == 0 =>
+                {
+                    return Err("open traffic: token-bucket rate and burst must be positive".into());
+                }
+                _ => {}
+            }
+        }
+        if self.breaker == Some(0) {
+            return Err("open traffic: breaker cooldown must be positive".into());
         }
         Ok(())
     }
@@ -416,11 +624,14 @@ pub(crate) enum ProcessState {
     },
 }
 
-/// One in-flight request: its external id and arrival instant.
+/// One in-flight request: its external id, arrival instant, and how many
+/// times the retry layer has re-injected it (0 for the first attempt; the
+/// deadline clock always runs from `arrived`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Inflight {
     pub(crate) request: u64,
     pub(crate) arrived: u64,
+    pub(crate) attempts: u32,
 }
 
 /// Runtime state of an open-traffic run. Boxed on the `Core` so closed
@@ -456,6 +667,40 @@ pub(crate) struct OpenState {
     pub(crate) qlen_cur: u64,
     pub(crate) qlen_last: u64,
     pub(crate) qlen_hist: LogHistogram,
+    // --- overload protection (immutable knobs copied from the config) ---
+    pub(crate) deadline: Option<u64>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) admission: Option<AdmissionPolicy>,
+    pub(crate) breaker_cooldown: Option<u64>,
+    // --- overload protection (mutable runtime state) ---
+    /// Dedicated RNG stream for retry-backoff jitter.
+    pub(crate) retry_rng: Rng,
+    /// Token-bucket level (whole + fractional tokens) and the instant of
+    /// the last refill.
+    pub(crate) tokens: f64,
+    pub(crate) tokens_last: u64,
+    /// Requests between attempts: root goal lost, re-injection scheduled.
+    /// Keyed by the *dead* root goal id the pending `Retry` event carries.
+    pub(crate) retry_pending: FastHashMap<GoalId, Inflight>,
+    /// Circuit-breaker table: `(pe, neighbour) -> blocked-until`.
+    /// `u64::MAX` while the fault persists; a finite instant is the
+    /// half-open window after recovery. Entries are dropped lazily once
+    /// the window passes.
+    pub(crate) breaker: FastHashMap<(u32, u32), u64>,
+    // --- overload counters ---
+    /// Arrivals refused at injection (admission control, or no live edge).
+    pub(crate) shed_total: u64,
+    /// Requests whose sojourn exceeded the deadline (dead losses).
+    pub(crate) abandoned_deadline: u64,
+    /// Deadline abandonments inside the measurement window (the carried —
+    /// but useless — part of throughput).
+    pub(crate) abandoned_deadline_measured: u64,
+    /// Requests dropped after exhausting the retry budget.
+    pub(crate) abandoned_retries: u64,
+    /// Re-injections performed.
+    pub(crate) retries_total: u64,
+    /// Breaker transitions from closed to open.
+    pub(crate) breaker_opens: u64,
 }
 
 impl OpenState {
@@ -525,6 +770,10 @@ impl OpenState {
         } else {
             AUTO_SATURATION_PER_PE * num_pes as u64 + AUTO_SATURATION_BASE
         };
+        let tokens = match &open.admission {
+            Some(AdmissionPolicy::TokenBucket { burst, .. }) => *burst as f64,
+            _ => 0.0,
+        };
         Ok(OpenState {
             rng: Rng::seed_from_u64(seed ^ ARRIVAL_SEED_SALT),
             process,
@@ -543,6 +792,21 @@ impl OpenState {
             qlen_cur: 0,
             qlen_last: 0,
             qlen_hist: LogHistogram::new(),
+            deadline: open.deadline,
+            retry: open.retry,
+            admission: open.admission,
+            breaker_cooldown: open.breaker,
+            retry_rng: Rng::seed_from_u64(seed ^ RETRY_SEED_SALT),
+            tokens,
+            tokens_last: 0,
+            retry_pending: FastHashMap::default(),
+            breaker: FastHashMap::default(),
+            shed_total: 0,
+            abandoned_deadline: 0,
+            abandoned_deadline_measured: 0,
+            abandoned_retries: 0,
+            retries_total: 0,
+            breaker_opens: 0,
         })
     }
 
@@ -656,6 +920,69 @@ impl OpenState {
             self.qlen_hist.record_n(self.qlen_cur, end - start);
         }
         self.qlen_last = now;
+    }
+
+    /// Requests currently in the system: routed subtrees plus requests
+    /// waiting out a retry backoff. The saturation trip wire and the
+    /// conservation identity both count this.
+    pub(crate) fn requests_in_system(&self) -> u64 {
+        self.inflight.len() as u64 + self.retry_pending.len() as u64
+    }
+
+    /// Total dead losses: deadline misses plus retry exhaustions.
+    pub(crate) fn abandoned_total(&self) -> u64 {
+        self.abandoned_deadline + self.abandoned_retries
+    }
+
+    /// Token-bucket admission check: refill by elapsed time, then try to
+    /// take one whole token. Pure state machine — no RNG draws.
+    pub(crate) fn bucket_admit(&mut self, now: u64, rate: f64, burst: u64) -> bool {
+        let elapsed = now.saturating_sub(self.tokens_last);
+        self.tokens = (self.tokens + elapsed as f64 * rate / RATE_UNIT).min(burst as f64);
+        self.tokens_last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Backoff before re-injection attempt number `attempts + 1`:
+    /// exponential in the attempt count (capped at 2^10), scaled by a
+    /// jitter factor uniform in [0.5, 1.5) from the dedicated retry
+    /// stream, and at least one time unit.
+    pub(crate) fn retry_backoff(&mut self, base: u64, attempts: u32) -> u64 {
+        let window = base.saturating_mul(1u64 << attempts.min(10));
+        let jitter = 0.5 + self.retry_rng.f64();
+        ((window as f64 * jitter).ceil() as u64).max(1)
+    }
+
+    /// Is routing from `pe` toward `nbr` currently blocked by the breaker?
+    pub(crate) fn breaker_blocked(&self, now: u64, pe: u32, nbr: u32) -> bool {
+        self.breaker
+            .get(&(pe, nbr))
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Open the breaker from `pe` toward `nbr` (the neighbourhood crashed
+    /// or its link dropped). Counts a transition only when the breaker was
+    /// not already open.
+    pub(crate) fn breaker_open(&mut self, pe: u32, nbr: u32) {
+        if self.breaker.insert((pe, nbr), u64::MAX) != Some(u64::MAX) {
+            self.breaker_opens += 1;
+        }
+    }
+
+    /// The fault toward `nbr` recovered: move the breaker to half-open —
+    /// still blocked for the cooldown window, then trusted again (the
+    /// entry is dropped lazily by [`OpenState::breaker_blocked`] readers
+    /// at snapshot-stable times; expiry is purely time-based).
+    pub(crate) fn breaker_recover(&mut self, now: u64, pe: u32, nbr: u32) {
+        let cooldown = self.breaker_cooldown.unwrap_or(0);
+        if self.breaker.contains_key(&(pe, nbr)) {
+            self.breaker.insert((pe, nbr), now.saturating_add(cooldown));
+        }
     }
 }
 
@@ -817,6 +1144,147 @@ mod tests {
         assert_eq!(st.trace_pe_override(), Some(1));
         assert_eq!(st.next_arrival(9), None); // 14 >= duration
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_and_admission_specs_round_trip() {
+        for s in ["3x200", "1x1", "10x5000"] {
+            let p: RetryPolicy = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        for s in ["queue:64", "util:0.9", "bucket:12x32", "bucket:4.5x8"] {
+            let a: AdmissionPolicy = s.parse().unwrap();
+            assert_eq!(a.to_string(), s);
+            let again: AdmissionPolicy = a.to_string().parse().unwrap();
+            assert_eq!(again, a);
+        }
+    }
+
+    #[test]
+    fn retry_and_admission_parse_errors_quote_grammar() {
+        for s in ["3", "0x200", "3x0", "zzx200", "3xzz"] {
+            let err = s.parse::<RetryPolicy>().unwrap_err();
+            assert!(err.0.contains("MAXxBASE"), "{s:?}: {}", err.0);
+        }
+        for s in [
+            "queue",
+            "queue:0",
+            "queue:zz",
+            "util:0",
+            "util:1.5",
+            "util:nan",
+            "bucket:5",
+            "bucket:0x5",
+            "bucket:5x0",
+            "nope:3",
+        ] {
+            let err = s.parse::<AdmissionPolicy>().unwrap_err();
+            assert!(err.0.contains("queue:MAX"), "{s:?}: {}", err.0);
+        }
+    }
+
+    #[test]
+    fn overload_knobs_validate() {
+        let spec: ArrivalSpec = "poisson:2".parse().unwrap();
+        let base = OpenTraffic::new(spec, 10_000);
+        assert!(!base.protected());
+        let mut ok = base.clone();
+        ok.deadline = Some(2_000);
+        ok.retry = Some("3x200".parse().unwrap());
+        ok.admission = Some("bucket:8x16".parse().unwrap());
+        ok.breaker = Some(400);
+        assert!(ok.protected());
+        ok.validate().unwrap();
+
+        let bad = OpenTraffic {
+            deadline: Some(0),
+            ..base.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("deadline"));
+        let bad = OpenTraffic {
+            breaker: Some(0),
+            ..base.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("breaker"));
+        let bad = OpenTraffic {
+            retry: Some(RetryPolicy { max: 0, base: 10 }),
+            ..base.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("retry"));
+        let bad = OpenTraffic {
+            admission: Some(AdmissionPolicy::Utilization { threshold: 2.0 }),
+            ..base
+        };
+        assert!(bad.validate().unwrap_err().contains("utilization"));
+    }
+
+    fn overload_state(admission: &str) -> OpenState {
+        let spec: ArrivalSpec = "poisson:2".parse().unwrap();
+        let mut open = OpenTraffic::new(spec, 10_000);
+        open.retry = Some("3x200".parse().unwrap());
+        open.admission = Some(admission.parse().unwrap());
+        open.breaker = Some(500);
+        OpenState::build(&open, 9, 4, 0).unwrap()
+    }
+
+    #[test]
+    fn token_bucket_refills_and_sheds() {
+        let mut st = overload_state("bucket:10x2");
+        // Starts full: two tokens, third arrival at t=0 is shed.
+        assert!(st.bucket_admit(0, 10.0, 2));
+        assert!(st.bucket_admit(0, 10.0, 2));
+        assert!(!st.bucket_admit(0, 10.0, 2));
+        // 10 per 1000 units -> one token per 100 units.
+        assert!(!st.bucket_admit(50, 10.0, 2));
+        assert!(st.bucket_admit(150, 10.0, 2));
+        // Refill caps at burst.
+        assert!(st.bucket_admit(100_000, 10.0, 2));
+        assert!(st.bucket_admit(100_000, 10.0, 2));
+        assert!(!st.bucket_admit(100_000, 10.0, 2));
+    }
+
+    #[test]
+    fn retry_backoff_is_jittered_exponential_and_deterministic() {
+        let mut a = overload_state("queue:64");
+        let mut b = overload_state("queue:64");
+        for attempts in 0..6u32 {
+            let base = 200u64;
+            let d = a.retry_backoff(base, attempts);
+            assert_eq!(d, b.retry_backoff(base, attempts), "streams diverged");
+            let window = base * (1 << attempts);
+            let lo = window / 2;
+            let hi = window + window / 2 + 1;
+            assert!(
+                (lo..=hi).contains(&d),
+                "attempt {attempts}: {d} not in [{lo},{hi}]"
+            );
+        }
+        // The cap keeps the shift in range even for absurd attempt counts.
+        assert!(a.retry_backoff(200, 200) >= 1);
+    }
+
+    #[test]
+    fn breaker_state_machine_opens_and_recovers() {
+        let mut st = overload_state("queue:64");
+        assert!(!st.breaker_blocked(100, 0, 1));
+        st.breaker_open(0, 1);
+        assert_eq!(st.breaker_opens, 1);
+        st.breaker_open(0, 1); // idempotent while open
+        assert_eq!(st.breaker_opens, 1);
+        assert!(
+            st.breaker_blocked(u64::MAX - 1, 0, 1),
+            "open blocks forever"
+        );
+        // Recovery at t=1000 with cooldown 500: blocked until 1500.
+        st.breaker_recover(1000, 0, 1);
+        assert!(st.breaker_blocked(1499, 0, 1));
+        assert!(!st.breaker_blocked(1500, 0, 1));
+        // Re-opening after recovery counts a fresh transition.
+        st.breaker_open(0, 1);
+        assert_eq!(st.breaker_opens, 2);
+        // Recovery of an untracked pair is a no-op.
+        st.breaker_recover(0, 2, 3);
+        assert!(!st.breaker_blocked(0, 2, 3));
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub const SNAPSHOT_MAGIC: u32 = 0x4D53_4E50;
 ///
 /// v2 added the open-traffic block (arrival RNG, process cursor, in-flight
 /// request table, sojourn/queue-length statistics).
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3 added the overload-protection block (retry RNG and pending-retry
+/// table, token-bucket level, circuit-breaker table, shed/abandonment
+/// counters, the `Retry` event tag, and per-request attempt counts).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a restore failed: the blob itself was undecodable, or it decoded
 /// fine but does not belong to this machine.
@@ -408,6 +412,10 @@ fn put_event(w: &mut SnapWriter, ev: &Event) {
             w.u64(goal.0);
         }
         Event::Arrival => w.u8(10),
+        Event::Retry(goal) => {
+            w.u8(11);
+            w.u64(goal.0);
+        }
     }
 }
 
@@ -424,6 +432,7 @@ fn get_event(r: &mut SnapReader) -> Result<Event, SnapError> {
         8 => Event::SlowEnd(PeId(r.u32()?)),
         9 => Event::AckTimeout(GoalId(r.u64()?)),
         10 => Event::Arrival,
+        11 => Event::Retry(GoalId(r.u64()?)),
         t => {
             return Err(SnapError::Invalid {
                 what: "event tag",
@@ -541,15 +550,57 @@ fn put_open(w: &mut SnapWriter, open: &OpenState) {
     put_log_hist(w, &open.qlen_hist);
     // In-flight requests in sorted goal-id order — map iteration order
     // must not leak into the blob.
-    let mut ids: Vec<GoalId> = open.inflight.keys().copied().collect();
+    put_inflight_map(w, &open.inflight);
+    // Overload-protection runtime state (v3): retry stream and pending
+    // re-injections, token-bucket level (raw f64 bits), breaker table in
+    // sorted (pe, neighbour) order, and the shed/abandonment counters.
+    put_rng(w, &open.retry_rng);
+    w.f64(open.tokens);
+    w.u64(open.tokens_last);
+    put_inflight_map(w, &open.retry_pending);
+    let mut keys: Vec<(u32, u32)> = open.breaker.keys().copied().collect();
+    keys.sort_unstable();
+    w.usize(keys.len());
+    for key in keys {
+        w.u32(key.0);
+        w.u32(key.1);
+        w.u64(open.breaker[&key]);
+    }
+    w.u64(open.shed_total);
+    w.u64(open.abandoned_deadline);
+    w.u64(open.abandoned_deadline_measured);
+    w.u64(open.abandoned_retries);
+    w.u64(open.retries_total);
+    w.u64(open.breaker_opens);
+}
+
+/// Write a goal-id → in-flight-request table in sorted goal-id order (map
+/// iteration order must not leak into the blob).
+fn put_inflight_map(w: &mut SnapWriter, map: &FastHashMap<GoalId, Inflight>) {
+    let mut ids: Vec<GoalId> = map.keys().copied().collect();
     ids.sort_unstable();
     w.usize(ids.len());
     for id in ids {
-        let infl = open.inflight[&id];
+        let infl = map[&id];
         w.u64(id.0);
         w.u64(infl.request);
         w.u64(infl.arrived);
+        w.u32(infl.attempts);
     }
+}
+
+fn get_inflight_map(r: &mut SnapReader) -> Result<FastHashMap<GoalId, Inflight>, SnapError> {
+    let mut map = FastHashMap::default();
+    for _ in 0..r.usize()? {
+        let id = GoalId(r.u64()?);
+        let infl = Inflight {
+            request: r.u64()?,
+            arrived: r.u64()?,
+            attempts: r.u32()?,
+        };
+        map.insert(id, infl);
+    }
+    Ok(map)
 }
 
 /// Restore state written by [`put_open`] into the freshly built
@@ -596,15 +647,23 @@ fn get_open(r: &mut SnapReader, open: &mut OpenState) -> Result<(), RestoreFail>
     open.sojourn = get_log_hist(r)?;
     open.sojourn_stats = get_stats(r)?;
     open.qlen_hist = get_log_hist(r)?;
-    open.inflight = FastHashMap::default();
+    open.inflight = get_inflight_map(r)?;
+    open.retry_rng = get_rng(r)?;
+    open.tokens = r.f64()?;
+    open.tokens_last = r.u64()?;
+    open.retry_pending = get_inflight_map(r)?;
+    open.breaker = FastHashMap::default();
     for _ in 0..r.usize()? {
-        let id = GoalId(r.u64()?);
-        let infl = Inflight {
-            request: r.u64()?,
-            arrived: r.u64()?,
-        };
-        open.inflight.insert(id, infl);
+        let key = (r.u32()?, r.u32()?);
+        let until = r.u64()?;
+        open.breaker.insert(key, until);
     }
+    open.shed_total = r.u64()?;
+    open.abandoned_deadline = r.u64()?;
+    open.abandoned_deadline_measured = r.u64()?;
+    open.abandoned_retries = r.u64()?;
+    open.retries_total = r.u64()?;
+    open.breaker_opens = r.u64()?;
     Ok(())
 }
 
@@ -1202,6 +1261,48 @@ mod tests {
         let mut closed = machine(MachineConfig::default().with_seed(9));
         let err = closed.restore_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("open-traffic"), "{err}");
+    }
+
+    #[test]
+    fn overload_state_resume_is_bit_identical_under_faults() {
+        // Deadline + retry + admission + breaker all active, plus a crash
+        // and message loss, so the v3 block (retry RNG, pending retries,
+        // bucket level, breaker table, counters) is non-trivial at the
+        // pause point.
+        let spec: ArrivalSpec = "poisson:5".parse().unwrap();
+        let cfg = MachineConfig {
+            open: Some(OpenTraffic {
+                warmup: 200,
+                deadline: Some(600),
+                retry: Some("3x50".parse().unwrap()),
+                admission: Some("bucket:8x4".parse().unwrap()),
+                breaker: Some(300),
+                ..OpenTraffic::new(spec, 2000)
+            }),
+            fault_plan: FaultPlan::default().crash(2, 600).with_loss(0.02),
+            ..MachineConfig::default().with_seed(13)
+        };
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let cfg = MachineConfig {
+                queue_backend: backend,
+                ..cfg.clone()
+            };
+            let mut plain = machine(cfg.clone());
+            plain.begin();
+            let baseline = run_to_end(plain);
+
+            // Pause after the crash so breaker/retry state is in play.
+            let mut first = machine(cfg.clone());
+            first.begin();
+            let done = first.advance_until(Some(900)).unwrap();
+            assert!(!done, "overload run should pause before its horizon");
+            let bytes = first.snapshot_bytes();
+            assert_eq!(run_to_end(first), baseline);
+
+            let mut resumed = machine(cfg);
+            resumed.restore_bytes(&bytes).unwrap();
+            assert_eq!(run_to_end(resumed), baseline);
+        }
     }
 
     #[test]

@@ -139,9 +139,90 @@ fn saturation_trip_wire_fires_on_overload() {
             assert!(at < 1_000_000, "tripped before the horizon: {at}");
             assert!(inflight >= 64, "{inflight} in flight at the trip");
         }
-        OpenOutcome::Completed => panic!("overloaded cell claimed to keep up: {o:?}"),
+        other => panic!("overloaded cell did not trip the wire: {other:?} ({o:?})"),
     }
     assert!(o.arrivals > o.completions, "backlog must have grown");
+}
+
+/// Full overload-protection stack — deadline, retry, admission, breaker —
+/// under a crash-and-loss fault plan: the report must still be a pure
+/// function of (config, seed) across queue backends and thread counts, and
+/// the arrival-conservation invariant must hold (checked by
+/// `run_validated`).
+#[test]
+fn overload_protection_is_deterministic_across_backends_and_threads() {
+    let config = |backend| {
+        let mut open = OpenTraffic::new("poisson:30".parse().unwrap(), 3_000);
+        open.warmup = 200;
+        open.deadline = Some(500);
+        open.retry = Some("3x60".parse().unwrap());
+        open.admission = Some("queue:6".parse().unwrap());
+        open.breaker = Some(400);
+        SimulationBuilder::new()
+            .topology(TopologySpec::grid(3))
+            .strategy(StrategySpec::Cwn {
+                radius: 3,
+                horizon: 1,
+            })
+            .workload(WorkloadSpec::fib(7))
+            .seed(17)
+            .queue_backend(backend)
+            .fault_plan("crash:4@700+loss:2%".parse().unwrap())
+            .open(Some(open))
+            .config()
+    };
+    let heap = config(QueueBackend::Heap).run_validated();
+    let cal = config(QueueBackend::Calendar).run_validated();
+    assert_eq!(format!("{heap:?}"), format!("{cal:?}"));
+
+    let specs = vec![RunSpec::new("overload", config(QueueBackend::Heap))];
+    let seq = run_batch_with_threads(&specs, 1);
+    let par = run_batch_with_threads(&specs, 4);
+    for ((la, a), (lb, b)) in seq.iter().zip(&par) {
+        assert_eq!(la, lb);
+        assert_eq!(
+            format!("{:?}", a.as_ref().unwrap()),
+            format!("{:?}", b.as_ref().unwrap())
+        );
+    }
+
+    let report = heap.expect("protected run succeeds");
+    let o = report.open.expect("open metrics present");
+    assert_eq!(
+        o.arrivals,
+        o.completions + o.shed + o.abandoned_deadline + o.abandoned_retries + o.inflight_at_end,
+        "arrival conservation: {o:?}"
+    );
+}
+
+/// Admission control actually sheds under overload, and sheds are counted:
+/// a tight token bucket in front of a hopeless offered load keeps the
+/// in-flight population bounded (no saturation trip) while the shed
+/// counter absorbs the rest.
+#[test]
+fn token_bucket_sheds_instead_of_melting_down() {
+    let mut open = OpenTraffic::new("poisson:400".parse().unwrap(), 20_000);
+    open.warmup = 100;
+    open.saturation_inflight = 64;
+    open.admission = Some("bucket:1x2".parse().unwrap());
+    open.deadline = Some(8_000);
+    let report = SimulationBuilder::new()
+        .topology(TopologySpec::Ring { n: 4 })
+        .strategy(StrategySpec::Local)
+        .workload(WorkloadSpec::fib(10))
+        .seed(3)
+        .open(Some(open))
+        .run_validated()
+        .expect("a shedding run is a clean outcome");
+    let o = report.open.expect("open metrics present");
+    assert!(
+        !matches!(o.outcome, OpenOutcome::Saturated { .. }),
+        "bucket failed to protect the trip wire: {:?}",
+        o.outcome
+    );
+    assert!(o.shed > 0, "nothing shed at 80x the bucket rate: {o:?}");
+    assert!(o.shed_rate > 0.9, "shed rate {} too low", o.shed_rate);
+    assert!(o.goodput <= o.throughput, "{o:?}");
 }
 
 /// Same seed, same report — for every arrival family, including a replayed

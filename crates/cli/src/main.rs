@@ -132,7 +132,8 @@ oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
 
 commands:
   run       --topology T --strategy S --workload W [--seed N] [--csv]
-            [--series] [--trace N] [--trace-out FILE]
+            [--shards N|auto] [--no-coprocessor] [--series]
+            [--trace N] [--trace-out FILE]
             [--trace-format jsonl|chrome] [--trace-last N]
             [--series-out FILE] [--profile] [--heatmap FILE.ppm]
             [--faults PLAN|@FILE] [--audit-every N]
@@ -165,6 +166,15 @@ commands:
             wall times, queue-depth high-water mark, control tags);
             --faults @FILE loads a plan file (blank/# lines ignored, one
             or more `+`-separated terms per line);
+            --shards N splits the single run across N conservative-sync
+            workers (`auto` = all cores) with bit-identical results;
+            configurations the sharded engine cannot split (tracing,
+            faults, open traffic, co-processor mode) run sequentially,
+            with a stderr note naming the reason;
+            --no-coprocessor models software message routing (PEs pay
+            the routing cost themselves) — required for --shards to
+            engage, since co-processor deliveries run strategy code at
+            channel timestamps;
             --audit-every N checks runtime invariants every N events;
             --checkpoint-every T writes an atomic checkpoint every T sim
             time units (to --checkpoint-dir, default ./checkpoints);
@@ -224,6 +234,13 @@ spec grammars:
   faults:   `+`-separated terms of crash:PE@T | link:CH@DOWN..UP | loss:P% |
             slow:PE@FROM..UNTILxFACTOR | recover:TIMEOUTxRETRIES | none
 
+parallelism precedence (each resolved per command invocation):
+  --threads N   batch worker pool; flag > default (all cores). 0 rejected:
+                \"--threads N (N >= 1; omit the flag for auto)\"
+  --shards N    per-run sharded engine; flag > default (1 = sequential).
+                `auto` = all cores; ineligible runs fall back untouched.
+  The two compose: each batch worker may itself run sharded.
+
 exit codes: 0 success (saturation is a measured outcome, not a failure) |
             2 simulation failed (invariant violation, goals lost, stall,
             …) | 3 configuration or I/O error | 4 overloaded (admission
@@ -263,11 +280,45 @@ impl<'a> Flags<'a> {
 /// Apply the shared `--threads N` flag: cap the worker pool every batch in
 /// this process uses. Thread count changes wall clock only, never results.
 fn apply_threads(flags: &Flags) -> Result<(), String> {
-    let threads: usize = flags.parse("--threads", 0)?;
-    if flags.value_of("--threads").is_some() && threads == 0 {
-        return Err("--threads must be at least 1".into());
+    match flags.value_of("--threads") {
+        None => oracle::runner::clear_default_threads(),
+        Some(v) => {
+            let threads: usize = v.parse().map_err(|e| format!("--threads {v:?}: {e}"))?;
+            if threads == 0 {
+                return Err(format!(
+                    "--threads must be at least 1 ({})",
+                    oracle::runner::THREADS_GRAMMAR
+                ));
+            }
+            oracle::runner::set_default_threads(threads);
+        }
     }
-    oracle::runner::set_default_threads(threads);
+    Ok(())
+}
+
+/// Apply the shared `--shards N|auto` flag: split each single run across N
+/// conservative-sync workers (`auto` = all physical cores). Results are
+/// bit-identical at any shard count; ineligible configurations (tracing,
+/// faults, open traffic, co-processor mode, …) fall back to the
+/// sequential engine transparently.
+fn apply_shards(flags: &Flags) -> Result<(), String> {
+    match flags.value_of("--shards") {
+        None => oracle::runner::clear_default_shards(),
+        Some("auto") => oracle::runner::set_default_shards(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        ),
+        Some(v) => {
+            let shards: usize = v.parse().map_err(|e| format!("--shards {v:?}: {e}"))?;
+            if shards == 0 {
+                return Err(
+                    "--shards must be at least 1, or `auto` (1 = sequential engine)".into(),
+                );
+            }
+            oracle::runner::set_default_shards(shards);
+        }
+    }
     Ok(())
 }
 
@@ -393,6 +444,7 @@ fn open_outcome_failure(report: &Report) -> Result<(), Failure> {
 
 fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
+    apply_shards(&flags)?;
     let mut trace_cap: usize = flags.parse("--trace", 0)?;
     let trace_last: usize = flags.parse("--trace-last", 0)?;
     let trace_out = flags.value_of("--trace-out");
@@ -444,6 +496,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
         ..MachineConfig::default()
     };
     machine_cfg.seed = seed;
+    machine_cfg.coprocessor = !flags.has("--no-coprocessor");
     machine_cfg.per_pe_series =
         flags.has("--series") || heatmap_path.is_some() || series_out.is_some();
     let config = SimulationBuilder::new()
@@ -452,6 +505,15 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
         .workload(workload)
         .machine(machine_cfg)
         .config();
+
+    let shards = oracle::runner::default_shards();
+    if shards > 1 {
+        if let Ok(m) = config.machine() {
+            if let Some(reason) = oracle::model::ineligibility(&m, shards) {
+                eprintln!("note: --shards {shards} falls back to the sequential engine: {reason}");
+            }
+        }
+    }
 
     let checkpoint_every: u64 = flags.parse("--checkpoint-every", 0)?;
     if checkpoint_every > 0 {
@@ -736,6 +798,10 @@ fn print_report(report: &Report, flags: &Flags) {
 /// Chaos-fuzzing sweep frontend over [`oracle::chaos`].
 fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
     let flags = Flags { args };
+    // Chaos cases carry fault plans, so sharded execution falls back to
+    // the sequential engine case by case — accepting the flag here keeps
+    // one command line valid across a whole CI matrix.
+    apply_shards(&flags)?;
     let mut config = oracle::chaos::ChaosConfig::default();
     config.cases = flags.parse("--cases", config.cases)?;
     config.seed = flags.parse("--seed", config.seed)?;
@@ -810,6 +876,7 @@ fn cmd_experiment(args: &[String]) -> Result<(), Failure> {
     };
     let seed: u64 = flags.parse("--seed", 1)?;
     apply_threads(&flags)?;
+    apply_shards(&flags)?;
 
     match name.as_str() {
         "table1" => {
@@ -1004,6 +1071,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Failure> {
     };
     let flags = Flags { args: &args[1..] };
     apply_threads(&flags)?;
+    apply_shards(&flags)?;
     let text = std::fs::read_to_string(path).map_err(|e| Failure::io(format!("{path}: {e}")))?;
     let mut specs = oracle::runner::parse_suite(&text)?;
     let profile = flags.has("--profile");
@@ -1433,7 +1501,23 @@ mod tests {
         let err = cmd_batch(&flags(&[path.to_str().unwrap(), "--threads", "0"])).unwrap_err();
         assert!(err.message.contains("--threads"), "{}", err.message);
         std::fs::remove_file(&path).ok();
-        oracle::runner::set_default_threads(0);
+        oracle::runner::clear_default_threads();
+    }
+
+    #[test]
+    fn shards_flag_is_validated_and_cleared() {
+        let apply = |args: &[&str]| {
+            let a = flags(args);
+            apply_shards(&Flags { args: &a })
+        };
+        apply(&["--shards", "3"]).expect("positive shard count accepted");
+        assert_eq!(oracle::runner::default_shards(), 3);
+        let err = apply(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        apply(&["--shards", "auto"]).expect("auto accepted");
+        assert!(oracle::runner::default_shards() >= 1);
+        apply(&[]).expect("absent flag clears the default");
+        assert_eq!(oracle::runner::default_shards(), 1);
     }
 
     #[test]

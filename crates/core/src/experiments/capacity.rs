@@ -320,7 +320,7 @@ mod tests {
         let seq = run(Fidelity::Quick, 7);
         crate::runner::set_default_threads(4);
         let par = run(Fidelity::Quick, 7);
-        crate::runner::set_default_threads(0);
+        crate::runner::clear_default_threads();
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.max_rate, b.max_rate);
             assert_eq!(

@@ -42,14 +42,63 @@ pub fn run_batch(specs: &[RunSpec]) -> Vec<(String, Result<Report, SimError>)> {
 /// Process-wide override for [`default_threads`]; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// The `--threads` grammar, quoted by every rejection of an invalid count
+/// so the message itself teaches the rule.
+pub const THREADS_GRAMMAR: &str = "--threads N (N >= 1; omit the flag for auto)";
+
 /// Set the worker-thread count every subsequent [`run_batch`] uses — the
 /// hook behind the CLI's `--threads N` flag, which has to reach batches
 /// buried inside the experiment harnesses without threading a parameter
-/// through every table/plot signature. Pass 0 to restore the default
-/// (available parallelism). Thread count never affects results, only wall
-/// clock: `run_batch` writes each result into its input slot.
+/// through every table/plot signature. Thread count never affects results,
+/// only wall clock: `run_batch` writes each result into its input slot.
+/// Undo with [`clear_default_threads`].
+///
+/// # Panics
+///
+/// Panics on `threads == 0`: zero used to fall back to "auto" silently,
+/// which swallowed typos like `--threads $UNSET_VAR`. The valid grammar is
+/// [`THREADS_GRAMMAR`].
 pub fn set_default_threads(threads: usize) {
+    assert!(
+        threads >= 1,
+        "thread count 0 is not a degree of parallelism; use {THREADS_GRAMMAR}"
+    );
     THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Remove the [`set_default_threads`] override: [`default_threads`] returns
+/// to the machine's available parallelism.
+pub fn clear_default_threads() {
+    THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Process-wide default shard count for single-run execution; 0 means "not
+/// set" (sequential). Distinct from [`THREAD_OVERRIDE`]: threads spread a
+/// *batch* across runs, shards split *one run* across workers. The two
+/// compose — each batch worker may itself run sharded — but oversubscribing
+/// a small machine with both rarely pays.
+static SHARD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the shard count every subsequent [`RunConfig::run`][crate::builder::RunConfig::run]
+/// uses — the hook behind the CLI's `--shards N|auto` flag. Values of 0 or
+/// 1 select the sequential engine (there is nothing invalid about them:
+/// one shard *is* sequential execution). Shard count never affects results
+/// — the parallel engine is bit-identical, and ineligible configurations
+/// fall back to sequential execution transparently.
+pub fn set_default_shards(shards: usize) {
+    SHARD_OVERRIDE.store(shards, Ordering::Relaxed);
+}
+
+/// Remove the [`set_default_shards`] override: runs go back to the
+/// sequential engine.
+pub fn clear_default_shards() {
+    SHARD_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Shard count single runs use by default: the [`set_default_shards`]
+/// value if set, else 1 (sequential).
+pub fn default_shards() -> usize {
+    SHARD_OVERRIDE.load(Ordering::Relaxed).max(1)
 }
 
 /// Number of worker threads used by [`run_batch`]: the
@@ -65,11 +114,21 @@ pub fn default_threads() -> usize {
 }
 
 /// [`run_batch`] with an explicit thread count (1 = fully sequential).
+///
+/// # Panics
+///
+/// Panics on `threads == 0` (formerly clamped to 1 silently — a zero here
+/// is always a caller bug, e.g. an empty env var parsed as 0). The valid
+/// grammar is [`THREADS_GRAMMAR`].
 pub fn run_batch_with_threads(
     specs: &[RunSpec],
     threads: usize,
 ) -> Vec<(String, Result<Report, SimError>)> {
-    let threads = threads.clamp(1, specs.len().max(1));
+    assert!(
+        threads >= 1,
+        "thread count 0 is not a degree of parallelism; use {THREADS_GRAMMAR}"
+    );
+    let threads = threads.min(specs.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<Report, SimError>>>> =
         specs.iter().map(|_| Mutex::new(None)).collect();
@@ -400,8 +459,34 @@ mod tests {
     fn thread_override_is_respected_and_clearable() {
         set_default_threads(3);
         assert_eq!(default_threads(), 3);
-        set_default_threads(0);
-        assert!(default_threads() >= 1, "0 must mean auto, not zero workers");
+        clear_default_threads();
+        assert!(
+            default_threads() >= 1,
+            "cleared must mean auto, not zero workers"
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_loudly() {
+        let err = std::panic::catch_unwind(|| set_default_threads(0))
+            .expect_err("thread count 0 must panic, not silently mean auto");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains(THREADS_GRAMMAR),
+            "rejection must cite the grammar, got: {msg}"
+        );
+        assert!(std::panic::catch_unwind(|| run_batch_with_threads(&[], 0)).is_err());
+    }
+
+    #[test]
+    fn shard_override_is_respected_and_clearable() {
+        set_default_shards(4);
+        assert_eq!(default_shards(), 4);
+        clear_default_shards();
+        assert_eq!(default_shards(), 1, "default is the sequential engine");
     }
 
     #[test]

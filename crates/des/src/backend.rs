@@ -14,19 +14,21 @@ use crate::event::EventQueue;
 use crate::time::SimTime;
 
 /// The portable state of an event list: the clock, the processed-event
-/// count, and every pending event in pop order. Because both backends order
-/// events identically (time, then insertion sequence), this is a complete
-/// and backend-agnostic description — a snapshot drained from a heap can be
-/// restored into a calendar queue and vice versa without changing a single
-/// future pop.
+/// count, and every pending event in pop order with its ordering key.
+/// Because both backends order events identically (time, then key), this is
+/// a complete and backend-agnostic description — a snapshot drained from a
+/// heap can be restored into a calendar queue and vice versa without
+/// changing a single future pop, and the preserved keys keep restored
+/// events merging correctly with keyed events scheduled later.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueSnapshot<E> {
     /// Timestamp of the last popped event.
     pub now: SimTime,
     /// Events popped before the snapshot was taken.
     pub processed: u64,
-    /// Every pending event, in exactly the order `pop` would return them.
-    pub events: Vec<(SimTime, E)>,
+    /// Every pending event with its ordering key, in exactly the order
+    /// `pop` would return them.
+    pub events: Vec<(SimTime, u64, E)>,
 }
 
 /// An event list that is either a binary heap or a calendar queue.
@@ -41,6 +43,7 @@ pub struct QueueSnapshot<E> {
 ///     assert_eq!(q.pop(), Some((SimTime(10), "late")));
 /// }
 /// ```
+#[derive(Clone)]
 pub enum DualQueue<E> {
     /// Binary-heap event list ([`EventQueue`]) — the default.
     Heap(EventQueue<E>),
@@ -122,12 +125,65 @@ impl<E> DualQueue<E> {
         }
     }
 
+    /// Schedule `payload` at the absolute instant `at` with an explicit
+    /// ordering key (see [`EventQueue::schedule_keyed_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    #[inline]
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, payload: E) {
+        match self {
+            DualQueue::Heap(q) => q.schedule_keyed_at(at, key, payload),
+            DualQueue::Calendar(q) => q.schedule_keyed_at(at, key, payload),
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            DualQueue::Heap(q) => q.peek_time(),
+            DualQueue::Calendar(q) => q.peek_time(),
+        }
+    }
+
     /// Remove and return the next event, advancing the clock.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         match self {
             DualQueue::Heap(q) => q.pop(),
             DualQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Remove and return the next event together with its ordering key,
+    /// advancing the clock.
+    #[inline]
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        match self {
+            DualQueue::Heap(q) => q.pop_keyed(),
+            DualQueue::Calendar(q) => q.pop_keyed(),
+        }
+    }
+
+    /// `(time, key)` of the next pending event without removing it.
+    pub fn peek_keyed(&self) -> Option<(SimTime, u64)> {
+        match self {
+            DualQueue::Heap(q) => q.peek_keyed(),
+            DualQueue::Calendar(q) => q.peek_keyed(),
+        }
+    }
+
+    /// Move the clock forward to `t` without popping anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or would skip over a pending event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        match self {
+            DualQueue::Heap(q) => q.advance_to(t),
+            DualQueue::Calendar(q) => q.advance_to(t),
         }
     }
 
@@ -139,7 +195,7 @@ impl<E> DualQueue<E> {
         let now = self.now();
         let processed = self.events_processed();
         let mut events = Vec::with_capacity(self.len());
-        while let Some(entry) = self.pop() {
+        while let Some(entry) = self.pop_keyed() {
             events.push(entry);
         }
         QueueSnapshot {

@@ -8,19 +8,19 @@
 //! of events per time unit: a *unit-width* wheel of `WHEEL_SLOTS` buckets
 //! covering the window `[window_start, window_start + WHEEL_SLOTS)`, plus a
 //! binary-heap overflow for events beyond the window. With one timestamp
-//! per bucket, a bucket's FIFO order *is* the insertion-sequence order, so
-//! no per-entry keys are compared on the hot path at all: `schedule` is a
-//! bounds check and a push, `pop` walks the clock forward to the next
-//! non-empty bucket (amortized O(1) at the densities the simulator
-//! produces). When the wheel drains, the window jumps straight to the
-//! earliest overflow timestamp and due overflow events are decanted into
-//! the wheel in `(time, seq)` order — there is no full-calendar scan
-//! anywhere.
+//! per bucket, a bucket holds only same-instant events, so `schedule` is a
+//! bounds check and a push, and `pop` walks the clock forward to the next
+//! non-empty bucket and extracts that bucket's minimum-*key* entry with a
+//! short linked-list scan (buckets hold at most a few tens of entries at
+//! the densities the simulator produces). When the wheel drains, the window
+//! jumps straight to the earliest overflow timestamp and due overflow
+//! events are decanted into the wheel in `(time, key)` order — there is no
+//! full-calendar scan anywhere.
 //!
 //! [`CalendarQueue`] implements the same interface and — crucially — the
-//! same *deterministic order* as [`crate::EventQueue`] (time, then
-//! insertion sequence), so the two are interchangeable; property tests
-//! check order equality on random, sparse, and interleaved schedules, and
+//! same *deterministic order* as [`crate::EventQueue`] (time, then ordering
+//! key), so the two are interchangeable; property tests check order
+//! equality on random, sparse, and interleaved schedules, and
 //! `benches/engine.rs` compares their throughput.
 
 use std::cmp::Reverse;
@@ -37,24 +37,28 @@ const MASK: u64 = WHEEL_SLOTS as u64 - 1;
 /// Sentinel "no node" index into the wheel's node pool.
 const NIL: u32 = u32::MAX;
 
-/// A pooled wheel entry: the payload plus the pool index of the next entry
-/// in the same slot's FIFO (or, for free nodes, the next free node).
+/// A pooled wheel entry: the payload and its ordering key, plus the pool
+/// index of the next entry in the same slot's list (or, for free nodes, the
+/// next free node).
+#[derive(Clone)]
 struct Node<E> {
     payload: Option<E>,
+    key: u64,
     next: u32,
 }
 
-/// An overflow entry. Ordered by time, then by insertion sequence — the
-/// same deterministic order as [`crate::EventQueue`].
+/// An overflow entry. Ordered by time, then by ordering key — the same
+/// deterministic order as [`crate::EventQueue`].
+#[derive(Clone)]
 struct Deferred<E> {
     at: u64,
-    seq: u64,
+    key: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Deferred<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<E> Eq for Deferred<E> {}
@@ -65,11 +69,11 @@ impl<E> PartialOrd for Deferred<E> {
 }
 impl<E> Ord for Deferred<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
-/// A two-tier timing-wheel calendar with deterministic FIFO tie-breaking.
+/// A two-tier timing-wheel calendar with deterministic keyed tie-breaking.
 ///
 /// ```
 /// use oracle_des::{CalendarQueue, SimTime};
@@ -80,19 +84,20 @@ impl<E> Ord for Deferred<E> {
 /// assert_eq!(q.pop(), Some((SimTime(5), "early")));
 /// assert_eq!(q.pop(), Some((SimTime(10), "late")));
 /// ```
+#[derive(Clone)]
 pub struct CalendarQueue<E> {
     /// Shared node pool for every wheel slot. Each slot is a singly-linked
-    /// FIFO threaded through this arena (`head`/`tail` below), and freed
+    /// list threaded through this arena (`head`/`tail` below), and freed
     /// nodes go on a free list — so the steady state allocates nothing, and
     /// the pool grows O(log peak-pending) times total instead of each of
     /// the 1024 slots growing its own buffer.
     pool: Vec<Node<E>>,
     /// Head of the free list through `pool` (`NIL` when exhausted).
     free: u32,
-    /// `head[t & MASK]`/`tail[t & MASK]` delimit the FIFO of every pending
+    /// `head[t & MASK]`/`tail[t & MASK]` delimit the list of every pending
     /// event at exactly time `t`, for `t` in `[window_start, window_start +
-    /// WHEEL_SLOTS)`, in insertion-sequence order. One timestamp per slot —
-    /// the window is exactly one wheel revolution.
+    /// WHEEL_SLOTS)`. One timestamp per slot — the window is exactly one
+    /// wheel revolution. Pop extracts the minimum-key entry of a slot.
     head: Vec<u32>,
     tail: Vec<u32>,
     /// Start of the window the wheel currently covers. Only moves forward,
@@ -132,21 +137,23 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Append `payload` to the FIFO of the slot covering time `t` (which
-    /// must lie inside the current window).
+    /// Append `payload` to the slot covering time `t` (which must lie
+    /// inside the current window).
     #[inline]
-    fn wheel_push(&mut self, t: u64, payload: E) {
+    fn wheel_push(&mut self, t: u64, key: u64, payload: E) {
         let idx = if self.free != NIL {
             let idx = self.free;
             let node = &mut self.pool[idx as usize];
             self.free = node.next;
             node.payload = Some(payload);
+            node.key = key;
             node.next = NIL;
             idx
         } else {
             assert!(self.pool.len() < NIL as usize, "event pool overflow");
             self.pool.push(Node {
                 payload: Some(payload),
+                key,
                 next: NIL,
             });
             (self.pool.len() - 1) as u32
@@ -161,24 +168,47 @@ impl<E> CalendarQueue<E> {
         self.wheel_len += 1;
     }
 
-    /// Detach and return the first payload of slot `s`, if any, recycling
-    /// its node onto the free list.
+    /// Detach and return the minimum-key entry of slot `s`, if any,
+    /// recycling its node onto the free list. The scan is over same-instant
+    /// events only (one timestamp per slot), which stays short at simulated
+    /// event densities.
     #[inline]
-    fn wheel_pop(&mut self, s: usize) -> Option<E> {
-        let idx = self.head[s];
-        if idx == NIL {
+    fn wheel_pop(&mut self, s: usize) -> Option<(u64, E)> {
+        let first = self.head[s];
+        if first == NIL {
             return None;
         }
-        let node = &mut self.pool[idx as usize];
+        // Find the minimum-key node and its predecessor.
+        let mut best = first;
+        let mut best_prev = NIL;
+        let mut prev = first;
+        let mut cur = self.pool[first as usize].next;
+        let mut best_key = self.pool[first as usize].key;
+        while cur != NIL {
+            let k = self.pool[cur as usize].key;
+            if k < best_key {
+                best_key = k;
+                best = cur;
+                best_prev = prev;
+            }
+            prev = cur;
+            cur = self.pool[cur as usize].next;
+        }
+        let node = &mut self.pool[best as usize];
         let payload = node.payload.take().expect("linked node holds a payload");
-        self.head[s] = node.next;
+        let after = node.next;
         node.next = self.free;
-        self.free = idx;
-        if self.head[s] == NIL {
-            self.tail[s] = NIL;
+        self.free = best;
+        if best_prev == NIL {
+            self.head[s] = after;
+        } else {
+            self.pool[best_prev as usize].next = after;
+        }
+        if self.tail[s] == best {
+            self.tail[s] = best_prev;
         }
         self.wheel_len -= 1;
-        Some(payload)
+        Some((best_key, payload))
     }
 
     /// Current simulated time (timestamp of the last popped event).
@@ -205,30 +235,42 @@ impl<E> CalendarQueue<E> {
         self.processed
     }
 
-    /// Schedule `payload` at the absolute instant `at`.
+    /// Schedule `payload` at the absolute instant `at` with an explicit
+    /// ordering key (see [`crate::EventQueue::schedule_keyed_at`]).
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the simulated past.
-    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, payload: E) {
         assert!(
             at >= self.now,
             "scheduled event at {at} but the clock is already at {}",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
         let t = at.units();
         if t < self.window_start + WHEEL_SLOTS as u64 {
-            self.wheel_push(t, payload);
+            self.wheel_push(t, key, payload);
         } else {
             self.overflow.push(Reverse(Deferred {
                 at: t,
-                seq,
+                key,
                 payload,
             }));
         }
         self.len += 1;
+    }
+
+    /// Schedule `payload` at the absolute instant `at` with an
+    /// automatically assigned, strictly increasing key (same-instant ties
+    /// fire in insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let key = self.seq;
+        self.seq += 1;
+        self.schedule_keyed_at(at, key, payload);
     }
 
     /// Schedule `payload` to fire `delay` units from now.
@@ -237,16 +279,102 @@ impl<E> CalendarQueue<E> {
         self.schedule_at(self.now + delay, payload);
     }
 
+    /// Timestamp of the next pending event, if any. O(window occupancy) in
+    /// the worst case but O(1) amortized on the densities the simulator
+    /// produces (the scan resumes from `now`).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            return self.overflow.peek().map(|Reverse(d)| SimTime(d.at));
+        }
+        let mut t = self.now.units().max(self.window_start);
+        loop {
+            if self.head[(t & MASK) as usize] != NIL {
+                return Some(SimTime(t));
+            }
+            t += 1;
+            debug_assert!(
+                t < self.window_start + WHEEL_SLOTS as u64,
+                "wheel_len > 0 but no occupied slot in the window"
+            );
+        }
+    }
+
+    /// `(time, key)` of the next pending event without removing it: the
+    /// same walk as [`CalendarQueue::peek_time`], plus a min-key scan of
+    /// the found slot. Non-destructive — the wheel window does not move
+    /// (the window jump lives in `pop_keyed` only).
+    pub fn peek_keyed(&self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            return self
+                .overflow
+                .peek()
+                .map(|Reverse(d)| (SimTime(d.at), d.key));
+        }
+        let mut t = self.now.units().max(self.window_start);
+        loop {
+            let mut cur = self.head[(t & MASK) as usize];
+            if cur != NIL {
+                let mut best = self.pool[cur as usize].key;
+                cur = self.pool[cur as usize].next;
+                while cur != NIL {
+                    best = best.min(self.pool[cur as usize].key);
+                    cur = self.pool[cur as usize].next;
+                }
+                return Some((SimTime(t), best));
+            }
+            t += 1;
+            debug_assert!(
+                t < self.window_start + WHEEL_SLOTS as u64,
+                "wheel_len > 0 but no occupied slot in the window"
+            );
+        }
+    }
+
+    /// Move the clock forward to `t` without popping anything (see
+    /// [`crate::EventQueue::advance_to`]). Events scheduled afterwards may
+    /// land in the overflow heap even when near `t` — the first pop
+    /// re-centers the wheel window, so this costs a decant, not
+    /// correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or would skip over a pending event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "advance_to({t}) but the clock is at {}",
+            self.now
+        );
+        debug_assert!(
+            self.peek_time().is_none_or(|p| p >= t),
+            "advance_to({t}) would skip a pending event"
+        );
+        self.now = t;
+    }
+
     /// Remove and return the next event, advancing the clock.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(at, _, e)| (at, e))
+    }
+
+    /// Remove and return the next event together with its ordering key,
+    /// advancing the clock.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         if self.len == 0 {
             return None;
         }
         if self.wheel_len == 0 {
             // Everything pending is in overflow: jump the window to the
             // earliest deferred timestamp and decant what now fits. The
-            // drain order is (time, seq), so same-time events land on their
-            // slot in sequence order — FIFO stays deterministic.
+            // drain order is (time, key); pop re-derives the slot minimum
+            // anyway, so the decant order is not load-bearing.
             let at = match self.overflow.peek() {
                 Some(Reverse(d)) => d.at,
                 None => unreachable!("len > 0 with empty wheel and overflow"),
@@ -258,21 +386,21 @@ impl<E> CalendarQueue<E> {
                     break;
                 }
                 let Reverse(d) = self.overflow.pop().expect("peeked");
-                self.wheel_push(d.at, d.payload);
+                self.wheel_push(d.at, d.key, d.payload);
             }
         }
         // Walk the clock forward to the next occupied slot. Every wheel
         // event is at >= now (past events are gone) and within the window,
-        // so this finds the (time, seq)-minimum pending event: overflow
+        // so this finds the (time, key)-minimum pending event: overflow
         // events are all at or beyond the window's end.
         let mut t = self.now.units().max(self.window_start);
         loop {
-            if let Some(payload) = self.wheel_pop((t & MASK) as usize) {
+            if let Some((key, payload)) = self.wheel_pop((t & MASK) as usize) {
                 let at = SimTime(t);
                 self.now = at;
                 self.len -= 1;
                 self.processed += 1;
-                return Some((at, payload));
+                return Some((at, key, payload));
             }
             t += 1;
             debug_assert!(
@@ -283,16 +411,17 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Rebuild a queue from checkpoint parts: the clock, the processed
-    /// count, and every pending event in pop order. The wheel window starts
-    /// back at zero — every pending event is at or after `now`, so the
-    /// window-jump logic in [`CalendarQueue::pop`] recovers the working
-    /// position on the first pop, and re-scheduling in pop order hands out
-    /// fresh increasing sequence numbers that keep same-instant ties in the
-    /// recorded order.
-    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, E)>) -> Self {
+    /// count, and every pending event in pop order with its recorded
+    /// ordering key. The wheel window starts back at zero — every pending
+    /// event is at or after `now`, so the window-jump logic in
+    /// [`CalendarQueue::pop`] recovers the working position on the first
+    /// pop. Keys are preserved exactly; the auto-key counter resumes past
+    /// the largest restored key.
+    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, u64, E)>) -> Self {
         let mut q = CalendarQueue::new();
-        for (at, payload) in events {
-            q.schedule_at(at, payload);
+        for (at, key, payload) in events {
+            q.schedule_keyed_at(at, key, payload);
+            q.seq = q.seq.max(key.saturating_add(1));
         }
         q.now = now;
         q.processed = processed;
@@ -324,6 +453,22 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_keys_override_insertion_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule_keyed_at(SimTime(7), 30, "c");
+        q.schedule_keyed_at(SimTime(7), 10, "a");
+        q.schedule_keyed_at(SimTime(7), 20, "b");
+        // One of them in the overflow at the same far timestamp.
+        q.schedule_keyed_at(SimTime(50_000), 2, "y");
+        q.schedule_keyed_at(SimTime(50_000), 1, "x");
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 10, "a")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 20, "b")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 30, "c")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(50_000), 1, "x")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(50_000), 2, "y")));
     }
 
     #[test]
@@ -403,6 +548,62 @@ mod tests {
                 (None, None) => break,
                 (a, b) => assert_eq!(a, b),
             }
+        }
+    }
+
+    #[test]
+    fn random_explicit_keys_match_heap() {
+        // Keyed scheduling with keys assigned out of insertion order — the
+        // contract the sharded engine relies on.
+        let mut rng = Rng::seed_from_u64(41);
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        for i in 0..3_000u64 {
+            let d = rng.below(40);
+            // Unique but non-monotone keys (the low word makes them unique,
+            // the random high word scrambles their order).
+            let key = (rng.below(1 << 20) << 32) | i;
+            let at_c = cal.now() + d;
+            let at_h = heap.now() + d;
+            assert_eq!(at_c, at_h);
+            cal.schedule_keyed_at(at_c, key, i);
+            heap.schedule_keyed_at(at_h, key, i);
+            if i % 2 == 0 {
+                assert_eq!(cal.pop_keyed(), heap.pop_keyed(), "diverged at step {i}");
+            }
+        }
+        loop {
+            match (cal.pop_keyed(), heap.pop_keyed()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_time_agrees_with_pop() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut cal = CalendarQueue::new();
+        for i in 0..500u64 {
+            let d = if rng.below(20) == 0 {
+                100_000 + rng.below(10_000)
+            } else {
+                rng.below(60)
+            };
+            cal.schedule_after(d, i);
+            if i % 4 == 0 {
+                let peeked = cal.peek_time();
+                let popped = cal.pop();
+                assert_eq!(peeked, popped.map(|(t, _)| t));
+            }
+        }
+        while let Some((t, _)) = {
+            let peeked = cal.peek_time();
+            let popped = cal.pop();
+            assert_eq!(peeked, popped.map(|(t, _)| t));
+            popped
+        } {
+            let _ = t;
         }
     }
 

@@ -1,9 +1,13 @@
 //! The event calendar.
 //!
-//! A binary-heap priority queue of `(time, sequence, payload)` entries.
-//! Simultaneous events fire in the order they were scheduled (the sequence
-//! number is a strictly increasing tie-breaker), which makes every simulation
-//! run a pure function of its configuration and seed — the property the
+//! A binary-heap priority queue of `(time, key, payload)` entries.
+//! Simultaneous events fire in ascending *key* order. Callers that do not
+//! care about cross-actor tie ordering use [`EventQueue::schedule_at`], which
+//! hands out strictly increasing keys (so same-instant ties fire FIFO);
+//! callers that need a *stable* tie order — one that survives re-partitioning
+//! the event set across shards — assign their own keys with
+//! [`EventQueue::schedule_keyed_at`]. Either way every simulation run is a
+//! pure function of its configuration and seed — the property the
 //! reproduction's determinism tests rely on.
 
 use std::cmp::Reverse;
@@ -11,16 +15,17 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A scheduled entry. Ordered by time, then by insertion sequence.
+/// A scheduled entry. Ordered by time, then by key.
+#[derive(Clone)]
 struct Scheduled<E> {
     at: SimTime,
-    seq: u64,
+    key: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -31,7 +36,7 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
@@ -50,6 +55,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), Some((SimTime(10), "c")));
 /// assert_eq!(q.pop(), None);
 /// ```
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     now: SimTime,
@@ -108,21 +114,35 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `payload` at the absolute instant `at`.
+    /// Schedule `payload` at the absolute instant `at` with an explicit
+    /// ordering key. Same-instant events fire in ascending key order; a
+    /// queue must never hold two pending events with equal `(at, key)`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the simulated past — scheduling backwards in time
     /// is always a modelling bug.
-    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+    pub fn schedule_keyed_at(&mut self, at: SimTime, key: u64, payload: E) {
         assert!(
             at >= self.now,
             "scheduled event at {at} but the clock is already at {}",
             self.now
         );
-        let seq = self.seq;
+        self.heap.push(Reverse(Scheduled { at, key, payload }));
+    }
+
+    /// Schedule `payload` at the absolute instant `at` with an
+    /// automatically assigned, strictly increasing key (same-instant ties
+    /// fire in insertion order). Do not mix with explicit keys below
+    /// `1 << 63` — auto keys start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let key = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, payload }));
+        self.schedule_keyed_at(at, key, payload);
     }
 
     /// Schedule `payload` to fire `delay` units from now.
@@ -136,24 +156,60 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(s)| s.at)
     }
 
+    /// `(time, key)` of the next pending event without removing it. The
+    /// parallel engine's window reduction compares shard fronts with this.
+    pub fn peek_keyed(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(s)| (s.at, s.key))
+    }
+
+    /// Move the clock forward to `t` without popping anything, so events
+    /// scheduled relative to `now` (and trace timestamps) use the shard
+    /// window's time even on a shard with no event of its own at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or would skip over a pending event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "advance_to({t}) but the clock is at {}",
+            self.now
+        );
+        debug_assert!(
+            self.peek_time().is_none_or(|p| p >= t),
+            "advance_to({t}) would skip a pending event"
+        );
+        self.now = t;
+    }
+
     /// Remove and return the next event, advancing the clock to its
     /// timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(at, _, e)| (at, e))
+    }
+
+    /// Remove and return the next event together with its ordering key,
+    /// advancing the clock to its timestamp.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         let Reverse(s) = self.heap.pop()?;
         debug_assert!(s.at >= self.now, "event calendar went backwards");
         self.now = s.at;
         self.processed += 1;
-        Some((s.at, s.payload))
+        Some((s.at, s.key, s.payload))
     }
 
     /// Rebuild a queue from checkpoint parts: the clock, the processed
-    /// count, and every pending event in pop order. Re-scheduling in that
-    /// order hands out fresh increasing sequence numbers, so same-instant
-    /// ties keep exactly the order the snapshot recorded.
-    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, E)>) -> Self {
+    /// count, and every pending event in pop order with its recorded
+    /// ordering key. Keys are preserved exactly, so the restored queue pops
+    /// in the same order *and* keeps merging correctly with keyed events
+    /// scheduled later; the auto-key counter resumes past the largest
+    /// restored key.
+    pub fn from_snapshot(now: SimTime, processed: u64, events: Vec<(SimTime, u64, E)>) -> Self {
         let mut q = EventQueue::with_capacity(events.len().max(16));
-        for (at, payload) in events {
-            q.schedule_at(at, payload);
+        for (at, key, payload) in events {
+            q.schedule_keyed_at(at, key, payload);
+            q.seq = q.seq.max(key.saturating_add(1));
         }
         q.now = now;
         q.processed = processed;
@@ -183,6 +239,17 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_keys_override_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed_at(SimTime(7), 30, "c");
+        q.schedule_keyed_at(SimTime(7), 10, "a");
+        q.schedule_keyed_at(SimTime(7), 20, "b");
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 10, "a")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 20, "b")));
+        assert_eq!(q.pop_keyed(), Some((SimTime(7), 30, "c")));
     }
 
     #[test]
@@ -243,5 +310,25 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 'b');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'd');
+    }
+
+    #[test]
+    fn snapshot_preserves_keys() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed_at(SimTime(4), 9, 'x');
+        q.schedule_keyed_at(SimTime(4), 2, 'y');
+        let q2 = EventQueue::from_snapshot(
+            SimTime(1),
+            3,
+            vec![(SimTime(4), 2, 'y'), (SimTime(4), 9, 'x')],
+        );
+        let mut q2 = q2;
+        // A key between the restored ones must still slot in between.
+        q2.schedule_keyed_at(SimTime(4), 5, 'z');
+        assert_eq!(q2.pop(), Some((SimTime(4), 'y')));
+        assert_eq!(q2.pop(), Some((SimTime(4), 'z')));
+        assert_eq!(q2.pop(), Some((SimTime(4), 'x')));
+        assert_eq!(q2.events_processed(), 6);
+        drop(q);
     }
 }

@@ -153,7 +153,7 @@ impl FaultState {
 
 /// Window (in events) of the progress watchdog: if no goal is created,
 /// executed, or combined across a full window, the run is declared stalled.
-const PROGRESS_WINDOW: u64 = 1_000_000;
+pub(crate) const PROGRESS_WINDOW: u64 = 1_000_000;
 
 /// Everything a strategy can see and act on: the machine without the
 /// strategy itself. Strategies receive `&mut Core` in every callback.
@@ -177,16 +177,38 @@ pub struct Core {
     /// (`u16::MAX` when not adjacent) — O(1) lookup on the per-delivery
     /// load-word path, where a binary search was the top profile entry.
     pub(crate) nbr_index: Vec<u16>,
+    /// Construction-time RNG (PE speed spreads). Never drawn from during a
+    /// run: runtime randomness comes from the per-PE streams below, so that
+    /// the sharded parallel engine can give each shard exactly the streams
+    /// of the PEs it owns.
     pub(crate) rng: Rng,
-    pub(crate) next_goal_id: u64,
+    /// One independent RNG stream per PE. Every runtime draw is charged to
+    /// the PE whose event is being handled — the property that makes a
+    /// run's randomness a pure function of (seed, per-PE event sequence)
+    /// and therefore independent of how events interleave across shards.
+    pub(crate) pe_rngs: Vec<Rng>,
+    /// Per-actor event-ordering sequence counters (actor 0 = environment,
+    /// then one per PE, then one per channel). An event's queue key is
+    /// `(actor << 32) | seq`, so simultaneous events fire in a fixed
+    /// actor-then-issue order that survives re-partitioning the event set
+    /// across shards.
+    pub(crate) key_seq: Vec<u32>,
+    /// Per-creator goal-id sequence counters (creator 0 = environment —
+    /// root goals and open-traffic arrivals — then one per PE). A goal's id
+    /// is `(creator << 32) | seq`: globally unique without a shared
+    /// counter.
+    pub(crate) goal_seq: Vec<u32>,
     pub(crate) goals_created: u64,
     pub(crate) goals_executed: u64,
     pub(crate) responses_processed: u64,
     pub(crate) seq_work: u64,
     pub(crate) traffic: TrafficCounters,
     pub(crate) hop_hist: Histogram,
-    /// Dispatch latency: creation to execution start, per goal.
-    pub(crate) dispatch_latency: OnlineStats,
+    /// Dispatch latency (creation to execution start), one accumulator per
+    /// PE, folded in PE order at report time. Per-PE accumulation keeps the
+    /// floating-point fold order identical between the sequential and the
+    /// sharded engine.
+    pub(crate) dispatch_latency: Vec<OnlineStats>,
     /// Summed user-busy time across all PEs, per sampling interval.
     pub(crate) global_series: IntervalSeries,
     pub(crate) root_result: Option<(i64, SimTime)>,
@@ -218,6 +240,59 @@ pub struct Core {
     /// simulated time at the previous one (for the monotonicity check).
     pub(crate) next_audit: u64,
     pub(crate) last_audit_now: u64,
+    /// Sharded-execution context (`Some` only inside a shard worker of the
+    /// parallel engine). Transient: never snapshotted, never set on the
+    /// sequential engine, which pays exactly one null check for it on the
+    /// channel-offer path.
+    pub(crate) par: Option<Box<ParCtx>>,
+    /// Live-graph routing distances (`Some` once any fault has changed the
+    /// reachable topology). Derived state: rebuilt eagerly on every crash
+    /// and link transition, and after a snapshot restore — never encoded.
+    pub(crate) live_routes: Option<Box<LiveRoutes>>,
+}
+
+/// All-pairs hop distances over the *live* graph — failed PEs and down
+/// channels removed. The static `Topology` tables assume full health;
+/// routing a packet around a corpse with them can orbit forever (each
+/// greedy hop "closest to the target" still points through the hole).
+/// Distances over the graph as it actually is make every hop strictly
+/// decrease the remaining distance, which rules cycles out.
+pub(crate) struct LiveRoutes {
+    /// `dist[from * n + to]`, `u16::MAX` when unreachable. Directed: the
+    /// hop `a -> b` needs `b` alive and the channel up (`a`'s own health is
+    /// the caller's problem — a packet is never at a dead PE).
+    dist: Vec<u16>,
+}
+
+/// Per-shard context of the parallel engine (see `crate::parallel`).
+///
+/// Lives inside the `Core` so that the one hook the engine needs deep in
+/// the event handlers — deferring offers to channels shared with other
+/// shards — can see it without threading a parameter through every
+/// strategy callback.
+pub(crate) struct ParCtx {
+    /// True for channels whose members span shards: offers to them are
+    /// deferred and applied in a deterministic merge order at the next
+    /// phase boundary, because two shards may offer to the same channel in
+    /// the same timestamp.
+    pub(crate) defer_chan: Vec<bool>,
+    /// Ordering key of the event currently being handled (the offer-merge
+    /// sort key, so deferred offers apply in exactly the sequential order).
+    pub(crate) cur_key: u64,
+    /// Tie-break among several offers emitted by one event.
+    pub(crate) offer_sub: u32,
+    /// Offers deferred during the current phase, drained by the engine.
+    pub(crate) deferred: Vec<DeferredOffer>,
+}
+
+/// One channel offer captured for deterministic cross-shard replay.
+pub(crate) struct DeferredOffer {
+    /// Key of the event that emitted the offer.
+    pub(crate) gen_key: u64,
+    /// Emission index within that event.
+    pub(crate) sub: u32,
+    pub(crate) channel: ChannelId,
+    pub(crate) flight: Flight,
 }
 
 impl Core {
@@ -261,10 +336,64 @@ impl Core {
         &self.config
     }
 
-    /// The deterministic PRNG (all strategy randomness must come from here).
+    /// The deterministic PRNG stream of `pe` (all strategy randomness must
+    /// come from here, charged to the PE making the decision). Per-PE
+    /// streams make a run's randomness independent of how events from
+    /// different PEs interleave — the property the sharded parallel engine
+    /// relies on for bit-identical results.
     #[inline]
-    pub fn rng(&mut self) -> &mut Rng {
-        &mut self.rng
+    pub fn rng(&mut self, pe: PeId) -> &mut Rng {
+        &mut self.pe_rngs[pe.idx()]
+    }
+
+    /// The actor an event belongs to in the deterministic ordering-key
+    /// schedule: 0 = environment (open traffic, recovery timeouts), then
+    /// one code per PE, then one per channel. Total — every event maps to
+    /// exactly one actor, and only that actor's handler mutates the
+    /// actor's state.
+    pub(crate) fn event_actor(&self, ev: &Event) -> u32 {
+        match ev {
+            Event::PeDone(pe)
+            | Event::Timer(pe, _)
+            | Event::LoadBcast(pe)
+            | Event::FailPe(pe)
+            | Event::SlowStart(pe, _)
+            | Event::SlowEnd(pe) => 1 + pe.0,
+            Event::ChannelDone(ch) | Event::LinkDown(ch) | Event::LinkUp(ch) => {
+                1 + self.pes.len() as u32 + ch.0
+            }
+            Event::AckTimeout(_) | Event::Arrival | Event::Retry(_) => 0,
+        }
+    }
+
+    /// First ordering key of the channel actor class: at a single
+    /// timestamp, every PE- and environment-class event sorts before every
+    /// channel-class event. The parallel engine's phase split rests on
+    /// this boundary.
+    #[inline]
+    pub(crate) fn chan_key_base(&self) -> u64 {
+        ((1 + self.pes.len()) as u64) << 32
+    }
+
+    /// Schedule `ev` at the absolute instant `at` under the deterministic
+    /// key schedule: `(actor << 32) | seq` with a per-actor sequence. All
+    /// simulation events must go through here (or
+    /// [`Core::schedule_event_after`]) — a raw auto-keyed insert would
+    /// break the cross-shard tie order.
+    pub(crate) fn schedule_event_at(&mut self, at: SimTime, ev: Event) {
+        let actor = self.event_actor(&ev) as usize;
+        let seq = self.key_seq[actor];
+        self.key_seq[actor] = seq + 1;
+        self.events
+            .schedule_keyed_at(at, ((actor as u64) << 32) | seq as u64, ev);
+    }
+
+    /// Schedule `ev` to fire `delay` units from now (keyed; see
+    /// [`Core::schedule_event_at`]).
+    #[inline]
+    pub(crate) fn schedule_event_after(&mut self, delay: u64, ev: Event) {
+        let at = self.events.now() + delay;
+        self.schedule_event_at(at, ev);
     }
 
     /// `pe`'s own current load, per the configured metric: "the number of
@@ -327,17 +456,37 @@ impl Core {
     /// Next hop for a software-routed packet from `from` toward `to`.
     ///
     /// Without faults this is the topology's precomputed shortest-path hop.
-    /// Under a fault plan, a hop into a dead PE or a down link is replaced
-    /// by a detour to the reachable neighbour closest to the target (ties
-    /// to the lowest PE id, so routing stays deterministic), never straight
-    /// back to `prev` unless that is the only live exit. A dead *target*
-    /// is not detoured around — the packet black-holes at the corpse and
-    /// the loss is accounted, which is what tells the recovery layer to
-    /// re-spawn.
+    /// Once a fault has changed the reachable topology, routing switches to
+    /// the live-graph distance tables: the hop is the reachable neighbour
+    /// closest to the target *in the graph as it actually is* (ties to the
+    /// lowest PE id), so every hop strictly shrinks the remaining distance
+    /// and a packet can never orbit a hole. A dead *target* is not detoured
+    /// around — the packet black-holes at the corpse and the loss is
+    /// accounted, which is what tells the recovery layer to re-spawn. A
+    /// target cut off entirely falls back to the static greedy detour (the
+    /// packet wanders until a black hole or a healing link settles it).
     fn route_hop(&self, from: PeId, to: PeId, prev: Option<PeId>) -> PeId {
         let hop = self.topo.next_hop(from, to);
         if self.plan.is_empty() || self.is_pe_failed(to) {
             return hop;
+        }
+        if let Some(lr) = self.live_routes.as_deref() {
+            let n = self.pes.len();
+            if lr.dist[from.idx() * n + to.idx()] != u16::MAX {
+                let mut best: Option<(u16, u32)> = None;
+                for nb in self.topo.neighbors(from) {
+                    if !self.neighbor_reachable(from, nb.pe) {
+                        continue;
+                    }
+                    let key = (lr.dist[nb.pe.idx() * n + to.idx()], nb.pe.0);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                if let Some((_, pe)) = best {
+                    return PeId(pe);
+                }
+            }
         }
         if self.neighbor_reachable(from, hop) && prev != Some(hop) {
             return hop;
@@ -362,6 +511,52 @@ impl Core {
         }
     }
 
+    /// Recompute [`LiveRoutes`] from the current health state: one BFS per
+    /// source PE over the graph with failed PEs and down channels removed.
+    /// Called on every fault transition (crash, link down, link up) and
+    /// after a snapshot restore — fault events are rare, so the O(n · E)
+    /// rebuild never shows up in a profile.
+    pub(crate) fn rebuild_live_routes(&mut self) {
+        // Full health ⇒ no tables: the static shortest-path hop is already
+        // correct, and `None` keeps healthy routing on the precomputed
+        // tie-break (so a healed machine routes exactly like a fresh one).
+        if !self.pes.iter().any(|p| p.failed) && !self.channels.iter().any(|c| c.down) {
+            self.live_routes = None;
+            return;
+        }
+        let n = self.pes.len();
+        let mut lr = self
+            .live_routes
+            .take()
+            .unwrap_or_else(|| Box::new(LiveRoutes { dist: Vec::new() }));
+        lr.dist.clear();
+        lr.dist.resize(n * n, u16::MAX);
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            if self.pes[s].failed {
+                continue;
+            }
+            let row = s * n;
+            lr.dist[row + s] = 0;
+            queue.clear();
+            queue.push_back(PeId(s as u32));
+            while let Some(p) = queue.pop_front() {
+                let d = lr.dist[row + p.idx()];
+                for nb in self.topo.neighbors(p) {
+                    if self.pes[nb.pe.idx()].failed || self.channels[nb.channel.idx()].down {
+                        continue;
+                    }
+                    let slot = &mut lr.dist[row + nb.pe.idx()];
+                    if *slot == u16::MAX {
+                        *slot = d + 1;
+                        queue.push_back(nb.pe);
+                    }
+                }
+            }
+        }
+        self.live_routes = Some(lr);
+    }
+
     /// The least-loaded reachable neighbour of `pe` under its current
     /// knowledge, ties broken uniformly at random (deterministically, from
     /// the run's seed). Without randomized tie-breaking, the load plateaus
@@ -375,19 +570,20 @@ impl Core {
         pe: PeId,
         exclude: Option<PeId>,
     ) -> Option<(PeId, u32)> {
-        // Field destructuring gives `rng` mutably alongside shared borrows
-        // of the rest, so the neighbour slice is loaded once (this is a
-        // per-placement-decision hot path).
+        // Field destructuring gives the RNG pool mutably alongside shared
+        // borrows of the rest, so the neighbour slice is loaded once (this
+        // is a per-placement-decision hot path).
         let Core {
             topo,
             pes,
             channels,
-            rng,
+            pe_rngs,
             config,
             open,
             events,
             ..
         } = self;
+        let rng = &mut pe_rngs[pe.idx()];
         // The circuit breaker (open runs only) vetoes routing into
         // neighbourhoods it has not yet re-trusted after a fault.
         let breaker = open
@@ -557,7 +753,7 @@ impl Core {
     /// Arm a timer on `pe`; [`Strategy::on_timer`] fires with `tag` after
     /// `delay` units.
     pub fn set_timer(&mut self, pe: PeId, delay: u64, tag: u64) {
-        self.events.schedule_after(delay, Event::Timer(pe, tag));
+        self.schedule_event_after(delay, Event::Timer(pe, tag));
     }
 
     /// Remove the most recently queued goal from `pe` (the Gradient Model's
@@ -650,7 +846,7 @@ impl Core {
         }
         let delay = open.retry_backoff(policy.base, infl.attempts);
         open.retry_pending.insert(goal, infl);
-        self.events.schedule_after(delay, Event::Retry(goal));
+        self.schedule_event_after(delay, Event::Retry(goal));
     }
 
     /// Index of `nbr` within `pe`'s sorted neighbour list.
@@ -709,12 +905,58 @@ impl Core {
         }
     }
 
-    fn offer_to_channel(&mut self, ch: ChannelId, flight: Flight) {
+    pub(crate) fn offer_to_channel(&mut self, ch: ChannelId, flight: Flight) {
+        // Sharded execution: offers to channels shared with another shard
+        // are captured and applied at the next phase boundary in the
+        // deterministic `(time, generating key, emission index)` order —
+        // two shards may offer to the same boundary channel within one
+        // timestamp, and the channel's FIFO must see the sequential order.
+        if let Some(par) = self.par.as_deref_mut() {
+            if par.defer_chan[ch.idx()] {
+                let sub = par.offer_sub;
+                par.offer_sub += 1;
+                par.deferred.push(DeferredOffer {
+                    gen_key: par.cur_key,
+                    sub,
+                    channel: ch,
+                    flight,
+                });
+                return;
+            }
+        }
+        self.apply_offer(ch, flight);
+    }
+
+    /// Hand `flight` to the channel right now (the deferred-offer replay
+    /// path of the parallel engine joins here).
+    pub(crate) fn apply_offer(&mut self, ch: ChannelId, flight: Flight) {
         let cost = self.packet_cost(&flight.packet);
         let now = self.events.now();
         if self.channels[ch.idx()].offer(flight, now) {
-            self.events.schedule_after(cost, Event::ChannelDone(ch));
+            self.schedule_event_after(cost, Event::ChannelDone(ch));
         }
+    }
+
+    /// Complete the in-flight transfer on `ch`: pop it, start the next
+    /// backlogged one (scheduling its completion), and account the
+    /// traffic. The channel-owner half of a `ChannelDone`; delivery-side
+    /// effects live in `Machine::deliver_flight` so the parallel engine
+    /// can split the two across shards.
+    pub(crate) fn complete_channel(&mut self, ch: ChannelId) -> Flight {
+        let now = self.events.now();
+        let costs = self.costs; // Copy: needed while the channel is borrowed.
+        let cost_of = |p: &Packet| match p {
+            Packet::Goal(_) => costs.goal_hop_cost,
+            Packet::Response { .. } => costs.response_hop_cost,
+            Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
+        };
+        let (flight, next) = self.channels[ch.idx()].complete(now);
+        let next_cost = next.map(|n| cost_of(&n.packet));
+        if let Some(cost) = next_cost {
+            self.schedule_event_after(cost, Event::ChannelDone(ch));
+        }
+        self.count_traffic(&flight.packet);
+        flight
     }
 
     /// Record a completed transfer in the traffic counters.
@@ -739,9 +981,17 @@ impl Core {
     }
 
     /// Create a fresh goal message for `spec`, child of `parent`.
+    ///
+    /// Ids are `(creator << 32) | seq` with a per-creator sequence
+    /// (creator 0 = environment, so the root goal of a closed run keeps id
+    /// 0): globally unique without a shared counter, which lets shards of
+    /// the parallel engine mint ids independently yet identically to the
+    /// sequential run.
     fn make_goal(&mut self, spec: TaskSpec, parent: Option<(PeId, GoalId)>) -> GoalMsg {
-        let id = GoalId(self.next_goal_id);
-        self.next_goal_id += 1;
+        let creator = parent.map_or(0, |(pe, _)| 1 + pe.0) as usize;
+        let seq = self.goal_seq[creator];
+        self.goal_seq[creator] = seq + 1;
+        let id = GoalId(((creator as u64) << 32) | seq as u64);
         self.goals_created += 1;
         if self.trace.enabled() {
             let pe = parent.map_or(PeId(self.config.root_pe), |(pe, _)| pe);
@@ -877,8 +1127,7 @@ impl Core {
             },
         );
         let window = rec.ack_timeout.saturating_mul(1u64 << attempts.min(5));
-        self.events
-            .schedule_after(window, Event::AckTimeout(goal.id));
+        self.schedule_event_after(window, Event::AckTimeout(goal.id));
     }
 
     /// Record a goal swallowed by a fault (dead PE, dropped transfer). If
@@ -897,7 +1146,7 @@ impl Core {
         if self.plan.recovery.is_some() {
             if let Some(o) = self.faults.outstanding.get_mut(&goal) {
                 o.resident = None; // the loss voids any acceptance
-                self.events.schedule_after(0, Event::AckTimeout(goal));
+                self.schedule_event_after(0, Event::AckTimeout(goal));
             }
         } else {
             // No recovery layer: the request-retry policy (if configured)
@@ -912,7 +1161,7 @@ impl Core {
         if self.plan.recovery.is_some() {
             if let Some(o) = self.faults.outstanding.get_mut(&child) {
                 o.resident = None; // the computed value is gone with the response
-                self.events.schedule_after(0, Event::AckTimeout(child));
+                self.schedule_event_after(0, Event::AckTimeout(child));
             }
         }
     }
@@ -942,8 +1191,7 @@ impl Core {
                 self.pes[pe.idx()].goals_executed += 1;
                 self.hop_hist.record(goal.hops as u64);
                 let started = self.events.now().units();
-                self.dispatch_latency
-                    .record((started - goal.created_at) as f64);
+                self.dispatch_latency[pe.idx()].record((started - goal.created_at) as f64);
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent::GoalStarted {
                         t: self.events.now().units(),
@@ -978,7 +1226,7 @@ impl Core {
         p.busy_until = now + cost;
         p.executing = Some(exec);
         p.busy.set_busy(now);
-        self.events.schedule_after(cost, Event::PeDone(pe));
+        self.schedule_event_after(cost, Event::PeDone(pe));
     }
 
     /// True once the run is over: the root result was produced (closed
@@ -1084,22 +1332,31 @@ impl Machine {
             QueueBackend::Heap => DualQueue::heap_with_capacity(1024),
             QueueBackend::Calendar => DualQueue::calendar(),
         };
+        // Per-PE runtime RNG streams, decorrelated from the seed with a
+        // SplitMix-style multiply so adjacent PEs never share a stream
+        // prefix.
+        let pe_rngs: Vec<Rng> = (0..n as u64)
+            .map(|p| Rng::seed_from_u64(config.seed ^ (p + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let num_actors = 1 + n + topo.num_channels();
         Ok(Machine {
             core: Core {
                 rng,
+                pe_rngs,
                 pes,
                 channels,
                 events,
                 incident,
                 nbr_index,
-                next_goal_id: 0,
+                key_seq: vec![0; num_actors],
+                goal_seq: vec![0; 1 + n],
                 goals_created: 0,
                 goals_executed: 0,
                 responses_processed: 0,
                 seq_work: 0,
                 traffic: TrafficCounters::default(),
                 hop_hist: Histogram::new(max_hops.max(64)),
-                dispatch_latency: OnlineStats::new(),
+                dispatch_latency: vec![OnlineStats::new(); n],
                 global_series: IntervalSeries::new(sampling),
                 root_result: None,
                 open,
@@ -1120,6 +1377,8 @@ impl Machine {
                     u64::MAX
                 },
                 last_audit_now: 0,
+                par: None,
+                live_routes: None,
                 topo,
                 costs,
                 config,
@@ -1175,8 +1434,7 @@ impl Machine {
                 for pe in 0..self.core.num_pes() as u32 {
                     let offset = pe as u64 % period;
                     self.core
-                        .events
-                        .schedule_at(SimTime(offset), Event::LoadBcast(PeId(pe)));
+                        .schedule_event_at(SimTime(offset), Event::LoadBcast(PeId(pe)));
                 }
             }
         }
@@ -1188,33 +1446,28 @@ impl Machine {
         for i in 0..self.core.plan.pe_crashes.len() {
             let c = self.core.plan.pe_crashes[i];
             self.core
-                .events
-                .schedule_at(SimTime(c.at), Event::FailPe(PeId(c.pe)));
+                .schedule_event_at(SimTime(c.at), Event::FailPe(PeId(c.pe)));
         }
         for i in 0..self.core.plan.link_windows.len() {
             let w = self.core.plan.link_windows[i];
             self.core
-                .events
-                .schedule_at(SimTime(w.down_at), Event::LinkDown(ChannelId(w.channel)));
+                .schedule_event_at(SimTime(w.down_at), Event::LinkDown(ChannelId(w.channel)));
             self.core
-                .events
-                .schedule_at(SimTime(w.up_at), Event::LinkUp(ChannelId(w.channel)));
+                .schedule_event_at(SimTime(w.up_at), Event::LinkUp(ChannelId(w.channel)));
         }
         for i in 0..self.core.plan.slowdowns.len() {
             let s = self.core.plan.slowdowns[i];
             self.core
-                .events
-                .schedule_at(SimTime(s.from), Event::SlowStart(PeId(s.pe), s.factor));
+                .schedule_event_at(SimTime(s.from), Event::SlowStart(PeId(s.pe), s.factor));
             self.core
-                .events
-                .schedule_at(SimTime(s.until), Event::SlowEnd(PeId(s.pe)));
+                .schedule_event_at(SimTime(s.until), Event::SlowEnd(PeId(s.pe)));
         }
 
         // Closed run: inject the root goal. Open run: arm the first
         // arrival instead (each arrival injects its own root-level goal).
         if let Some(open) = self.core.open.as_deref_mut() {
             if let Some(at) = open.next_arrival(0) {
-                self.core.events.schedule_at(SimTime(at), Event::Arrival);
+                self.core.schedule_event_at(SimTime(at), Event::Arrival);
             }
             return;
         }
@@ -1321,7 +1574,7 @@ impl Machine {
     /// swallowed goals or transfers, attribute the failure to them (and
     /// flag whether a plan made that expected); a fault-free stall keeps
     /// the loud [`SimError::Stalled`] that flags leaky strategies.
-    fn stall_error(&self) -> SimError {
+    pub(crate) fn stall_error(&self) -> SimError {
         let f = &self.core.faults;
         if f.goals_lost > 0 || f.messages_dropped > 0 || f.retries_exhausted > 0 {
             SimError::GoalsLost {
@@ -1344,7 +1597,7 @@ impl Machine {
     // Event handlers.
     // ------------------------------------------------------------------
 
-    fn handle_event(&mut self, ev: Event) {
+    pub(crate) fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::PeDone(pe) => self.handle_pe_done(pe),
             Event::ChannelDone(ch) => self.handle_channel_done(ch),
@@ -1415,8 +1668,7 @@ impl Machine {
                             let rec = self.core.plan.recovery.expect("tracked implies recovery");
                             let window = rec.ack_timeout.saturating_mul(1u64 << o.attempts.min(5));
                             self.core
-                                .events
-                                .schedule_after(window, Event::AckTimeout(goal));
+                                .schedule_event_after(window, Event::AckTimeout(goal));
                         }
                         _ => self.respawn(goal),
                     }
@@ -1440,7 +1692,7 @@ impl Machine {
         let next_at = open.next_arrival(now);
         let (edges_len, start) = (open.edges.len() as u32, open.edge_idx);
         if let Some(at) = next_at {
-            self.core.events.schedule_at(SimTime(at), Event::Arrival);
+            self.core.schedule_event_at(SimTime(at), Event::Arrival);
         }
         // Entry PE: the explicit trace PE if alive, else round-robin over
         // the edge set skipping crashed PEs. With every candidate dead the
@@ -1640,6 +1892,7 @@ impl Machine {
         p.queued_goals = 0;
         p.queued_responses = 0;
         p.busy.set_idle(now);
+        self.core.rebuild_live_routes();
         self.core.note_open_qlen(-(queued_goals as i64));
         self.core.faults.pes_crashed += 1;
         self.core.faults.goals_lost += lost;
@@ -1762,6 +2015,7 @@ impl Machine {
             return;
         }
         self.core.channels[ch.idx()].down = true;
+        self.core.rebuild_live_routes();
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::LinkDown {
                 t: self.core.events.now().units(),
@@ -1789,6 +2043,7 @@ impl Machine {
             return;
         }
         self.core.channels[ch.idx()].down = false;
+        self.core.rebuild_live_routes();
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::LinkUp {
                 t: self.core.events.now().units(),
@@ -1805,9 +2060,7 @@ impl Machine {
                 Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
             });
         if let Some(cost) = promoted_cost {
-            self.core
-                .events
-                .schedule_after(cost, Event::ChannelDone(ch));
+            self.core.schedule_event_after(cost, Event::ChannelDone(ch));
         }
         for i in 0..self.core.topo.channel_members(ch).len() {
             let a = self.core.topo.channel_members(ch)[i];
@@ -1833,9 +2086,7 @@ impl Machine {
         };
         let load = self.core.current_load_word(pe);
         self.core.broadcast_packet(pe, Packet::LoadUpdate { load });
-        self.core
-            .events
-            .schedule_after(period, Event::LoadBcast(pe));
+        self.core.schedule_event_after(period, Event::LoadBcast(pe));
     }
 
     fn handle_pe_done(&mut self, pe: PeId) {
@@ -1968,7 +2219,7 @@ impl Machine {
                 p.busy_until = now + cost;
                 p.executing = Some(Executing::Respawn { goal, children });
                 p.busy.set_busy(now);
-                core.events.schedule_after(cost, Event::PeDone(pe));
+                core.schedule_event_after(cost, Event::PeDone(pe));
             }
         }
     }
@@ -1984,32 +2235,27 @@ impl Machine {
     }
 
     fn handle_channel_done(&mut self, ch: ChannelId) {
-        let now = self.core.events.now();
-        let costs = self.core.costs; // Copy: needed while the channel is borrowed.
-        let cost_of = |p: &Packet| match p {
-            Packet::Goal(_) => costs.goal_hop_cost,
-            Packet::Response { .. } => costs.response_hop_cost,
-            Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
-        };
-        let (flight, next) = self.core.channels[ch.idx()].complete(now);
-        let next_cost = next.map(|n| cost_of(&n.packet));
-        if let Some(cost) = next_cost {
-            self.core
-                .events
-                .schedule_after(cost, Event::ChannelDone(ch));
-        }
-        self.core.count_traffic(&flight.packet);
+        let flight = self.core.complete_channel(ch);
+        self.deliver_flight(ch, flight, None);
+    }
 
+    /// Deliver a completed transfer: the loss draw, the bus snoop, and the
+    /// per-destination handoff. `owned` (parallel engine only) restricts
+    /// the member-side effects to the PEs a shard owns — the completing
+    /// shard broadcasts the flight and every shard applies its own slice.
+    pub(crate) fn deliver_flight(&mut self, ch: ChannelId, flight: Flight, owned: Option<&[bool]>) {
         // Fault plan: each completed transfer may be lost in delivery. The
         // draw comes from the dedicated fault stream and is skipped
-        // entirely at zero loss, so an empty plan changes nothing.
+        // entirely at zero loss, so an empty plan changes nothing. (The
+        // parallel engine never reaches this draw: a fault plan makes a
+        // run ineligible for sharding.)
         if self.core.plan.message_loss > 0.0
             && self.core.fault_rng.chance(self.core.plan.message_loss)
         {
             self.core.faults.messages_dropped += 1;
             if self.core.trace.enabled() {
                 self.core.trace.record(TraceEvent::MessageDropped {
-                    t: now.units(),
+                    t: self.core.events.now().units(),
                     channel: ch.0,
                 });
             }
@@ -2027,6 +2273,7 @@ impl Machine {
             return;
         }
 
+        let mine = |pe: PeId| owned.is_none_or(|o| o[pe.idx()]);
         // On a bus, every member sees every transmission: all of them snoop
         // the piggy-backed load word even when the packet itself is
         // addressed to one PE. (On a 2-member link this is identical to
@@ -2034,7 +2281,7 @@ impl Machine {
         if let Some(load) = flight.piggyback_load {
             for i in 0..self.core.topo.channel_members(ch).len() {
                 let m = self.core.topo.channel_members(ch)[i];
-                if m != flight.from {
+                if m != flight.from && mine(m) {
                     self.core.update_known_load(m, flight.from, load);
                 }
             }
@@ -2042,12 +2289,14 @@ impl Machine {
 
         match flight.dest {
             FlightDest::Unicast(to) => {
-                self.deliver(to, flight.from, flight.piggyback_load, flight.packet)
+                if mine(to) {
+                    self.deliver(to, flight.from, flight.piggyback_load, flight.packet)
+                }
             }
             FlightDest::Broadcast => {
                 for i in 0..self.core.topo.channel_members(ch).len() {
                     let to = self.core.topo.channel_members(ch)[i];
-                    if to != flight.from {
+                    if to != flight.from && mine(to) {
                         self.deliver(to, flight.from, flight.piggyback_load, flight.packet);
                     }
                 }
@@ -2134,7 +2383,7 @@ impl Machine {
     // Reporting.
     // ------------------------------------------------------------------
 
-    fn build_report(&mut self) -> Report {
+    pub(crate) fn build_report(&mut self) -> Report {
         let core = &mut self.core;
         // Closed runs end the instant the root result appears; open runs
         // end at the horizon (duration, saturation instant, or a drained
@@ -2287,8 +2536,14 @@ impl Machine {
         });
 
         let (hop_histogram, hop_overflow, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
-        let dispatch_latency_mean = core.dispatch_latency.mean();
-        let dispatch_latency_max = core.dispatch_latency.max().unwrap_or(0.0);
+        // Fold the per-PE accumulators in PE order — fixed order, so the
+        // sequential and parallel engines produce bit-identical floats.
+        let mut dispatch = OnlineStats::new();
+        for s in &core.dispatch_latency {
+            dispatch.merge(s);
+        }
+        let dispatch_latency_mean = dispatch.mean();
+        let dispatch_latency_max = dispatch.max().unwrap_or(0.0);
         let efficiency = core.seq_work as f64 / (num_pes as u64 * t) as f64;
 
         Report {

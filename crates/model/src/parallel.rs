@@ -1,0 +1,923 @@
+//! Sharded conservative-synchronization execution of a single run.
+//!
+//! The sequential engine pops one global event calendar. This engine
+//! partitions the machine into `K` shards — contiguous PE blocks from the
+//! greedy-BFS partitioner in `oracle-topo`, each with the PEs' queues, RNG
+//! streams, incident non-boundary channels, and the slice of the event
+//! calendar belonging to those actors — and advances all shards in lockstep
+//! through one simulated timestamp at a time, exchanging cross-shard traffic
+//! through lock-free SPSC mailboxes at phase boundaries.
+//!
+//! # Why bit-identical
+//!
+//! The result is *bit-identical* to the sequential engine, not merely
+//! statistically equivalent, because every source of ordering in the model
+//! was made a pure function of (configuration, seed) beforehand:
+//!
+//! * **Total event order.** Every event's queue key is
+//!   `(actor << 32) | per_actor_seq`, with actor codes environment < PEs <
+//!   channels. Two shards never schedule for the same actor, so keys mint
+//!   identically under any partition, and sorting by `(time, key)`
+//!   reproduces the exact sequential pop order.
+//! * **Phase split inside a timestamp.** At one instant every PE-class key
+//!   sorts below every channel-class key (`Core::chan_key_base`). The
+//!   engine exploits the boundary: *phase A* runs all PE/environment events
+//!   at `T` (all strategy decisions; offers to boundary channels are
+//!   captured, not applied), *phase B* applies the captured offers in the
+//!   deterministic `(generating key, emission index)` order and completes
+//!   channel transfers at `T`, *phase C* applies the resulting deliveries
+//!   in generating-key order against each shard's own PEs. Deliveries (no
+//!   communication co-processor) only enqueue handler work and start PE
+//!   service — every event they schedule lands strictly after `T`, so the
+//!   window closes.
+//! * **Lookahead.** The cost model validates every primitive cost ≥ 1, and
+//!   the software-routing charge is clamped to ≥ 1 at use, so nothing a
+//!   phase does can create work at its own timestamp (phase A can — timers
+//!   may fire with zero delay — and the phase-A pop loop re-peeks for
+//!   exactly that reason). A window that *would* re-open its own timestamp
+//!   trips a guard and the run falls back to the sequential engine.
+//! * **Per-PE randomness.** Every runtime draw comes from the stream of the
+//!   PE whose event is being handled, so randomness is independent of how
+//!   events interleave across shards.
+//!
+//! # Termination
+//!
+//! A closed run ends *inside* a timestamp: the completing event has some
+//! key `k*` and the sequential engine stops there, leaving same-instant
+//! events with larger keys unprocessed. Shards discover completion only
+//! after racing through their whole phase-A batch, so a shard may have
+//! processed an event beyond `k*`. The engine detects that overshoot at the
+//! next barrier and, instead of checkpoint/rollback machinery, simply
+//! replays the run from scratch with a `(time, key) ≤ (T*, k*)` pop bound —
+//! determinism makes the replay land on exactly the sequential final state.
+//! No overshoot (the common case: the completing shard usually runs the
+//! longest batch) means the first pass already *is* the sequential state.
+//!
+//! # Eligibility
+//!
+//! Configurations whose semantics would require cross-shard state mid-phase
+//! run sequentially instead, transparently: open-system traffic, fault
+//! plans, instant load information (reads remote PE state), communication
+//! co-processor mode (deliveries run strategy code at channel timestamps,
+//! where the complete/deliver phase split becomes observable through
+//! backlog statistics), event tracing (interleaved capture order), the
+//! wall-clock profiler, and strategies that keep cross-PE shared state
+//! ([`crate::strategy::Strategy::parallel_safe`]). Runtime invariant audits
+//! (`audit_every`) are honoured by a single audit of the merged final
+//! machine — a shard sees only its slice of the global identities, so
+//! mid-run audits are deferred to the end.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use oracle_des::{
+    DualQueue, Histogram, IntervalSeries, Mailbox, QueueSnapshot, SimTime, SpinBarrier,
+};
+use oracle_topo::ChannelId;
+
+use crate::config::{LoadInfoMode, QueueBackend};
+use crate::error::SimError;
+use crate::machine::{DeferredOffer, Event, Machine, ParCtx, PROGRESS_WINDOW};
+use crate::message::Flight;
+use crate::metrics::{Report, TrafficCounters};
+use crate::trace::Trace;
+
+/// Per-(producer, consumer) mailbox capacity for deferred channel offers.
+/// Overflow is not an error path worth engineering for — the run falls
+/// back to the sequential engine.
+const OFFER_MAILBOX_CAP: usize = 1 << 12;
+/// Per-(producer, consumer) mailbox capacity for delivery records.
+const DELIVERY_MAILBOX_CAP: usize = 1 << 12;
+
+/// A factory for identically configured machines. The engine builds one
+/// machine per shard (plus a merge baseline), and builds the set again for
+/// a bounded replay, so it needs the recipe rather than an instance.
+pub type MakeMachine<'a> = dyn Fn() -> Result<Machine, SimError> + 'a;
+
+/// Why a machine cannot run under the sharded engine, or `None` when it
+/// can. Callers that want to *report* the fallback (CLI, tests) ask here;
+/// [`run_parallel`] consults the same predicate internally.
+pub fn ineligibility(m: &Machine, shards: usize) -> Option<&'static str> {
+    let c = &m.core.config;
+    if shards <= 1 {
+        return Some("a single shard is the sequential engine");
+    }
+    if m.core.topo.num_pes() < 2 {
+        return Some("nothing to partition below two PEs");
+    }
+    if c.open.is_some() {
+        return Some("open-system traffic (environment-actor arrival state is global)");
+    }
+    if !m.core.plan.is_empty() {
+        return Some("fault plan (loss draws and recovery tracking are global)");
+    }
+    if matches!(c.load_info, LoadInfoMode::Instant) {
+        return Some("instant load information reads remote PE state mid-timestamp");
+    }
+    if c.coprocessor {
+        return Some("co-processor deliveries run strategy code at channel timestamps");
+    }
+    if c.trace_capacity > 0 {
+        return Some("event tracing captures a global interleaving");
+    }
+    if c.profile {
+        return Some("profiler wall-times are not deterministic");
+    }
+    if !m.strategy.parallel_safe() {
+        return Some("strategy keeps cross-PE shared state");
+    }
+    None
+}
+
+/// Run a simulation on `shards` shards and produce its report and trace,
+/// bit-identical to `Machine::run_traced` on a machine from the same
+/// factory. Ineligible configurations (see [`ineligibility`]) and runs the
+/// engine declines mid-flight (mailbox overflow, a zero-lookahead window)
+/// execute sequentially instead — same result either way.
+pub fn run_parallel(make: &MakeMachine, shards: usize) -> Result<(Report, Trace), SimError> {
+    run_parallel_machine(make, shards)?.finish()
+}
+
+/// [`run_parallel`], but yielding the completed machine itself rather than
+/// its report — the form the checkpoint tooling and the cross-engine
+/// equality tests want, since a completed machine can be snapshotted.
+pub fn run_parallel_machine(make: &MakeMachine, shards: usize) -> Result<Machine, SimError> {
+    let probe = make()?;
+    if ineligibility(&probe, shards).is_some() {
+        return run_sequential(probe);
+    }
+    let owners = Owners::build(&probe, shards);
+    if owners.num_shards < 2 {
+        return run_sequential(probe);
+    }
+    // The merge baseline: initialized, never advanced. Holds the post-init
+    // values every additive aggregate starts from (shards carry deltas).
+    let mut m0 = probe;
+    m0.begin();
+
+    match parallel_pass(make, &owners, None)? {
+        Pass::Finished(shards) => merge_shards(m0, shards, &owners),
+        Pass::Overshoot { t, key } => {
+            // Deterministic replay with the sequential stop bound: the
+            // second pass pops nothing past `(t, key)` and lands on the
+            // sequential final state exactly.
+            match parallel_pass(make, &owners, Some((t, key)))? {
+                Pass::Finished(shards) => merge_shards(m0, shards, &owners),
+                // A bounded replay cannot overshoot; anything else means
+                // the engine declined — fall back rather than reason.
+                _ => run_sequential(make()?),
+            }
+        }
+        Pass::Bail => run_sequential(make()?),
+    }
+}
+
+/// The transparent fallback: the ordinary sequential drive, stopping (like
+/// the parallel paths) with the machine completed rather than consumed.
+fn run_sequential(mut m: Machine) -> Result<Machine, SimError> {
+    m.begin();
+    m.advance_until(None)?;
+    Ok(m)
+}
+
+/// Static ownership tables derived from the topology partition.
+struct Owners {
+    num_shards: usize,
+    /// Owning shard per PE.
+    pe_owner: Vec<u32>,
+    /// Owning shard per channel: the shard of its lowest-id member.
+    chan_owner: Vec<u32>,
+    /// Owning shard per event actor (environment, PEs, channels).
+    actor_owner: Vec<u32>,
+    /// Channels whose members span shards (offers to them are deferred).
+    defer_chan: Vec<bool>,
+    /// Per-shard PE ownership masks (the `deliver_flight` filter).
+    masks: Vec<Vec<bool>>,
+}
+
+impl Owners {
+    fn build(m: &Machine, shards: usize) -> Owners {
+        let topo = &m.core.topo;
+        let part = oracle_topo::partition(topo, shards);
+        let k = part.num_shards as usize;
+        let n = topo.num_pes();
+        let nch = topo.num_channels();
+        let pe_owner = part.shard_of;
+        let mut chan_owner = Vec::with_capacity(nch);
+        let mut defer_chan = vec![false; nch];
+        for (c, defer) in defer_chan.iter_mut().enumerate() {
+            let members = topo.channel_members(ChannelId(c as u32));
+            let lowest = members.iter().min().expect("channel with no members");
+            chan_owner.push(pe_owner[lowest.idx()]);
+            let first = pe_owner[members[0].idx()];
+            if members.iter().any(|m| pe_owner[m.idx()] != first) {
+                *defer = true;
+            }
+        }
+        // The environment actor never fires in an eligible run (no open
+        // traffic, no recovery); shard 0 owns it by convention.
+        let mut actor_owner = Vec::with_capacity(1 + n + nch);
+        actor_owner.push(0);
+        actor_owner.extend_from_slice(&pe_owner);
+        actor_owner.extend_from_slice(&chan_owner);
+        let masks = (0..k as u32)
+            .map(|s| pe_owner.iter().map(|&o| o == s).collect())
+            .collect();
+        Owners {
+            num_shards: k,
+            pe_owner,
+            chan_owner,
+            actor_owner,
+            defer_chan,
+            masks,
+        }
+    }
+}
+
+/// One completed channel transfer, broadcast to every shard owning a
+/// member PE; each shard applies its own slice of the delivery in
+/// generating-key order.
+struct DeliveryRec {
+    /// Key of the `ChannelDone` event that completed the transfer.
+    gen_key: u64,
+    channel: ChannelId,
+    flight: Flight,
+}
+
+/// Outcome of one parallel pass over the event horizon.
+enum Pass {
+    /// All shards stopped cleanly: completed, or drained without a result
+    /// (the stall case — the merged machine reports it exactly as the
+    /// sequential engine would).
+    Finished(Vec<Machine>),
+    /// Completion landed at `(t, key)` but some shard had already processed
+    /// a same-instant event beyond `key`; replay with the bound.
+    Overshoot { t: u64, key: u64 },
+    /// The engine declined (mailbox overflow, zero-lookahead window):
+    /// fall back to sequential execution.
+    Bail,
+}
+
+/// Worker exit status, one per shard.
+#[derive(PartialEq)]
+enum Exit {
+    Complete,
+    Drained,
+    Overshoot,
+    Bail,
+    /// Fatal: an error is in `Shared::err` (or a panic payload in
+    /// `Shared::panic`).
+    Abort,
+}
+
+/// Cross-shard coordination state for one pass.
+struct Shared {
+    barrier: SpinBarrier,
+    /// Earliest pending event time per shard (`u64::MAX` = none).
+    fronts: Vec<AtomicU64>,
+    /// Events processed per shard (for the global event-limit check).
+    processed: Vec<AtomicU64>,
+    /// Timestamp and key of the completing event, once one fires.
+    completed_t: AtomicU64,
+    completed_key: AtomicU64,
+    overshoot: AtomicBool,
+    bail: AtomicBool,
+    fatal: AtomicBool,
+    err: Mutex<Option<SimError>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// `offers[producer][consumer]`: deferred boundary-channel offers.
+    offers: Vec<Vec<Mailbox<DeferredOffer>>>,
+    /// `deliveries[producer][consumer]`: completed-transfer records.
+    deliveries: Vec<Vec<Mailbox<DeliveryRec>>>,
+}
+
+impl Shared {
+    fn new(k: usize) -> Shared {
+        fn boxes<T>(k: usize, cap: usize) -> Vec<Vec<Mailbox<T>>> {
+            (0..k)
+                .map(|_| (0..k).map(|_| Mailbox::new(cap)).collect())
+                .collect()
+        }
+        Shared {
+            barrier: SpinBarrier::new(k),
+            fronts: (0..k).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            processed: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            completed_t: AtomicU64::new(u64::MAX),
+            completed_key: AtomicU64::new(u64::MAX),
+            overshoot: AtomicBool::new(false),
+            bail: AtomicBool::new(false),
+            fatal: AtomicBool::new(false),
+            err: Mutex::new(None),
+            panic: Mutex::new(None),
+            offers: boxes(k, OFFER_MAILBOX_CAP),
+            deliveries: boxes(k, DELIVERY_MAILBOX_CAP),
+        }
+    }
+
+    /// Record a fatal error and wake every shard out of the protocol.
+    fn fail(&self, e: SimError) {
+        let mut slot = self.err.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.fatal.store(true, Ordering::Release);
+        self.barrier.poison();
+    }
+
+    /// True when the current worker must abandon the pass right now.
+    fn aborted(&self) -> bool {
+        self.barrier.is_poisoned() || self.fatal.load(Ordering::Acquire)
+    }
+}
+
+/// Build the per-shard machines, run the windowed protocol to a stop, and
+/// classify the outcome.
+fn parallel_pass(
+    make: &MakeMachine,
+    owners: &Owners,
+    bound: Option<(u64, u64)>,
+) -> Result<Pass, SimError> {
+    let k = owners.num_shards;
+    let mut machines = Vec::with_capacity(k);
+    for shard in 0..k {
+        machines.push(build_shard(make, owners, shard as u32)?);
+    }
+    let shared = Shared::new(k);
+
+    let mut results: Vec<Option<(Machine, Exit)>> = Vec::with_capacity(k);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (shard, m) in machines.into_iter().enumerate() {
+            let shared = &shared;
+            let owned: &[bool] = &owners.masks[shard];
+            handles.push(scope.spawn(move || {
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    shard_loop(m, shard, owners, owned, shared, bound)
+                }));
+                match run {
+                    Ok(pair) => Some(pair),
+                    Err(payload) => {
+                        let mut slot = shared.panic.lock().unwrap_or_else(|p| p.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        shared.fatal.store(true, Ordering::Release);
+                        shared.barrier.poison();
+                        None
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            results.push(h.join().unwrap_or(None));
+        }
+    });
+
+    if let Some(payload) = shared
+        .panic
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    if let Some(e) = shared.err.lock().unwrap_or_else(|p| p.into_inner()).take() {
+        return Err(e);
+    }
+    let mut finished = Vec::with_capacity(k);
+    let mut exits = Vec::with_capacity(k);
+    for r in results {
+        let Some((m, exit)) = r else {
+            return Ok(Pass::Bail);
+        };
+        finished.push(m);
+        exits.push(exit);
+    }
+    if exits.iter().any(|e| *e == Exit::Bail || *e == Exit::Abort) {
+        return Ok(Pass::Bail);
+    }
+    if exits.contains(&Exit::Overshoot) {
+        return Ok(Pass::Overshoot {
+            t: shared.completed_t.load(Ordering::Acquire),
+            key: shared.completed_key.load(Ordering::Acquire),
+        });
+    }
+    Ok(Pass::Finished(finished))
+}
+
+/// Build shard `shard`: a full machine, initialized exactly like the
+/// sequential run (initialization is deterministic, so every shard — and
+/// the merge baseline — passes through the identical state), then reduced
+/// to the shard's view: only the events of owned actors stay in the
+/// calendar, the additive aggregates are zeroed (the baseline keeps the
+/// post-init values once), and the sharding context is installed.
+fn build_shard(make: &MakeMachine, owners: &Owners, shard: u32) -> Result<Machine, SimError> {
+    let mut m = make()?;
+    m.begin();
+    let use_heap = matches!(m.core.config.queue_backend, QueueBackend::Heap);
+    let snap = m.core.events.take_snapshot();
+    let events: Vec<(SimTime, u64, Event)> = snap
+        .events
+        .into_iter()
+        .filter(|(_, key, _)| owners.actor_owner[(key >> 32) as usize] == shard)
+        .collect();
+    m.core.events = DualQueue::from_snapshot(
+        use_heap,
+        QueueSnapshot {
+            now: snap.now,
+            processed: 0,
+            events,
+        },
+    );
+    // Additive run aggregates become per-shard deltas (the merge adds them
+    // onto the baseline's post-init values). Per-actor state stays
+    // absolute — the merge takes each actor's owner copy.
+    m.core.goals_created = 0;
+    m.core.goals_executed = 0;
+    m.core.responses_processed = 0;
+    m.core.seq_work = 0;
+    m.core.traffic = TrafficCounters::default();
+    m.core.hop_hist = Histogram::new(m.core.hop_hist.raw_parts().0.len());
+    m.core.global_series = IntervalSeries::new(m.core.config.sampling_interval);
+    // Shards never self-audit: a shard holds a slice of the global
+    // conservation identities. The merged machine is audited once instead.
+    m.core.next_audit = u64::MAX;
+    m.core.par = Some(Box::new(ParCtx {
+        defer_chan: owners.defer_chan.clone(),
+        cur_key: 0,
+        offer_sub: 0,
+        deferred: Vec::new(),
+    }));
+    Ok(m)
+}
+
+/// True when `(t, key)` lies past the replay bound.
+#[inline]
+fn beyond(bound: Option<(u64, u64)>, t: u64, key: u64) -> bool {
+    match bound {
+        None => false,
+        Some((bt, bk)) => t > bt || (t == bt && key > bk),
+    }
+}
+
+/// The worker protocol for one shard. Every iteration handles exactly one
+/// global timestamp; barriers keep all shards phase-aligned, and every
+/// flag is checked immediately after a barrier so all shards always exit
+/// at the same protocol point.
+fn shard_loop(
+    mut m: Machine,
+    shard: usize,
+    owners: &Owners,
+    owned: &[bool],
+    shared: &Shared,
+    bound: Option<(u64, u64)>,
+) -> (Machine, Exit) {
+    let k = owners.num_shards;
+    let chan_base = m.core.chan_key_base();
+    let mut self_offers: Vec<DeferredOffer> = Vec::new();
+    let mut self_delivs: Vec<DeliveryRec> = Vec::new();
+    let mut offers: Vec<DeferredOffer> = Vec::new();
+    let mut delivs: Vec<DeliveryRec> = Vec::new();
+    let mut prev_t: Option<u64> = None;
+    loop {
+        // --- Window reduction: publish the shard front, take the min.
+        let front = match m.core.events.peek_keyed() {
+            Some((at, key)) if !beyond(bound, at.units(), key) => at.units(),
+            _ => u64::MAX,
+        };
+        shared.fronts[shard].store(front, Ordering::Relaxed);
+        shared.processed[shard].store(m.core.events.events_processed(), Ordering::Relaxed);
+        shared.barrier.wait();
+        if shared.aborted() {
+            return (m, Exit::Abort);
+        }
+        if shared.bail.load(Ordering::Acquire) {
+            return (m, Exit::Bail);
+        }
+        let t = shared
+            .fronts
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        if t == u64::MAX {
+            return (m, Exit::Drained);
+        }
+        let total: u64 = shared
+            .processed
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .sum();
+        if total >= m.core.config.max_events {
+            // Aligned exit: every shard computes the same sum. One writes
+            // the error (checked at window granularity, not per event —
+            // the sequential engine may report a slightly smaller count).
+            if shard == 0 {
+                shared.fail(SimError::EventLimit {
+                    events: total,
+                    time: t,
+                });
+            }
+            return (m, Exit::Abort);
+        }
+        if prev_t == Some(t) {
+            // Zero-lookahead window: something at `t` was created while
+            // `t` was already executing. The cost model makes this
+            // unreachable, but if it ever fires, correctness comes first.
+            shared.bail.store(true, Ordering::Release);
+            return (m, Exit::Bail);
+        }
+        prev_t = Some(t);
+        m.core.events.advance_to(SimTime(t));
+
+        // --- Phase A: PE- and environment-class events at `t`, in key
+        // order. All strategy decisions happen here; offers to boundary
+        // channels are captured on the side.
+        let mut max_key = 0u64;
+        let mut completed_here = false;
+        while let Some((at, key)) = m.core.events.peek_keyed() {
+            if at.units() != t || key >= chan_base || beyond(bound, t, key) {
+                break;
+            }
+            let (_, key, ev) = m.core.events.pop_keyed().expect("peeked event vanished");
+            {
+                let par = m.core.par.as_deref_mut().expect("shard context");
+                par.cur_key = key;
+                par.offer_sub = 0;
+            }
+            m.handle_event(ev);
+            max_key = key;
+            if m.core.completed() {
+                shared.completed_t.store(t, Ordering::Relaxed);
+                shared.completed_key.store(key, Ordering::Relaxed);
+                completed_here = true;
+                break;
+            }
+            // The progress watchdog, on shard-local counters: a stalled
+            // run stalls every shard, and a window-aligned stop beats
+            // spinning forever. This shard's counters are only a slice of
+            // the run, so no shard can build the error the sequential
+            // engine would report — bail to the sequential fallback, which
+            // reproduces the stall with the true global counters.
+            let n = m.core.events.events_processed();
+            if n >= m.core.next_check {
+                let progress = (
+                    m.core.goals_created,
+                    m.core.goals_executed,
+                    m.core.responses_processed,
+                );
+                if progress == m.core.last_progress {
+                    shared.bail.store(true, Ordering::Release);
+                    shared.barrier.poison();
+                    return (m, Exit::Bail);
+                }
+                m.core.last_progress = progress;
+                m.core.next_check = n + PROGRESS_WINDOW;
+            }
+        }
+        let _ = completed_here;
+        // Route the captured offers to their owning shards.
+        let deferred =
+            std::mem::take(&mut m.core.par.as_deref_mut().expect("shard context").deferred);
+        for d in deferred {
+            let owner = owners.chan_owner[d.channel.idx()] as usize;
+            if owner == shard {
+                self_offers.push(d);
+            } else if shared.offers[shard][owner].push(d).is_err() {
+                shared.bail.store(true, Ordering::Release);
+                break;
+            }
+        }
+        shared.barrier.wait();
+        if shared.aborted() {
+            return (m, Exit::Abort);
+        }
+        if shared.bail.load(Ordering::Acquire) {
+            return (m, Exit::Bail);
+        }
+
+        // --- Completion check. The completing event is always PE-class
+        // (a root response combining on a PE), so completion always lands
+        // in phase A; channel events at `t` stay pending, exactly as the
+        // sequential engine leaves them.
+        let ct = shared.completed_t.load(Ordering::Relaxed);
+        if ct != u64::MAX {
+            let ck = shared.completed_key.load(Ordering::Relaxed);
+            if max_key > ck {
+                shared.overshoot.store(true, Ordering::Release);
+            }
+            shared.barrier.wait();
+            if shared.aborted() {
+                return (m, Exit::Abort);
+            }
+            if shared.overshoot.load(Ordering::Acquire) {
+                return (m, Exit::Overshoot);
+            }
+            // Every event that emitted an offer has key ≤ ck, so applying
+            // the merged offers reproduces the sequential channel state.
+            collect_offers(&mut offers, &mut self_offers, shared, shard, k);
+            for d in offers.drain(..) {
+                m.core.apply_offer(d.channel, d.flight);
+            }
+            return (m, Exit::Complete);
+        }
+
+        // --- Phase B: boundary offers in `(generating key, emission
+        // index)` order — the exact order the sequential engine's handlers
+        // applied them — then this shard's channel completions at `t`.
+        collect_offers(&mut offers, &mut self_offers, shared, shard, k);
+        for d in offers.drain(..) {
+            m.core.apply_offer(d.channel, d.flight);
+        }
+        while let Some((at, key)) = m.core.events.peek_keyed() {
+            if at.units() != t || beyond(bound, t, key) {
+                break;
+            }
+            let (_, key, ev) = m.core.events.pop_keyed().expect("peeked event vanished");
+            let Event::ChannelDone(ch) = ev else {
+                // Link fault events are the only other channel-class
+                // events, and a fault plan is ineligible.
+                unreachable!("non-transfer channel event in an eligible run");
+            };
+            let flight = m.core.complete_channel(ch);
+            // Broadcast the completed transfer to every shard owning a
+            // member PE (deliveries to one PE can come from channels owned
+            // by different shards, so everyone merges by generating key).
+            let members = m.core.topo.channel_members(ch);
+            let mut sent = 0u64; // shard-index bitmask; K ≤ 64 by construction
+            for &member in members {
+                let dest = owners.pe_owner[member.idx()] as usize;
+                if sent & (1 << dest) != 0 {
+                    continue;
+                }
+                sent |= 1 << dest;
+                let rec = DeliveryRec {
+                    gen_key: key,
+                    channel: ch,
+                    flight,
+                };
+                if dest == shard {
+                    self_delivs.push(rec);
+                } else if shared.deliveries[shard][dest].push(rec).is_err() {
+                    shared.bail.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        shared.barrier.wait();
+        if shared.aborted() {
+            return (m, Exit::Abort);
+        }
+        if shared.bail.load(Ordering::Acquire) {
+            return (m, Exit::Bail);
+        }
+
+        // --- Phase C: deliveries against this shard's PEs, merged across
+        // producers by generating key. Without a co-processor a delivery
+        // only enqueues handler work and starts PE service — no strategy
+        // code, no randomness, no offers, and nothing lands at `t`.
+        for p in 0..k {
+            while let Some(r) = shared.deliveries[p][shard].pop() {
+                delivs.push(r);
+            }
+        }
+        delivs.append(&mut self_delivs);
+        delivs.sort_unstable_by_key(|r| r.gen_key);
+        for r in delivs.drain(..) {
+            m.deliver_flight(r.channel, r.flight, Some(owned));
+        }
+        shared.barrier.wait();
+        if shared.aborted() {
+            return (m, Exit::Abort);
+        }
+        if shared.bail.load(Ordering::Acquire) {
+            return (m, Exit::Bail);
+        }
+    }
+}
+
+/// Drain this shard's offer mailboxes (and its own deferred batch) and
+/// sort into the deterministic application order.
+fn collect_offers(
+    out: &mut Vec<DeferredOffer>,
+    own: &mut Vec<DeferredOffer>,
+    shared: &Shared,
+    shard: usize,
+    k: usize,
+) {
+    for p in 0..k {
+        while let Some(d) = shared.offers[p][shard].pop() {
+            out.push(d);
+        }
+    }
+    out.append(own);
+    out.sort_unstable_by_key(|d| (d.gen_key, d.sub));
+}
+
+/// Reassemble the canonical machine: every actor's state from its owning
+/// shard, additive aggregates summed onto the baseline, the pending event
+/// sets merged back into one calendar. The result is indistinguishable
+/// from a sequential machine that just completed — including its snapshot
+/// bytes.
+fn merge_shards(
+    mut m0: Machine,
+    mut shards: Vec<Machine>,
+    owners: &Owners,
+) -> Result<Machine, SimError> {
+    let n = m0.core.pes.len();
+    let nch = m0.core.channels.len();
+
+    // Strategy: fold each shard's per-PE slices into the baseline clone.
+    for (k, sm) in shards.iter().enumerate() {
+        let state = sm.strategy.snapshot_state();
+        m0.strategy
+            .merge_owned(&state, &owners.masks[k])
+            .map_err(SimError::InvalidConfig)?;
+    }
+
+    for p in 0..n {
+        let o = owners.pe_owner[p] as usize;
+        let s = &mut shards[o].core;
+        std::mem::swap(&mut m0.core.pes[p], &mut s.pes[p]);
+        std::mem::swap(&mut m0.core.pe_rngs[p], &mut s.pe_rngs[p]);
+        std::mem::swap(&mut m0.core.dispatch_latency[p], &mut s.dispatch_latency[p]);
+        m0.core.key_seq[1 + p] = s.key_seq[1 + p];
+        m0.core.goal_seq[1 + p] = s.goal_seq[1 + p];
+    }
+    for c in 0..nch {
+        let o = owners.chan_owner[c] as usize;
+        let s = &mut shards[o].core;
+        std::mem::swap(&mut m0.core.channels[c], &mut s.channels[c]);
+        m0.core.key_seq[1 + n + c] = s.key_seq[1 + n + c];
+    }
+
+    // The baseline still holds the full post-init calendar; the live
+    // pending set is the union of the shard calendars.
+    let use_heap = matches!(m0.core.config.queue_backend, QueueBackend::Heap);
+    let mut pending: Vec<(SimTime, u64, Event)> = Vec::new();
+    let mut processed = 0u64;
+    let mut now = SimTime::ZERO;
+    for s in &mut shards {
+        let snap = s.core.events.take_snapshot();
+        now = now.max(snap.now);
+        processed += snap.processed;
+        pending.extend(snap.events);
+    }
+    pending.sort_unstable_by_key(|&(at, key, _)| (at, key));
+    m0.core.events = DualQueue::from_snapshot(
+        use_heap,
+        QueueSnapshot {
+            now,
+            processed,
+            events: pending,
+        },
+    );
+
+    for s in &shards {
+        let c = &s.core;
+        m0.core.goals_created += c.goals_created;
+        m0.core.goals_executed += c.goals_executed;
+        m0.core.responses_processed += c.responses_processed;
+        m0.core.seq_work += c.seq_work;
+        m0.core.traffic.goal_hops += c.traffic.goal_hops;
+        m0.core.traffic.response_hops += c.traffic.response_hops;
+        m0.core.traffic.control_msgs += c.traffic.control_msgs;
+        m0.core.traffic.load_updates += c.traffic.load_updates;
+        m0.core.hop_hist.merge(&c.hop_hist);
+        m0.core.global_series.merge(&c.global_series);
+        if m0.core.root_result.is_none() {
+            m0.core.root_result = c.root_result;
+        }
+    }
+
+    // Watchdog cursor. Below the first progress window the sequential
+    // engine never touches it, so keeping the baseline's initial values
+    // reproduces the sequential snapshot bit-for-bit; past it, set a
+    // coherent cursor as of "now" (the historical progress triple at the
+    // crossing is unrecoverable — and irrelevant to a completed run).
+    if processed >= PROGRESS_WINDOW {
+        m0.core.last_progress = (
+            m0.core.goals_created,
+            m0.core.goals_executed,
+            m0.core.responses_processed,
+        );
+        m0.core.next_check = processed + PROGRESS_WINDOW;
+    }
+    if m0.core.config.audit_every > 0 {
+        // The deferred invariant audit over the reassembled whole. A run
+        // that would have failed a mid-run audit sequentially fails here,
+        // at its end, instead.
+        crate::audit::audit(&m0.core, m0.strategy.as_ref())?;
+        m0.core.last_audit_now = m0.core.now().units();
+        m0.core.next_audit = processed + m0.core.config.audit_every;
+    }
+    Ok(m0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::cost::CostModel;
+    use crate::machine::Core;
+    use crate::message::GoalMsg;
+    use crate::program::{Expansion, Program, TaskSpec};
+    use crate::strategy::Strategy;
+    use oracle_topo::misc::ring;
+    use oracle_topo::PeId;
+
+    struct Fib(i64);
+    impl Program for Fib {
+        fn name(&self) -> String {
+            format!("fib({})", self.0)
+        }
+        fn root(&self) -> TaskSpec {
+            TaskSpec::new(self.0, 0)
+        }
+        fn expand(&self, spec: &TaskSpec) -> Expansion {
+            if spec.a < 2 {
+                Expansion::Leaf(spec.a)
+            } else {
+                Expansion::Split([spec.child(spec.a - 1, 0), spec.child(spec.a - 2, 0)].into())
+            }
+        }
+        fn combine(&self, _spec: &TaskSpec, acc: i64, child: i64) -> i64 {
+            acc + child
+        }
+    }
+
+    /// Scatter every goal one hop around the ring — exercises channels,
+    /// cross-shard traffic, and responses. Stateless, so parallel-safe.
+    struct ScatterRing;
+    impl Strategy for ScatterRing {
+        fn name(&self) -> &'static str {
+            "scatter-ring"
+        }
+        fn needs_load_broadcast(&self) -> bool {
+            false
+        }
+        fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            let next = PeId((pe.0 + 1) % core.num_pes() as u32);
+            core.forward_goal(pe, next, goal);
+        }
+        fn on_goal_message(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
+            core.accept_goal(pe, goal);
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+    }
+
+    fn make(coprocessor: bool) -> impl Fn() -> Result<Machine, SimError> {
+        move || {
+            let config = MachineConfig {
+                coprocessor,
+                ..MachineConfig::default()
+            };
+            Machine::new(
+                ring(8),
+                Box::new(Fib(12)),
+                Box::new(ScatterRing),
+                CostModel::paper_default(),
+                config,
+            )
+        }
+    }
+
+    fn render(r: &Report) -> String {
+        format!("{r:#?}")
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_ring() {
+        let f = make(false);
+        let (seq, _) = f().unwrap().run_traced().unwrap();
+        for shards in [2, 3, 8] {
+            let (par, _) = run_parallel(&f, shards).unwrap();
+            assert_eq!(render(&par), render(&seq), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn ineligible_configs_fall_back_sequentially() {
+        let f = make(true); // co-processor mode is ineligible
+        let m = f().unwrap();
+        assert!(ineligibility(&m, 4).is_some());
+        let (seq, _) = f().unwrap().run_traced().unwrap();
+        let (par, _) = run_parallel(&f, 4).unwrap();
+        assert_eq!(render(&par), render(&seq));
+    }
+
+    #[test]
+    fn one_shard_is_sequential() {
+        let f = make(false);
+        let m = f().unwrap();
+        assert!(ineligibility(&m, 1).is_some());
+        let (seq, _) = f().unwrap().run_traced().unwrap();
+        let (par, _) = run_parallel(&f, 1).unwrap();
+        assert_eq!(render(&par), render(&seq));
+    }
+}

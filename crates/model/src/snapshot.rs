@@ -50,7 +50,12 @@ pub const SNAPSHOT_MAGIC: u32 = 0x4D53_4E50;
 /// v3 added the overload-protection block (retry RNG and pending-retry
 /// table, token-bucket level, circuit-breaker table, shed/abandonment
 /// counters, the `Retry` event tag, and per-request attempt counts).
-pub const SNAPSHOT_VERSION: u32 = 3;
+///
+/// v4 added the deterministic-ordering block of the sharded parallel
+/// engine (per-PE RNG streams, per-actor event-key sequences, per-creator
+/// goal-id sequences replacing the global goal counter, per-PE dispatch
+/// latency accumulators, and explicit event-queue keys).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Why a restore failed: the blob itself was undecodable, or it decoded
 /// fine but does not belong to this machine.
@@ -880,7 +885,15 @@ impl Machine {
         w.usize(self.core.channels.len());
         put_rng(&mut w, &self.core.rng);
         put_rng(&mut w, &self.core.fault_rng);
-        w.u64(self.core.next_goal_id);
+        for rng in &self.core.pe_rngs {
+            put_rng(&mut w, rng);
+        }
+        for &s in &self.core.key_seq {
+            w.u32(s);
+        }
+        for &s in &self.core.goal_seq {
+            w.u32(s);
+        }
         w.u64(self.core.goals_created);
         w.u64(self.core.goals_executed);
         w.u64(self.core.responses_processed);
@@ -890,7 +903,9 @@ impl Machine {
         w.u64(self.core.traffic.control_msgs);
         w.u64(self.core.traffic.load_updates);
         put_hist(&mut w, &self.core.hop_hist);
-        put_stats(&mut w, &self.core.dispatch_latency);
+        for s in &self.core.dispatch_latency {
+            put_stats(&mut w, s);
+        }
         put_series(&mut w, &self.core.global_series);
         match self.core.root_result {
             Some((v, t)) => {
@@ -945,8 +960,9 @@ impl Machine {
         w.u64(queue.now.units());
         w.u64(queue.processed);
         w.usize(queue.events.len());
-        for (at, ev) in &queue.events {
+        for (at, key, ev) in &queue.events {
             w.u64(at.units());
+            w.u64(*key);
             put_event(&mut w, ev);
         }
         let state = self.strategy.snapshot_state();
@@ -1002,7 +1018,15 @@ impl Machine {
         }
         self.core.rng = get_rng(&mut r)?;
         self.core.fault_rng = get_rng(&mut r)?;
-        self.core.next_goal_id = r.u64()?;
+        for rng in &mut self.core.pe_rngs {
+            *rng = get_rng(&mut r)?;
+        }
+        for s in &mut self.core.key_seq {
+            *s = r.u32()?;
+        }
+        for s in &mut self.core.goal_seq {
+            *s = r.u32()?;
+        }
         self.core.goals_created = r.u64()?;
         self.core.goals_executed = r.u64()?;
         self.core.responses_processed = r.u64()?;
@@ -1012,7 +1036,9 @@ impl Machine {
         self.core.traffic.control_msgs = r.u64()?;
         self.core.traffic.load_updates = r.u64()?;
         self.core.hop_hist = get_hist(&mut r)?;
-        self.core.dispatch_latency = get_stats(&mut r)?;
+        for s in &mut self.core.dispatch_latency {
+            *s = get_stats(&mut r)?;
+        }
         self.core.global_series = get_series(&mut r)?;
         self.core.root_result = if r.bool()? {
             let v = r.i64()?;
@@ -1079,7 +1105,8 @@ impl Machine {
                 )));
             }
             prev = at;
-            events.push((at, get_event(&mut r)?));
+            let key = r.u64()?;
+            events.push((at, key, get_event(&mut r)?));
         }
         self.core.events.restore_snapshot(QueueSnapshot {
             now,
@@ -1091,6 +1118,10 @@ impl Machine {
             bytes: r.bytes()?.to_vec(),
         };
         r.finish()?;
+        // Live routing tables are derived state: recompute them from the
+        // restored health (a no-op back to `None` at full health), exactly
+        // as the fault handlers maintained them along the original run.
+        self.core.rebuild_live_routes();
         self.strategy
             .restore_state(&state, &self.core)
             .map_err(RestoreFail::Mismatch)

@@ -89,7 +89,7 @@ impl Strategy for Diffusion {
 
     fn init(&mut self, core: &mut Core) {
         for i in 0..core.num_pes() as u32 {
-            let delay = 1 + core.rng().below(self.params.interval);
+            let delay = 1 + core.rng(PeId(i)).below(self.params.interval);
             core.set_timer(PeId(i), delay, TIMER_CYCLE);
         }
     }
@@ -106,6 +106,11 @@ impl Strategy for Diffusion {
         if tag == TIMER_CYCLE {
             self.cycle(core, pe);
         }
+    }
+
+    // Stateless; each cycle reads only the timer PE's queue and load view.
+    fn parallel_safe(&self) -> bool {
+        true
     }
 }
 

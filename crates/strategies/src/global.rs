@@ -52,7 +52,7 @@ impl Strategy for GlobalRandom {
 
     fn on_goal_created(&mut self, core: &mut Core, pe: PeId, goal: GoalMsg) {
         let n = core.num_pes() as u64;
-        let dest = PeId(core.rng().below(n) as u32);
+        let dest = PeId(core.rng(pe).below(n) as u32);
         self.in_flight.insert(goal.id, dest);
         self.route_toward(core, pe, dest, goal);
     }

@@ -62,7 +62,7 @@ impl WorkStealing {
         };
         if known == 0 {
             let degree = core.topology().degree(pe);
-            let pick = core.rng().below(degree as u64) as usize;
+            let pick = core.rng(pe).below(degree as u64) as usize;
             let probe = core.topology().neighbors(pe)[pick].pe;
             if core.neighbor_reachable(pe, probe) {
                 victim = probe;
@@ -91,7 +91,7 @@ impl Strategy for WorkStealing {
         // Kick-start: every PE begins idle, and on_idle only fires on
         // busy-to-idle transitions, so arm one initial probe per PE.
         for i in 0..core.num_pes() as u32 {
-            let delay = 1 + core.rng().below(self.retry_delay);
+            let delay = 1 + core.rng(PeId(i)).below(self.retry_delay);
             core.set_timer(PeId(i), delay, TIMER_RETRY);
         }
     }
@@ -194,6 +194,45 @@ impl Strategy for WorkStealing {
         r.finish().map_err(bad)?;
         self.outstanding = outstanding;
         self.denies = denies;
+        Ok(())
+    }
+
+    // Steal bookkeeping (outstanding request, deny cursor) is per-PE; the
+    // steal handshake itself rides control messages through channels.
+    fn parallel_safe(&self) -> bool {
+        true
+    }
+
+    fn merge_owned(&mut self, from: &StrategyState, owned: &[bool]) -> Result<(), String> {
+        if from.name != self.name() {
+            return Err(format!(
+                "merging shard state of `{}` into `{}`",
+                from.name,
+                self.name()
+            ));
+        }
+        let bad = |e| format!("corrupt `work-stealing` shard payload: {e}");
+        let mut r = SnapReader::new(&from.bytes);
+        let n = r.usize().map_err(bad)?;
+        if n != self.outstanding.len() || n != owned.len() {
+            return Err(format!(
+                "`work-stealing` shard state covers {n} PEs but this machine has {}",
+                self.outstanding.len()
+            ));
+        }
+        for slot in self.outstanding.iter_mut().zip(owned) {
+            let v = r.bool().map_err(bad)?;
+            if *slot.1 {
+                *slot.0 = v;
+            }
+        }
+        for slot in self.denies.iter_mut().zip(owned) {
+            let v = r.u32().map_err(bad)?;
+            if *slot.1 {
+                *slot.0 = v;
+            }
+        }
+        r.finish().map_err(bad)?;
         Ok(())
     }
 }

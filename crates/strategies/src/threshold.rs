@@ -81,7 +81,7 @@ impl ThresholdProbe {
 
     fn send_probe(&mut self, core: &mut Core, pe: PeId, goal_id: GoalId) {
         let degree = core.topology().degree(pe);
-        let pick = core.rng().below(degree as u64) as usize;
+        let pick = core.rng(pe).below(degree as u64) as usize;
         let to = core.topology().neighbors(pe)[pick].pe;
         core.send_control(
             pe,

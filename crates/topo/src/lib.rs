@@ -19,7 +19,9 @@ pub mod hypercube;
 pub mod kary;
 pub mod mesh;
 pub mod misc;
+pub mod partition;
 pub mod spec;
 
 pub use graph::{ChannelId, Neighbor, PeId, Topology};
+pub use partition::{partition, Partition};
 pub use spec::TopologySpec;

@@ -1,0 +1,349 @@
+//! Cut-minimizing machine partitioning for the sharded parallel engine.
+//!
+//! The parallel engine splits the machine into K shards, one worker thread
+//! each; every channel whose members span two shards costs cross-shard
+//! mailbox traffic every time a message crosses it. Kurve et al.
+//! (arXiv:1111.0875) frame partitioning for parallel simulation as exactly
+//! this trade — balanced shard sizes against cut edges. This module is the
+//! cheap deterministic corner of that idea: grow K connected regions by
+//! breadth-first search from spread-out seed PEs, always assigning the next
+//! PE to the smallest eligible shard and, within a shard's frontier,
+//! preferring the PE with the most already-assigned neighbours in that
+//! shard (fewest new cut edges). The result is deterministic for a given
+//! topology and K — the parallel engine requires that, since shard
+//! membership feeds the deterministic event-ordering key schedule.
+
+use crate::graph::{ChannelId, PeId, Topology};
+
+/// A partition of a topology's PEs into `num_shards` contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Shard index of every PE (length `num_pes`).
+    pub shard_of: Vec<u32>,
+    /// Number of shards (some may be empty only when `num_shards >
+    /// num_pes`).
+    pub num_shards: u32,
+    /// Channels whose members span more than one shard.
+    pub cut_channels: Vec<ChannelId>,
+}
+
+impl Partition {
+    /// Shard owning `pe`.
+    #[inline]
+    pub fn shard(&self, pe: PeId) -> u32 {
+        self.shard_of[pe.idx()]
+    }
+
+    /// Number of channels crossing shard boundaries.
+    pub fn cut_size(&self) -> usize {
+        self.cut_channels.len()
+    }
+}
+
+/// Partition `topo` into `num_shards` balanced, connected (when the
+/// topology is connected) shards with a greedy BFS growth that scores
+/// candidate PEs by how many cut edges they would avoid.
+///
+/// Deterministic: ties break toward the lowest PE id at every step.
+///
+/// # Panics
+///
+/// Panics if `num_shards == 0`.
+pub fn partition(topo: &Topology, num_shards: usize) -> Partition {
+    assert!(num_shards > 0, "cannot partition into zero shards");
+    let n = topo.num_pes();
+    let k = num_shards.min(n.max(1));
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+
+    // Seed each shard with a PE far from the already chosen seeds: the
+    // first seed is PE 0, each later seed maximizes (in hop distance) the
+    // minimum distance to existing seeds. On a grid this spreads seeds into
+    // a rough lattice, which is what keeps the BFS regions compact.
+    let mut seeds: Vec<PeId> = Vec::with_capacity(k);
+    seeds.push(PeId(0));
+    while seeds.len() < k {
+        let mut best = None;
+        for pe in topo.pes() {
+            if seeds.contains(&pe) {
+                continue;
+            }
+            let d = seeds
+                .iter()
+                .map(|&s| topo.distance(s, pe))
+                .min()
+                .unwrap_or(u16::MAX);
+            let better = match best {
+                None => true,
+                Some((bd, _)) => d > bd,
+            };
+            if better {
+                best = Some((d, pe));
+            }
+        }
+        match best {
+            Some((_, pe)) => seeds.push(pe),
+            None => break,
+        }
+    }
+
+    let mut sizes = vec![0usize; k];
+    // Per-shard BFS frontier: PEs adjacent to the shard, not yet assigned.
+    let mut frontiers: Vec<Vec<PeId>> = vec![Vec::new(); k];
+    for (s, &seed) in seeds.iter().enumerate() {
+        shard_of[seed.idx()] = s as u32;
+        sizes[s] += 1;
+        for nb in topo.neighbors(seed) {
+            frontiers[s].push(nb.pe);
+        }
+    }
+
+    let mut assigned = seeds.len();
+    let cap = n.div_ceil(k);
+    while assigned < n {
+        // The smallest shard with a non-empty frontier grows next, and
+        // shards at the size cap only grow when every under-cap shard is
+        // landlocked — together these keep sizes near n/k.
+        let mut grow: Option<usize> = None;
+        for s in 0..k {
+            frontiers[s].retain(|pe| shard_of[pe.idx()] == UNASSIGNED);
+            if frontiers[s].is_empty() {
+                continue;
+            }
+            let better = match grow {
+                None => true,
+                Some(g) => {
+                    let (s_capped, g_capped) = (sizes[s] >= cap, sizes[g] >= cap);
+                    (!s_capped && g_capped) || (s_capped == g_capped && sizes[s] < sizes[g])
+                }
+            };
+            if better {
+                grow = Some(s);
+            }
+        }
+        let (s, pick) = match grow {
+            Some(s) => {
+                // Among the frontier, prefer the PE with the most
+                // neighbours already inside shard `s` (each such neighbour
+                // is an edge that will *not* be cut); lowest id on ties.
+                let mut best: Option<(usize, PeId)> = None;
+                for &pe in &frontiers[s] {
+                    let inside = topo
+                        .neighbors(pe)
+                        .iter()
+                        .filter(|nb| shard_of[nb.pe.idx()] == s as u32)
+                        .count();
+                    let better = match best {
+                        None => true,
+                        Some((bi, bpe)) => inside > bi || (inside == bi && pe.0 < bpe.0),
+                    };
+                    if better {
+                        best = Some((inside, pe));
+                    }
+                }
+                (s, best.expect("non-empty frontier").1)
+            }
+            None => {
+                // Disconnected topology: every frontier is dry but PEs
+                // remain. Drop the leftover into the smallest shard.
+                let pe = topo
+                    .pes()
+                    .find(|pe| shard_of[pe.idx()] == UNASSIGNED)
+                    .expect("assigned < n");
+                let s = (0..k).min_by_key(|&s| (sizes[s], s)).expect("k > 0");
+                (s, pe)
+            }
+        };
+        shard_of[pick.idx()] = s as u32;
+        sizes[s] += 1;
+        assigned += 1;
+        for nb in topo.neighbors(pick) {
+            if shard_of[nb.pe.idx()] == UNASSIGNED {
+                frontiers[s].push(nb.pe);
+            }
+        }
+    }
+
+    // Refinement (the iterative-improvement half of Kurve's scheme): walk
+    // boundary PEs from oversized shards into adjacent smaller shards, but
+    // only when the donor stays connected. The greedy growth above can
+    // landlock a shard (its whole frontier claimed by neighbours before it
+    // reached size n/k); this pass drains the surplus back.
+    let mut moved = true;
+    let mut guard = 4 * n * k;
+    while moved && guard > 0 {
+        moved = false;
+        for pe in topo.pes() {
+            guard = guard.saturating_sub(1);
+            let from = shard_of[pe.idx()] as usize;
+            if sizes[from] <= cap {
+                continue;
+            }
+            // Smallest strictly-smaller adjacent shard.
+            let mut target: Option<usize> = None;
+            for nb in topo.neighbors(pe) {
+                let t = shard_of[nb.pe.idx()] as usize;
+                if t == from || sizes[t] + 1 >= sizes[from] {
+                    continue;
+                }
+                let better = match target {
+                    None => true,
+                    Some(bt) => (sizes[t], t) < (sizes[bt], bt),
+                };
+                if better {
+                    target = Some(t);
+                }
+            }
+            let Some(t) = target else { continue };
+            if !stays_connected(topo, &shard_of, pe, from as u32) {
+                continue;
+            }
+            shard_of[pe.idx()] = t as u32;
+            sizes[from] -= 1;
+            sizes[t] += 1;
+            moved = true;
+        }
+    }
+
+    let cut_channels = (0..topo.num_channels())
+        .map(|c| ChannelId(c as u32))
+        .filter(|&c| {
+            let members = topo.channel_members(c);
+            members
+                .iter()
+                .any(|m| shard_of[m.idx()] != shard_of[members[0].idx()])
+        })
+        .collect();
+
+    Partition {
+        shard_of,
+        num_shards: num_shards as u32,
+        cut_channels,
+    }
+}
+
+/// True if shard `s` remains connected after removing `pe` from it.
+fn stays_connected(topo: &Topology, shard_of: &[u32], pe: PeId, s: u32) -> bool {
+    let members: Vec<PeId> = topo
+        .pes()
+        .filter(|p| *p != pe && shard_of[p.idx()] == s)
+        .collect();
+    let Some(&start) = members.first() else {
+        return false; // never empty a shard
+    };
+    let mut seen = vec![false; topo.num_pes()];
+    seen[start.idx()] = true;
+    let mut stack = vec![start];
+    let mut reached = 0usize;
+    while let Some(p) = stack.pop() {
+        reached += 1;
+        for nb in topo.neighbors(p) {
+            let q = nb.pe;
+            if q != pe && shard_of[q.idx()] == s && !seen[q.idx()] {
+                seen[q.idx()] = true;
+                stack.push(q);
+            }
+        }
+    }
+    reached == members.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::mesh2d;
+    use crate::misc::{complete, ring};
+
+    fn check_basic(p: &Partition, n: usize, k: usize) {
+        assert_eq!(p.shard_of.len(), n);
+        assert!(p.shard_of.iter().all(|&s| (s as usize) < k));
+        // Every shard non-empty when k <= n.
+        if k <= n {
+            for s in 0..k {
+                assert!(
+                    p.shard_of.iter().any(|&x| x as usize == s),
+                    "shard {s} empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partition_is_balanced_and_cheap() {
+        let topo = mesh2d(8, 8, false);
+        for k in [1usize, 2, 3, 4, 8] {
+            let p = partition(&topo, k);
+            check_basic(&p, 64, k);
+            let mut sizes = vec![0usize; k];
+            for &s in &p.shard_of {
+                sizes[s as usize] += 1;
+            }
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(
+                max - min <= 1 + 64 / (4 * k),
+                "k={k}: imbalanced shard sizes {sizes:?}"
+            );
+            // A random 64-PE assignment cuts ~ (1 - 1/k) of 112 edges; the
+            // BFS partition must do far better than that.
+            if k > 1 {
+                let random_cut = topo.num_channels() * (k - 1) / k;
+                assert!(
+                    p.cut_size() < random_cut / 2,
+                    "k={k}: cut {} not better than half of random {random_cut}",
+                    p.cut_size()
+                );
+            } else {
+                assert_eq!(p.cut_size(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let topo = mesh2d(6, 5, false);
+        let a = partition(&topo, 4);
+        let b = partition(&topo, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shards_are_connected_on_grid() {
+        let topo = mesh2d(10, 10, false);
+        let p = partition(&topo, 8);
+        for s in 0..8u32 {
+            let members: Vec<PeId> = topo.pes().filter(|pe| p.shard(*pe) == s).collect();
+            assert!(!members.is_empty());
+            // BFS within the shard from its first member must reach all.
+            let mut seen = vec![false; topo.num_pes()];
+            let mut stack = vec![members[0]];
+            seen[members[0].idx()] = true;
+            let mut count = 0;
+            while let Some(pe) = stack.pop() {
+                count += 1;
+                for nb in topo.neighbors(pe) {
+                    if p.shard(nb.pe) == s && !seen[nb.pe.idx()] {
+                        seen[nb.pe.idx()] = true;
+                        stack.push(nb.pe);
+                    }
+                }
+            }
+            assert_eq!(count, members.len(), "shard {s} is disconnected");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_pes() {
+        let topo = ring(3);
+        let p = partition(&topo, 8);
+        assert_eq!(p.shard_of.len(), 3);
+        assert!(p.shard_of.iter().all(|&s| s < 3));
+    }
+
+    #[test]
+    fn single_shard_cuts_nothing() {
+        let topo = complete(6);
+        let p = partition(&topo, 1);
+        assert!(p.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(p.cut_size(), 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Cross-engine equality: the sharded conservative-sync engine must produce
+//! **bit-identical** results to the sequential engine — same reports, same
+//! invariant-auditor verdicts, same snapshot bytes — for every eligible
+//! configuration, and must fall back to sequential execution (same results
+//! by construction) for every ineligible one.
+//!
+//! The comparison is the full `Debug` rendering of the `Report` (the same
+//! full-fidelity comparison the golden and cross-queue suites use): float
+//! series, hop histograms, traffic counters, per-PE utilizations — all of
+//! it.
+
+use oracle::model::{ineligibility, run_parallel, run_parallel_machine};
+use oracle::prelude::*;
+use oracle::runner::{clear_default_shards, set_default_shards};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Shard counts the whole suite sweeps: an even split, an uneven split,
+/// and more shards than some topologies have natural clusters.
+const SHARD_COUNTS: [usize; 3] = [2, 3, 8];
+
+fn eligible_builder(
+    topology: TopologySpec,
+    strategy: StrategySpec,
+    workload: WorkloadSpec,
+    seed: u64,
+) -> SimulationBuilder {
+    SimulationBuilder::new()
+        .topology(topology)
+        .strategy(strategy)
+        .workload(workload)
+        .seed(seed)
+        // The communication co-processor handles deliveries at channel
+        // timestamps, where the engine's complete/deliver phase split
+        // becomes observable — sharded execution requires it off.
+        .coprocessor(false)
+}
+
+/// Run sequentially and at every shard count; every report must render
+/// identically. Returns the sequential rendering for further checks.
+fn assert_bit_identical(name: &str, config: &oracle::builder::RunConfig) -> String {
+    let (seq, _) = config.run_traced().expect(name);
+    let seq = format!("{seq:#?}");
+    for shards in SHARD_COUNTS {
+        let (par, _) = config
+            .run_sharded(shards)
+            .unwrap_or_else(|e| panic!("{name} at {shards} shards: {e:?}"));
+        let par = format!("{par:#?}");
+        assert!(
+            par == seq,
+            "{name}: report diverged at {shards} shards\n--- sequential ---\n{seq}\n--- parallel ---\n{par}"
+        );
+    }
+    seq
+}
+
+#[test]
+fn every_parallel_safe_strategy_matches_sequential() {
+    // Strategy × topology sweep over the schemes that declare themselves
+    // parallel-safe. GlobalRandom and ThresholdProbe keep cross-PE state,
+    // stay ineligible, and are covered by the fallback test instead.
+    let strategies = [
+        StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        },
+        StrategySpec::Gradient {
+            low_water_mark: 1,
+            high_water_mark: 2,
+            interval: 20,
+        },
+        // Redistribution off: with the co-processor also off, ACWN's
+        // idle-steal component can livelock a single root goal on larger
+        // grids — sequentially too (see the stalled-run test below).
+        StrategySpec::AdaptiveCwn {
+            radius: 4,
+            horizon: 1,
+            saturation: 2,
+            redistribute: false,
+        },
+        StrategySpec::Local,
+        StrategySpec::RandomWalk { hops: 2 },
+        StrategySpec::RoundRobin,
+        StrategySpec::WorkStealing { retry_delay: 25 },
+        StrategySpec::Diffusion {
+            interval: 15,
+            threshold: 2,
+            max_per_cycle: 2,
+        },
+    ];
+    let topologies = [
+        TopologySpec::grid(5),
+        TopologySpec::DoubleLatticeMesh {
+            span: 2,
+            width: 5,
+            height: 5,
+        },
+        TopologySpec::Ring { n: 9 },
+        TopologySpec::Hypercube { dim: 3 },
+    ];
+    for strategy in &strategies {
+        for topology in &topologies {
+            let config = eligible_builder(*topology, *strategy, WorkloadSpec::fib(11), 7).config();
+            assert_bit_identical(&format!("{strategy} on {topology}"), &config);
+        }
+    }
+}
+
+#[test]
+fn workload_shapes_match_sequential() {
+    for workload in [
+        WorkloadSpec::dc(200),
+        WorkloadSpec::Lopsided {
+            budget: 120,
+            skew_pct: 70,
+        },
+        WorkloadSpec::Cyclic {
+            phases: 2,
+            width: 3,
+            leaves: 6,
+        },
+    ] {
+        let config = eligible_builder(
+            TopologySpec::grid(4),
+            StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            },
+            workload,
+            3,
+        )
+        .config();
+        assert_bit_identical(&format!("{workload}"), &config);
+    }
+}
+
+#[test]
+fn both_queue_backends_shard_identically() {
+    for backend in [
+        oracle::model::QueueBackend::Heap,
+        oracle::model::QueueBackend::Calendar,
+    ] {
+        let config = eligible_builder(
+            TopologySpec::grid(4),
+            StrategySpec::Cwn {
+                radius: 4,
+                horizon: 1,
+            },
+            WorkloadSpec::fib(11),
+            5,
+        )
+        .queue_backend(backend)
+        .config();
+        assert_bit_identical(&format!("{backend:?} backend"), &config);
+    }
+}
+
+#[test]
+fn ineligible_configurations_fall_back_to_identical_sequential_runs() {
+    // Each of these is ineligible for a different reason; the sharded entry
+    // point must still return the exact sequential result.
+    let faulted = SimulationBuilder::new()
+        .topology(TopologySpec::grid(4))
+        .strategy(StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(10))
+        .coprocessor(false)
+        .fault_plan("crash:5@400+recover:200x3".parse().expect("fault plan"))
+        .config();
+    let open = SimulationBuilder::new()
+        .topology(TopologySpec::grid(4))
+        .strategy(StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(7))
+        .coprocessor(false)
+        .arrivals("poisson:2".parse().expect("arrival spec"), 4_000)
+        .config();
+    let coproc = SimulationBuilder::new()
+        .topology(TopologySpec::grid(4))
+        .strategy(StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        })
+        .workload(WorkloadSpec::fib(10))
+        .config(); // default keeps the co-processor on
+    let shared_state = eligible_builder(
+        TopologySpec::grid(4),
+        StrategySpec::GlobalRandom,
+        WorkloadSpec::fib(10),
+        2,
+    )
+    .config();
+    for (name, config) in [
+        ("faulted", &faulted),
+        ("open", &open),
+        ("coprocessor", &coproc),
+        ("shared-state strategy", &shared_state),
+    ] {
+        let m = config.machine().expect(name);
+        assert!(
+            ineligibility(&m, 4).is_some(),
+            "{name} should be ineligible for sharded execution"
+        );
+        let (seq, _) = config.run_traced().expect(name);
+        let (par, _) = config.run_sharded(4).expect(name);
+        assert_eq!(
+            format!("{par:#?}"),
+            format!("{seq:#?}"),
+            "{name}: fallback diverged from the sequential engine"
+        );
+    }
+}
+
+#[test]
+fn audited_runs_pass_and_match_under_sharding() {
+    // The invariant auditor runs every N events sequentially and once on
+    // the merged machine in sharded mode; both must pass, and the reports
+    // must still be bit-identical.
+    let config = eligible_builder(
+        TopologySpec::grid(5),
+        StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        },
+        WorkloadSpec::fib(11),
+        7,
+    )
+    .config();
+    let mut audited = config;
+    audited.machine.audit_every = 500;
+    let (seq, _) = audited.run_traced().expect("audited sequential run");
+    for shards in SHARD_COUNTS {
+        let (par, _) = audited
+            .run_sharded(shards)
+            .unwrap_or_else(|e| panic!("audited run at {shards} shards: {e:?}"));
+        assert_eq!(par.completion_time, seq.completion_time);
+        assert_eq!(par.events, seq.events);
+        assert_eq!(par.traffic, seq.traffic);
+        assert_eq!(par.hop_histogram, seq.hop_histogram);
+    }
+}
+
+#[test]
+fn merged_machine_snapshot_matches_sequential_and_round_trips() {
+    let config = eligible_builder(
+        TopologySpec::grid(4),
+        StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        },
+        WorkloadSpec::fib(11),
+        9,
+    )
+    .config();
+
+    // Sequential machine, advanced to completion (not consumed).
+    let mut seq = config.machine().expect("sequential machine");
+    seq.begin();
+    seq.advance_until(None).expect("sequential run");
+    let seq_bytes = seq.snapshot_bytes();
+
+    for shards in SHARD_COUNTS {
+        // The merged parallel machine must serialize to the *same bytes*:
+        // every RNG stream, sequence counter, PE queue, channel FIFO, and
+        // pending event identical.
+        let mut par = run_parallel_machine(&|| config.machine(), shards).expect("parallel machine");
+        let par_bytes = par.snapshot_bytes();
+        assert!(
+            par_bytes == seq_bytes,
+            "merged machine snapshot diverged from sequential at {shards} shards \
+             ({} vs {} bytes)",
+            par_bytes.len(),
+            seq_bytes.len()
+        );
+
+        // And it must round-trip: restore into a fresh machine, serialize
+        // again, same bytes.
+        let mut fresh = config.machine().expect("fresh machine");
+        fresh
+            .restore_bytes(&par_bytes)
+            .expect("restore merged snapshot");
+        assert_eq!(
+            fresh.snapshot_bytes(),
+            par_bytes,
+            "merged snapshot did not round-trip at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn stalled_runs_fail_identically_under_sharding() {
+    // ACWN with redistribution on this cell livelocks the lone root goal
+    // (a modelling outcome, reproducible sequentially). Shard-local
+    // watchdogs can only see a slice of the counters, so the engine must
+    // bail to the sequential fallback and report the *same* error,
+    // counters and all.
+    let config = eligible_builder(
+        TopologySpec::grid(5),
+        StrategySpec::AdaptiveCwn {
+            radius: 4,
+            horizon: 1,
+            saturation: 2,
+            redistribute: true,
+        },
+        WorkloadSpec::fib(11),
+        7,
+    )
+    .config();
+    let seq = config.run_traced().expect_err("cell is known to stall");
+    for shards in SHARD_COUNTS {
+        let par = config
+            .run_sharded(shards)
+            .expect_err("parallel engine must reproduce the stall");
+        assert_eq!(
+            format!("{par:?}"),
+            format!("{seq:?}"),
+            "stall error diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn process_default_shards_reroutes_plain_runs() {
+    let config = eligible_builder(
+        TopologySpec::grid(4),
+        StrategySpec::Cwn {
+            radius: 4,
+            horizon: 1,
+        },
+        WorkloadSpec::fib(10),
+        4,
+    )
+    .config();
+    let baseline = config.run().expect("sequential");
+    set_default_shards(2);
+    let sharded = config.run().expect("sharded via process default");
+    clear_default_shards();
+    assert_eq!(format!("{sharded:#?}"), format!("{baseline:#?}"));
+    assert_eq!(
+        format!("{:#?}", config.run().expect("cleared")),
+        format!("{baseline:#?}")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (topology, shard count, seed) cells: the partitioner may
+    /// produce any shard boundary shapes, and every one of them must
+    /// preserve determinism exactly.
+    #[test]
+    fn random_partitions_preserve_determinism(
+        topology in prop_oneof![
+            (2usize..6, 2usize..6, any::<bool>()).prop_map(|(w, h, wrap)| {
+                TopologySpec::Mesh2D { width: w.max(2), height: h, wraparound: wrap }
+            }),
+            (3usize..12).prop_map(|n| TopologySpec::Ring { n }),
+            (2u32..5).prop_map(|dim| TopologySpec::Hypercube { dim }),
+            (2usize..4, 4usize..7).prop_map(|(span, side)| TopologySpec::DoubleLatticeMesh {
+                span: span.min(side), width: side, height: side,
+            }),
+        ],
+        strategy in prop_oneof![
+            (2u32..6, 0u32..2).prop_map(|(radius, horizon)| StrategySpec::Cwn {
+                radius, horizon: horizon.min(radius - 1),
+            }),
+            Just(StrategySpec::RoundRobin),
+            (1u32..4).prop_map(|hops| StrategySpec::RandomWalk { hops }),
+            (10u64..40).prop_map(|d| StrategySpec::WorkStealing { retry_delay: d }),
+        ],
+        shards in 2usize..9,
+        seed in 0u64..1_000,
+    ) {
+        let config = eligible_builder(topology, strategy, WorkloadSpec::fib(9), seed).config();
+        let (seq, _) = config.run_traced().expect("sequential");
+        let (par, _) = run_parallel(&|| config.machine(), shards).expect("parallel");
+        prop_assert_eq!(format!("{:#?}", par), format!("{:#?}", seq));
+    }
+}

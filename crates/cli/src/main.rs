@@ -168,6 +168,8 @@ commands:
             or more `+`-separated terms per line);
             --shards N splits the single run across N conservative-sync
             workers (`auto` = all cores) with bit-identical results;
+            counts above the machine's PE count (or the engine's cap of
+            64 workers) are clamped, so no worker ever owns nothing;
             configurations the sharded engine cannot split (tracing,
             faults, open traffic, co-processor mode) run sequentially,
             with a stderr note naming the reason;
@@ -238,7 +240,8 @@ parallelism precedence (each resolved per command invocation):
   --threads N   batch worker pool; flag > default (all cores). 0 rejected:
                 \"--threads N (N >= 1; omit the flag for auto)\"
   --shards N    per-run sharded engine; flag > default (1 = sequential).
-                `auto` = all cores; ineligible runs fall back untouched.
+                `auto` = all cores; clamped to min(PE count, 64);
+                ineligible runs fall back untouched.
   The two compose: each batch worker may itself run sharded.
 
 exit codes: 0 success (saturation is a measured outcome, not a failure) |

@@ -40,7 +40,10 @@ pub const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50;
 ///
 /// v3 added the overload-protection knobs (deadline, retry policy,
 /// admission policy, breaker cooldown) alongside the v3 machine snapshot.
-pub const CHECKPOINT_VERSION: u32 = 3;
+///
+/// v4 added the progress-watchdog window (`progress_window`) — a resumed
+/// run must arm its stall detector exactly like the uninterrupted one.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Everything that can go wrong writing, reading, or resuming a checkpoint.
 #[derive(Debug)]
@@ -122,6 +125,7 @@ fn put_config(w: &mut SnapWriter, config: &RunConfig) {
     w.bool(m.coprocessor);
     w.bool(m.per_pe_series);
     w.u64(m.max_events);
+    w.u64(m.progress_window);
     w.usize(m.trace_capacity);
     w.u8(match m.queue_discipline {
         QueueDiscipline::Fifo => 0,
@@ -237,6 +241,7 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
     let coprocessor = r.bool()?;
     let per_pe_series = r.bool()?;
     let max_events = r.u64()?;
+    let progress_window = r.u64()?;
     let trace_capacity = r.usize()?;
     let queue_discipline = match r.u8()? {
         0 => QueueDiscipline::Fifo,
@@ -330,6 +335,7 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
             coprocessor,
             per_pe_series,
             max_events,
+            progress_window,
             trace_capacity,
             // Observability knobs: the trace ring mode and the profiler are
             // not part of a snapshot (a resumed run's trace/profile start at

@@ -94,6 +94,13 @@ pub struct MachineConfig {
     pub per_pe_series: bool,
     /// Safety valve: abort the run after this many events.
     pub max_events: u64,
+    /// Window (in events) of the progress watchdog: a run in which no goal
+    /// is created, executed, or combined across a full window is declared
+    /// stalled. The default (one million events) is far wider than any
+    /// legitimate quiet stretch; the knob exists mainly so tests can
+    /// exercise watchdog crossings without million-event runs.
+    #[serde(default = "default_progress_window")]
+    pub progress_window: u64,
     /// Keep a structured trace of up to this many events (0 disables
     /// tracing; see [`crate::trace`]).
     pub trace_capacity: usize,
@@ -150,6 +157,10 @@ pub struct MachineConfig {
     pub pe_speed_spread: u64,
 }
 
+fn default_progress_window() -> u64 {
+    crate::machine::PROGRESS_WINDOW
+}
+
 impl Default for MachineConfig {
     fn default() -> Self {
         MachineConfig {
@@ -163,6 +174,7 @@ impl Default for MachineConfig {
             coprocessor: true,
             per_pe_series: false,
             max_events: 500_000_000,
+            progress_window: default_progress_window(),
             trace_capacity: 0,
             trace_mode: TraceMode::default(),
             profile: false,
@@ -191,6 +203,9 @@ impl MachineConfig {
         }
         if self.max_events == 0 {
             return Err("max_events must be positive".into());
+        }
+        if self.progress_window == 0 {
+            return Err("progress_window must be positive".into());
         }
         if self.pe_speed_spread == 0 {
             return Err("pe_speed_spread must be at least 1".into());

@@ -151,8 +151,10 @@ impl FaultState {
     }
 }
 
-/// Window (in events) of the progress watchdog: if no goal is created,
-/// executed, or combined across a full window, the run is declared stalled.
+/// Default window (in events) of the progress watchdog: if no goal is
+/// created, executed, or combined across a full window, the run is
+/// declared stalled. [`crate::config::MachineConfig::progress_window`]
+/// overrides it per run.
 pub(crate) const PROGRESS_WINDOW: u64 = 1_000_000;
 
 /// Everything a strategy can see and act on: the machine without the
@@ -1370,7 +1372,7 @@ impl Machine {
                 sweep_orphans: Vec::new(),
                 sweep_respawns: Vec::new(),
                 last_progress: (0, 0, 0),
-                next_check: PROGRESS_WINDOW,
+                next_check: config.progress_window,
                 next_audit: if config.audit_every > 0 {
                     config.audit_every
                 } else {
@@ -1539,7 +1541,7 @@ impl Machine {
                     return Err(self.stall_error());
                 }
                 self.core.last_progress = progress;
-                self.core.next_check = n + PROGRESS_WINDOW;
+                self.core.next_check = n + self.core.config.progress_window;
             }
             if n >= self.core.config.max_events {
                 return Err(SimError::EventLimit {

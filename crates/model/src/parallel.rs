@@ -66,6 +66,26 @@
 //! (`audit_every`) are honoured by a single audit of the merged final
 //! machine — a shard sees only its slice of the global identities, so
 //! mid-run audits are deferred to the end.
+//!
+//! # Contract boundary
+//!
+//! Reports, metrics, auditor verdicts, errors, and the event calendar are
+//! bit-identical without exception; the shard count is clamped to
+//! [`MAX_SHARDS`] and to the PE count so every worker owns work. The one
+//! snapshot-byte divergence is *historical cursor state*: for runs that
+//! cross a watchdog window ([`crate::config::MachineConfig::progress_window`]
+//! events) the serialized `last_progress` triple holds the final progress
+//! counters rather than the counters at the last mid-run crossing, and an
+//! audited run's `last_audit_now` holds the final audit time rather than
+//! the last mid-run one. (`next_check` / `next_audit` are pure functions
+//! of the processed count and do reconstruct exactly.) Recovering the
+//! historical values would mean logging global counters per event —
+//! against this engine's purpose — and the divergence only phase-shifts
+//! the stall detector of a run resumed from such a snapshot. Runs below
+//! one window, like the entire equality suite, snapshot bit-identically.
+//! An event-limit overrun is detected at window granularity and the run is
+//! re-executed sequentially, so `SimError::EventLimit` carries the exact
+//! sequential `(events, time)` pair.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -78,10 +98,19 @@ use oracle_topo::ChannelId;
 
 use crate::config::{LoadInfoMode, QueueBackend};
 use crate::error::SimError;
-use crate::machine::{DeferredOffer, Event, Machine, ParCtx, PROGRESS_WINDOW};
+use crate::machine::{DeferredOffer, Event, Machine, ParCtx};
 use crate::message::Flight;
 use crate::metrics::{Report, TrafficCounters};
 use crate::trace::Trace;
+
+/// Hard cap on the worker-shard count. The phase-B delivery broadcast
+/// dedups destination shards through a `u64` bitmask indexed by shard, so
+/// the engine never runs more than 64 shards — requests above the cap
+/// (`--shards 200`, or `--shards auto` on a 128-thread host driving a
+/// 128-PE topology) are clamped here, in the one place shard counts enter
+/// the engine. 64 workers is already past the scaling knee of every
+/// tracked cell, so the clamp costs nothing real.
+const MAX_SHARDS: usize = 64;
 
 /// Per-(producer, consumer) mailbox capacity for deferred channel offers.
 /// Overflow is not an error path worth engineering for — the run falls
@@ -157,13 +186,13 @@ pub fn run_parallel_machine(make: &MakeMachine, shards: usize) -> Result<Machine
     m0.begin();
 
     match parallel_pass(make, &owners, None)? {
-        Pass::Finished(shards) => merge_shards(m0, shards, &owners),
+        Pass::Finished(shards) => finish_pass(m0, shards, &owners, make),
         Pass::Overshoot { t, key } => {
             // Deterministic replay with the sequential stop bound: the
             // second pass pops nothing past `(t, key)` and lands on the
             // sequential final state exactly.
             match parallel_pass(make, &owners, Some((t, key)))? {
-                Pass::Finished(shards) => merge_shards(m0, shards, &owners),
+                Pass::Finished(shards) => finish_pass(m0, shards, &owners, make),
                 // A bounded replay cannot overshoot; anything else means
                 // the engine declined — fall back rather than reason.
                 _ => run_sequential(make()?),
@@ -171,6 +200,31 @@ pub fn run_parallel_machine(make: &MakeMachine, shards: usize) -> Result<Machine
         }
         Pass::Bail => run_sequential(make()?),
     }
+}
+
+/// Merge a finished pass — unless it ran past the event limit. The shard
+/// loop checks the limit once per window against the summed counters, so a
+/// pass can finish having processed `max_events` or more even though the
+/// sequential engine errors at the exact event that crosses the limit
+/// (unless that very event completes the run — completion is checked
+/// first). Re-running such a pass sequentially reproduces the sequential
+/// outcome bit-for-bit, error or not, instead of approximating it.
+fn finish_pass(
+    m0: Machine,
+    shards: Vec<Machine>,
+    owners: &Owners,
+    make: &MakeMachine,
+) -> Result<Machine, SimError> {
+    let total: u64 = shards
+        .iter()
+        .map(|s| s.core.events.events_processed())
+        .sum();
+    let completed = shards.iter().any(|s| s.core.completed());
+    let max = m0.core.config.max_events;
+    if total >= max && !(completed && total == max) {
+        return run_sequential(make()?);
+    }
+    merge_shards(m0, shards, owners)
 }
 
 /// The transparent fallback: the ordinary sequential drive, stopping (like
@@ -199,7 +253,10 @@ struct Owners {
 impl Owners {
     fn build(m: &Machine, shards: usize) -> Owners {
         let topo = &m.core.topo;
-        let part = oracle_topo::partition(topo, shards);
+        // The partitioner clamps to the PE count (no empty shards, so no
+        // worker ever spins through a run with nothing to do), and
+        // `MAX_SHARDS` bounds the delivery-broadcast bitmask.
+        let part = oracle_topo::partition(topo, shards.min(MAX_SHARDS));
         let k = part.num_shards as usize;
         let n = topo.num_pes();
         let nch = topo.num_channels();
@@ -266,8 +323,7 @@ enum Exit {
     Drained,
     Overshoot,
     Bail,
-    /// Fatal: an error is in `Shared::err` (or a panic payload in
-    /// `Shared::panic`).
+    /// Fatal: another worker panicked (payload in `Shared::panic`).
     Abort,
 }
 
@@ -284,7 +340,6 @@ struct Shared {
     overshoot: AtomicBool,
     bail: AtomicBool,
     fatal: AtomicBool,
-    err: Mutex<Option<SimError>>,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// `offers[producer][consumer]`: deferred boundary-channel offers.
     offers: Vec<Vec<Mailbox<DeferredOffer>>>,
@@ -308,22 +363,10 @@ impl Shared {
             overshoot: AtomicBool::new(false),
             bail: AtomicBool::new(false),
             fatal: AtomicBool::new(false),
-            err: Mutex::new(None),
             panic: Mutex::new(None),
             offers: boxes(k, OFFER_MAILBOX_CAP),
             deliveries: boxes(k, DELIVERY_MAILBOX_CAP),
         }
-    }
-
-    /// Record a fatal error and wake every shard out of the protocol.
-    fn fail(&self, e: SimError) {
-        let mut slot = self.err.lock().unwrap_or_else(|p| p.into_inner());
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-        drop(slot);
-        self.fatal.store(true, Ordering::Release);
-        self.barrier.poison();
     }
 
     /// True when the current worker must abandon the pass right now.
@@ -383,9 +426,6 @@ fn parallel_pass(
         .take()
     {
         resume_unwind(payload);
-    }
-    if let Some(e) = shared.err.lock().unwrap_or_else(|p| p.into_inner()).take() {
-        return Err(e);
     }
     let mut finished = Vec::with_capacity(k);
     let mut exits = Vec::with_capacity(k);
@@ -512,16 +552,13 @@ fn shard_loop(
             .map(|p| p.load(Ordering::Relaxed))
             .sum();
         if total >= m.core.config.max_events {
-            // Aligned exit: every shard computes the same sum. One writes
-            // the error (checked at window granularity, not per event —
-            // the sequential engine may report a slightly smaller count).
-            if shard == 0 {
-                shared.fail(SimError::EventLimit {
-                    events: total,
-                    time: t,
-                });
-            }
-            return (m, Exit::Abort);
+            // Aligned exit: every shard computes the same sum from the
+            // same published counters, so all bail together. The check is
+            // window-granular where the sequential engine's is per-event;
+            // rather than fabricate an approximate error here, fall back
+            // to the sequential engine, which stops at exactly the event
+            // the limit names and reports the exact (events, time) pair.
+            return (m, Exit::Bail);
         }
         if prev_t == Some(t) {
             // Zero-lookahead window: something at `t` was created while
@@ -575,7 +612,7 @@ fn shard_loop(
                     return (m, Exit::Bail);
                 }
                 m.core.last_progress = progress;
-                m.core.next_check = n + PROGRESS_WINDOW;
+                m.core.next_check = n + m.core.config.progress_window;
             }
         }
         let _ = completed_here;
@@ -647,7 +684,9 @@ fn shard_loop(
             // member PE (deliveries to one PE can come from channels owned
             // by different shards, so everyone merges by generating key).
             let members = m.core.topo.channel_members(ch);
-            let mut sent = 0u64; // shard-index bitmask; K ≤ 64 by construction
+            // Shard-index bitmask; `Owners::build` clamps to `MAX_SHARDS`
+            // (= 64), so every shard index fits.
+            let mut sent = 0u64;
             for &member in members {
                 let dest = owners.pe_owner[member.idx()] as usize;
                 if sent & (1 << dest) != 0 {
@@ -665,6 +704,11 @@ fn shard_loop(
                     shared.bail.store(true, Ordering::Release);
                     break;
                 }
+            }
+            // A mailbox overflow dooms the whole pass; stop popping (and
+            // mutating channel state for a discarded machine) right away.
+            if shared.bail.load(Ordering::Acquire) {
+                break;
             }
         }
         shared.barrier.wait();
@@ -793,26 +837,44 @@ fn merge_shards(
         }
     }
 
-    // Watchdog cursor. Below the first progress window the sequential
-    // engine never touches it, so keeping the baseline's initial values
-    // reproduces the sequential snapshot bit-for-bit; past it, set a
-    // coherent cursor as of "now" (the historical progress triple at the
-    // crossing is unrecoverable — and irrelevant to a completed run).
-    if processed >= PROGRESS_WINDOW {
+    // Cursor reconstruction. The sequential engine advances its watchdog
+    // and audit cursors at exact event-count crossings — every multiple of
+    // the window, except when that very event completes the run (the
+    // completion check returns first) — so the final `next_check` /
+    // `next_audit` are pure functions of the merged processed count and
+    // reconstruct bit-exactly. The *historical* halves are not: the
+    // progress triple at the last watchdog crossing and the simulated time
+    // of the last mid-run audit would require knowing the global counters
+    // at one global event index mid-run, which no shard ever observes.
+    // Past the first crossing the merged machine stores the final triple /
+    // final audit time instead — the one documented snapshot divergence
+    // (see the module docs): irrelevant to a completed run, and merely
+    // phase-shifting the stall detector of a resumed one.
+    let completed = m0.core.root_result.is_some();
+    let crossed = if completed {
+        processed.saturating_sub(1)
+    } else {
+        processed
+    };
+    let w = m0.core.config.progress_window;
+    m0.core.next_check = (crossed / w + 1) * w;
+    if crossed >= w {
         m0.core.last_progress = (
             m0.core.goals_created,
             m0.core.goals_executed,
             m0.core.responses_processed,
         );
-        m0.core.next_check = processed + PROGRESS_WINDOW;
     }
     if m0.core.config.audit_every > 0 {
         // The deferred invariant audit over the reassembled whole. A run
         // that would have failed a mid-run audit sequentially fails here,
         // at its end, instead.
         crate::audit::audit(&m0.core, m0.strategy.as_ref())?;
-        m0.core.last_audit_now = m0.core.now().units();
-        m0.core.next_audit = processed + m0.core.config.audit_every;
+        let a = m0.core.config.audit_every;
+        m0.core.next_audit = (crossed / a + 1) * a;
+        if crossed >= a {
+            m0.core.last_audit_now = m0.core.now().units();
+        }
     }
     Ok(m0)
 }
@@ -872,17 +934,20 @@ mod tests {
     }
 
     fn make(coprocessor: bool) -> impl Fn() -> Result<Machine, SimError> {
+        make_with(MachineConfig {
+            coprocessor,
+            ..MachineConfig::default()
+        })
+    }
+
+    fn make_with(config: MachineConfig) -> impl Fn() -> Result<Machine, SimError> {
         move || {
-            let config = MachineConfig {
-                coprocessor,
-                ..MachineConfig::default()
-            };
             Machine::new(
                 ring(8),
                 Box::new(Fib(12)),
                 Box::new(ScatterRing),
                 CostModel::paper_default(),
-                config,
+                config.clone(),
             )
         }
     }
@@ -895,9 +960,87 @@ mod tests {
     fn parallel_matches_sequential_on_a_ring() {
         let f = make(false);
         let (seq, _) = f().unwrap().run_traced().unwrap();
-        for shards in [2, 3, 8] {
+        // 100 exercises the clamp path: 8 PEs mean 8 effective shards, not
+        // 92 idle workers spinning in every barrier.
+        for shards in [2, 3, 8, 100] {
             let (par, _) = run_parallel(&f, shards).unwrap();
             assert_eq!(render(&par), render(&seq), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_bitmask_capacity() {
+        // 81 PEs with 200 requested shards: the delivery-broadcast dedup
+        // is a u64 bitmask indexed by shard, so the engine must never run
+        // more than MAX_SHARDS workers (a 65th shard's bit would shift out
+        // of range and its deliveries would be silently dropped).
+        let m = Machine::new(
+            oracle_topo::mesh::mesh2d(9, 9, false),
+            Box::new(Fib(5)),
+            Box::new(ScatterRing),
+            CostModel::paper_default(),
+            MachineConfig::default(),
+        )
+        .unwrap();
+        let owners = Owners::build(&m, 200);
+        assert_eq!(owners.num_shards, MAX_SHARDS);
+        assert!(owners.pe_owner.iter().all(|&o| (o as usize) < MAX_SHARDS));
+        // …and every worker owns at least one PE.
+        for mask in &owners.masks {
+            assert!(mask.iter().any(|&b| b));
+        }
+    }
+
+    #[test]
+    fn event_limit_reproduces_the_sequential_error() {
+        // The shard loop checks the limit at window granularity; the
+        // engine must nevertheless surface the sequential engine's exact
+        // per-event error, (events, time) pair and all.
+        let f = make_with(MachineConfig {
+            coprocessor: false,
+            max_events: 400,
+            ..MachineConfig::default()
+        });
+        let seq = f().unwrap().run_traced().unwrap_err();
+        for shards in [2, 3, 8] {
+            let par = run_parallel(&f, shards).unwrap_err();
+            assert_eq!(format!("{par:?}"), format!("{seq:?}"), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn watchdog_crossings_reconstruct_the_exact_cursor() {
+        // A window small enough that the run crosses it many times: the
+        // merged machine's `next_check`/`next_audit` must land exactly
+        // where the sequential engine's per-event crossings left them.
+        let f = make_with(MachineConfig {
+            coprocessor: false,
+            progress_window: 200,
+            audit_every: 300,
+            ..MachineConfig::default()
+        });
+        let mut seq = f().unwrap();
+        seq.begin();
+        seq.advance_until(None).unwrap();
+        assert!(
+            seq.core.events.events_processed() > 400,
+            "cell too small to cross the watchdog window"
+        );
+        for shards in [2, 3] {
+            let par = run_parallel_machine(&f, shards).unwrap();
+            assert_eq!(
+                par.core.events.events_processed(),
+                seq.core.events.events_processed(),
+                "shards = {shards}"
+            );
+            assert_eq!(
+                par.core.next_check, seq.core.next_check,
+                "shards = {shards}"
+            );
+            assert_eq!(
+                par.core.next_audit, seq.core.next_audit,
+                "shards = {shards}"
+            );
         }
     }
 

@@ -20,8 +20,9 @@ use crate::graph::{ChannelId, PeId, Topology};
 pub struct Partition {
     /// Shard index of every PE (length `num_pes`).
     pub shard_of: Vec<u32>,
-    /// Number of shards (some may be empty only when `num_shards >
-    /// num_pes`).
+    /// Number of shards actually used — the requested count clamped to
+    /// the PE count, so every shard owns at least one PE. Callers sizing
+    /// worker pools must use this, not the count they asked for.
     pub num_shards: u32,
     /// Channels whose members span more than one shard.
     pub cut_channels: Vec<ChannelId>,
@@ -45,6 +46,9 @@ impl Partition {
 /// candidate PEs by how many cut edges they would avoid.
 ///
 /// Deterministic: ties break toward the lowest PE id at every step.
+///
+/// `num_shards` above the PE count is clamped so that no shard is empty;
+/// [`Partition::num_shards`] reports the effective count.
 ///
 /// # Panics
 ///
@@ -217,7 +221,7 @@ pub fn partition(topo: &Topology, num_shards: usize) -> Partition {
 
     Partition {
         shard_of,
-        num_shards: num_shards as u32,
+        num_shards: k as u32,
         cut_channels,
     }
 }
@@ -337,6 +341,10 @@ mod tests {
         let p = partition(&topo, 8);
         assert_eq!(p.shard_of.len(), 3);
         assert!(p.shard_of.iter().all(|&s| s < 3));
+        // The reported count is the effective one: a caller spawning one
+        // worker per shard must not spawn workers that own nothing.
+        assert_eq!(p.num_shards, 3);
+        check_basic(&p, 3, 3);
     }
 
     #[test]

@@ -355,6 +355,41 @@ fn main() {
         save("BENCH_throughput.json", to_json(&cells, reps, seed));
     }
 
+    // Scale grid (events/sec and peak RSS vs PE count). Cells run in
+    // subprocesses (VmHWM is per-process monotone), so this shells out to
+    // the `scale` binary rather than running in-process.
+    if want("BENCH_scale") {
+        use oracle_bench::scale::validate_json;
+        let out = dir.join("BENCH_scale.json");
+        let mut cmd = std::process::Command::new(env!("CARGO"));
+        cmd.args([
+            "run",
+            "--release",
+            "-p",
+            "oracle-bench",
+            "--bin",
+            "scale",
+            "--",
+            "--seed",
+            &seed.to_string(),
+            "--out",
+        ]);
+        cmd.arg(&out);
+        if matches!(fidelity, Fidelity::Quick) {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().expect("spawn scale harness");
+        assert!(status.success(), "scale harness failed: {status}");
+        let json = std::fs::read_to_string(&out).expect("read fresh BENCH_scale.json");
+        if matches!(fidelity, Fidelity::Paper) {
+            validate_json(&json).unwrap_or_else(|problems| {
+                panic!("fresh BENCH_scale.json failed schema validation:\n{problems}")
+            });
+        }
+        let _ = writeln!(index, "- `BENCH_scale.json`");
+        eprintln!("wrote {}", out.display());
+    }
+
     if only.is_none() {
         std::fs::write(dir.join("README.md"), index).expect("write index");
     }

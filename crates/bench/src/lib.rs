@@ -10,6 +10,7 @@
 use oracle::experiments::Fidelity;
 use oracle::table::Table;
 
+pub mod scale;
 pub mod throughput;
 
 /// Parsed common flags.

@@ -133,6 +133,7 @@ oracle-cli — ORACLE load-distribution simulator (Kale, ICPP 1988 reproduction)
 commands:
   run       --topology T --strategy S --workload W [--seed N] [--csv]
             [--shards N|auto] [--no-coprocessor] [--series]
+            [--per-pe] [--state-mode auto|dense|sparse] [--load-period T]
             [--trace N] [--trace-out FILE]
             [--trace-format jsonl|chrome] [--trace-last N]
             [--series-out FILE] [--profile] [--heatmap FILE.ppm]
@@ -177,6 +178,15 @@ commands:
             the routing cost themselves) — required for --shards to
             engage, since co-processor deliveries run strategy code at
             channel timestamps;
+            --per-pe emits the O(num-PEs) per-PE report vectors (off by
+            default: headline aggregates are O(1) in PE count);
+            --state-mode forces the dense or sparse per-PE/channel state
+            representation (auto, the default, goes sparse past 64 Ki
+            PEs; both produce bit-identical reports);
+            --load-period T sets the periodic load-broadcast period
+            (default 40; 0 disables it, leaving piggy-backed load info
+            only — each broadcast round costs O(num-PEs) events, which
+            dominates the event stream on very large machines);
             --audit-every N checks runtime invariants every N events;
             --checkpoint-every T writes an atomic checkpoint every T sim
             time units (to --checkpoint-dir, default ./checkpoints);
@@ -502,6 +512,23 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     machine_cfg.coprocessor = !flags.has("--no-coprocessor");
     machine_cfg.per_pe_series =
         flags.has("--series") || heatmap_path.is_some() || series_out.is_some();
+    machine_cfg.per_pe_metrics = flags.has("--per-pe");
+    machine_cfg.state_mode = match flags.value_of("--state-mode").unwrap_or("auto") {
+        "auto" => StateMode::Auto,
+        "dense" => StateMode::Dense,
+        "sparse" => StateMode::Sparse,
+        other => {
+            return Err(Failure::config(format!(
+                "--state-mode {other}: expected auto, dense, or sparse"
+            )))
+        }
+    };
+    if let Some(v) = flags.value_of("--load-period") {
+        let period: u64 = v
+            .parse()
+            .map_err(|e| Failure::config(format!("--load-period {v:?}: {e}")))?;
+        machine_cfg.load_info = oracle::model::LoadInfoMode::Piggyback { period };
+    }
     let config = SimulationBuilder::new()
         .topology(topology)
         .strategy(strategy)

@@ -178,6 +178,24 @@ impl SimulationBuilder {
         self
     }
 
+    /// Emit the O(num-PEs) per-PE vectors (`per_pe_utilization`,
+    /// `per_pe_goals`) in the report. Off by default: the headline
+    /// aggregates (quantile sketch, top-K) cover the common questions in
+    /// O(1) space per PE.
+    pub fn per_pe_metrics(mut self, keep: bool) -> Self {
+        self.config.machine.per_pe_metrics = keep;
+        self
+    }
+
+    /// Force the dense or sparse per-PE/per-channel state representation
+    /// (the default, [`oracle_model::StateMode::Auto`], picks sparse past
+    /// 64 Ki PEs).
+    /// Both representations produce bit-identical reports.
+    pub fn state_mode(mut self, mode: oracle_model::StateMode) -> Self {
+        self.config.machine.state_mode = mode;
+        self
+    }
+
     /// Select the event-list backend (binary heap or calendar queue). Both
     /// produce bit-identical simulated results; this knob trades their
     /// throughput profiles only.

@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 
 use oracle_des::snapshot::{SnapError, SnapReader, SnapWriter};
 use oracle_model::config::{LoadInfoMode, QueueDiscipline};
+use oracle_model::StateMode;
 use oracle_model::{CostModel, Machine, MachineConfig, QueueBackend, Report, SimError};
 
 use crate::builder::RunConfig;
@@ -43,7 +44,11 @@ pub const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50;
 ///
 /// v4 added the progress-watchdog window (`progress_window`) — a resumed
 /// run must arm its stall detector exactly like the uninterrupted one.
-pub const CHECKPOINT_VERSION: u32 = 4;
+///
+/// v5 added the memory-model knobs (`state_mode`, `per_pe_metrics`)
+/// alongside the v5 machine snapshot: the restored machine must pick the
+/// same dense/sparse representation and the same report shape.
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// Everything that can go wrong writing, reading, or resuming a checkpoint.
 #[derive(Debug)]
@@ -124,6 +129,12 @@ fn put_config(w: &mut SnapWriter, config: &RunConfig) {
     w.bool(m.optimistic_accounting);
     w.bool(m.coprocessor);
     w.bool(m.per_pe_series);
+    w.u8(match m.state_mode {
+        StateMode::Auto => 0,
+        StateMode::Dense => 1,
+        StateMode::Sparse => 2,
+    });
+    w.bool(m.per_pe_metrics);
     w.u64(m.max_events);
     w.u64(m.progress_window);
     w.usize(m.trace_capacity);
@@ -240,6 +251,17 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
     let optimistic_accounting = r.bool()?;
     let coprocessor = r.bool()?;
     let per_pe_series = r.bool()?;
+    let state_mode = match r.u8()? {
+        0 => StateMode::Auto,
+        1 => StateMode::Dense,
+        2 => StateMode::Sparse,
+        t => {
+            return Err(CheckpointError::Format(format!(
+                "unknown state-mode tag {t}"
+            )))
+        }
+    };
+    let per_pe_metrics = r.bool()?;
     let max_events = r.u64()?;
     let progress_window = r.u64()?;
     let trace_capacity = r.usize()?;
@@ -334,6 +356,8 @@ fn get_config(r: &mut SnapReader) -> Result<RunConfig, CheckpointError> {
             optimistic_accounting,
             coprocessor,
             per_pe_series,
+            state_mode,
+            per_pe_metrics,
             max_events,
             progress_window,
             trace_capacity,

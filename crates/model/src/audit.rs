@@ -134,8 +134,11 @@ pub(crate) fn audit(core: &Core, strategy: &dyn Strategy) -> Result<(), SimError
         }
     }
 
+    // Materialized channels only: an untouched sparse slot is pristine
+    // (idle, up, empty backlog), which passes every check below and adds
+    // nothing to the wire count — exactly like the dense walk over it.
     let mut wire_goals_total: u64 = 0;
-    for (idx, ch) in core.channels.iter().enumerate() {
+    for (idx, ch) in core.channels.present() {
         if ch.busy.is_busy() != ch.in_flight.is_some() {
             return fail(
                 "channel-accounting",

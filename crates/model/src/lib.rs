@@ -35,16 +35,17 @@ pub mod parallel;
 pub mod pe;
 pub mod program;
 pub mod snapshot;
+pub mod sparse;
 pub mod strategy;
 pub mod trace;
 
-pub use config::{LoadInfoMode, MachineConfig, QueueBackend};
+pub use config::{LoadInfoMode, MachineConfig, QueueBackend, StateMode};
 pub use cost::CostModel;
 pub use error::SimError;
 pub use faults::{FaultPlan, LinkWindow, PeCrash, RecoveryParams, Slowdown};
 pub use machine::{Core, Machine};
 pub use message::{ControlMsg, GoalId, GoalMsg};
-pub use metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report};
+pub use metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report, TopPe};
 pub use open::{
     AdmissionPolicy, ArrivalProcess, ArrivalSpec, EdgeSet, OpenTraffic, ParseArrivalError,
     ParseOverloadError, RetryPolicy, ADMISSION_GRAMMAR, ARRIVAL_GRAMMAR, RETRY_GRAMMAR,

@@ -7,20 +7,21 @@
 //! channel transfers one message at a time, with FIFO backlogs on both.
 
 use oracle_des::{
-    DualQueue, FastHashMap, Histogram, IntervalSeries, KindId, OnlineStats, Profiler, Rng, SimTime,
+    DualQueue, FastHashMap, Histogram, IntervalSeries, KindId, LogHistogram, OnlineStats, Profiler,
+    Rng, SimTime,
 };
 use oracle_topo::{ChannelId, PeId, Topology};
 
-use crate::channel::Channel;
 use crate::config::{LoadInfoMode, MachineConfig, QueueBackend};
 use crate::cost::CostModel;
 use crate::error::SimError;
 use crate::faults::{FaultPlan, PeCrash};
 use crate::message::{ControlMsg, Flight, FlightDest, GoalId, GoalMsg, Packet};
-use crate::metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report, TrafficCounters};
+use crate::metrics::{FaultMetrics, OpenMetrics, OpenOutcome, Report, TopPe, TrafficCounters};
 use crate::open::{AdmissionPolicy, Inflight, OpenState};
 use crate::pe::{Executing, Pe, Waiting, WorkItem};
 use crate::program::{Continuation, Expansion, Program, TaskList, TaskSpec};
+use crate::sparse::{ChannelTable, DispatchLatency};
 use crate::strategy::Strategy;
 use crate::trace::{Trace, TraceEvent};
 
@@ -157,6 +158,12 @@ impl FaultState {
 /// overrides it per run.
 pub(crate) const PROGRESS_WINDOW: u64 = 1_000_000;
 
+/// Largest PE count for which the flat O(n²) neighbour-position table is
+/// built (64 MiB of `u16` at the limit). Larger machines binary-search the
+/// sorted neighbour list instead — an O(log degree) lookup that costs no
+/// quadratic memory.
+pub(crate) const NBR_INDEX_LIMIT: usize = 8192;
+
 /// Everything a strategy can see and act on: the machine without the
 /// strategy itself. Strategies receive `&mut Core` in every callback.
 ///
@@ -170,14 +177,22 @@ pub struct Core {
     pub(crate) config: MachineConfig,
     pub(crate) program: Box<dyn Program>,
     pub(crate) pes: Vec<Pe>,
-    pub(crate) channels: Vec<Channel>,
+    /// Per-channel state, dense or sparse per `config.state_mode`.
+    pub(crate) channels: ChannelTable,
     pub(crate) events: DualQueue<Event>,
-    /// Distinct channels incident to each PE, precomputed at construction
-    /// so broadcasts never rebuild the dedup list per event.
-    pub(crate) incident: Vec<Vec<ChannelId>>,
+    /// Distinct channels incident to each PE in CSR form
+    /// (`incident[incident_off[p]..incident_off[p + 1]]`), precomputed at
+    /// construction so broadcasts never rebuild the dedup list per event —
+    /// and flat, so a million PEs cost two arrays rather than a million
+    /// heap allocations.
+    pub(crate) incident_off: Vec<u32>,
+    pub(crate) incident: Vec<ChannelId>,
     /// Flat `[pe * num_pes + nbr]` position of `nbr` in `topo.neighbors(pe)`
     /// (`u16::MAX` when not adjacent) — O(1) lookup on the per-delivery
     /// load-word path, where a binary search was the top profile entry.
+    /// Quadratic in PE count, so built only up to [`NBR_INDEX_LIMIT`] PEs;
+    /// larger machines fall back to a binary search over the (sorted)
+    /// neighbour list.
     pub(crate) nbr_index: Vec<u16>,
     /// Construction-time RNG (PE speed spreads). Never drawn from during a
     /// run: runtime randomness comes from the per-PE streams below, so that
@@ -207,10 +222,10 @@ pub struct Core {
     pub(crate) traffic: TrafficCounters,
     pub(crate) hop_hist: Histogram,
     /// Dispatch latency (creation to execution start), one accumulator per
-    /// PE, folded in PE order at report time. Per-PE accumulation keeps the
-    /// floating-point fold order identical between the sequential and the
-    /// sharded engine.
-    pub(crate) dispatch_latency: Vec<OnlineStats>,
+    /// PE (dense or sparse per `config.state_mode`), folded in PE order at
+    /// report time. Per-PE accumulation keeps the floating-point fold
+    /// order identical between the sequential and the sharded engine.
+    pub(crate) dispatch_latency: DispatchLatency,
     /// Summed user-busy time across all PEs, per sampling interval.
     pub(crate) global_series: IntervalSeries,
     pub(crate) root_result: Option<(i64, SimTime)>,
@@ -260,10 +275,11 @@ pub struct Core {
 /// Distances over the graph as it actually is make every hop strictly
 /// decrease the remaining distance, which rules cycles out.
 pub(crate) struct LiveRoutes {
-    /// `dist[from * n + to]`, `u16::MAX` when unreachable. Directed: the
+    /// `dist[from * n + to]`, `u32::MAX` when unreachable. Directed: the
     /// hop `a -> b` needs `b` alive and the channel up (`a`'s own health is
-    /// the caller's problem — a packet is never at a dead PE).
-    dist: Vec<u16>,
+    /// the caller's problem — a packet is never at a dead PE). `u32`
+    /// because a path topology's diameter alone can exceed `u16::MAX`.
+    dist: Vec<u32>,
 }
 
 /// Per-shard context of the parallel engine (see `crate::parallel`).
@@ -322,7 +338,7 @@ impl Core {
 
     /// Network diameter in hops.
     #[inline]
-    pub fn diameter(&self) -> u16 {
+    pub fn diameter(&self) -> u32 {
         self.topo.diameter()
     }
 
@@ -450,7 +466,7 @@ impl Core {
             return false;
         }
         match self.topo.channel_between(pe, nbr) {
-            Some(ch) => !self.channels[ch.idx()].down,
+            Some(ch) => !self.channels.get(ch).down,
             None => false,
         }
     }
@@ -474,8 +490,8 @@ impl Core {
         }
         if let Some(lr) = self.live_routes.as_deref() {
             let n = self.pes.len();
-            if lr.dist[from.idx() * n + to.idx()] != u16::MAX {
-                let mut best: Option<(u16, u32)> = None;
+            if lr.dist[from.idx() * n + to.idx()] != u32::MAX {
+                let mut best: Option<(u32, u32)> = None;
                 for nb in self.topo.neighbors(from) {
                     if !self.neighbor_reachable(from, nb.pe) {
                         continue;
@@ -493,7 +509,7 @@ impl Core {
         if self.neighbor_reachable(from, hop) && prev != Some(hop) {
             return hop;
         }
-        let mut best: Option<(u16, u32)> = None;
+        let mut best: Option<(u32, u32)> = None;
         for n in self.topo.neighbors(from) {
             if Some(n.pe) == prev || !self.neighbor_reachable(from, n.pe) {
                 continue;
@@ -522,7 +538,9 @@ impl Core {
         // Full health ⇒ no tables: the static shortest-path hop is already
         // correct, and `None` keeps healthy routing on the precomputed
         // tie-break (so a healed machine routes exactly like a fresh one).
-        if !self.pes.iter().any(|p| p.failed) && !self.channels.iter().any(|c| c.down) {
+        if !self.pes.iter().any(|p| p.failed)
+            && !self.channels.present().iter().any(|(_, c)| c.down)
+        {
             self.live_routes = None;
             return;
         }
@@ -532,7 +550,7 @@ impl Core {
             .take()
             .unwrap_or_else(|| Box::new(LiveRoutes { dist: Vec::new() }));
         lr.dist.clear();
-        lr.dist.resize(n * n, u16::MAX);
+        lr.dist.resize(n * n, u32::MAX);
         let mut queue = std::collections::VecDeque::new();
         for s in 0..n {
             if self.pes[s].failed {
@@ -545,11 +563,11 @@ impl Core {
             while let Some(p) = queue.pop_front() {
                 let d = lr.dist[row + p.idx()];
                 for nb in self.topo.neighbors(p) {
-                    if self.pes[nb.pe.idx()].failed || self.channels[nb.channel.idx()].down {
+                    if self.pes[nb.pe.idx()].failed || self.channels.get(nb.channel).down {
                         continue;
                     }
                     let slot = &mut lr.dist[row + nb.pe.idx()];
-                    if *slot == u16::MAX {
+                    if *slot == u32::MAX {
                         *slot = d + 1;
                         queue.push_back(nb.pe);
                     }
@@ -598,7 +616,7 @@ impl Core {
             if Some(n.pe) == exclude {
                 continue;
             }
-            if pes[n.pe.idx()].failed || channels[n.channel.idx()].down {
+            if pes[n.pe.idx()].failed || channels.get(n.channel).down {
                 continue;
             }
             if breaker.is_some_and(|o| o.breaker_blocked(now, pe.0, n.pe.0)) {
@@ -639,7 +657,7 @@ impl Core {
             .neighbors(pe)
             .iter()
             .enumerate()
-            .filter(|(_, n)| !self.pes[n.pe.idx()].failed && !self.channels[n.channel.idx()].down)
+            .filter(|(_, n)| !self.pes[n.pe.idx()].failed && !self.channels.get(n.channel).down)
             .filter(|(_, n)| !self.breaker_blocked(pe, n.pe))
             .map(|(i, n)| match self.config.load_info {
                 LoadInfoMode::Instant => self.load(n.pe),
@@ -654,7 +672,7 @@ impl Core {
     pub fn most_loaded_neighbor(&self, pe: PeId) -> Option<(PeId, u32)> {
         let mut best: Option<(PeId, u32)> = None;
         for (i, n) in self.topo.neighbors(pe).iter().enumerate() {
-            if self.pes[n.pe.idx()].failed || self.channels[n.channel.idx()].down {
+            if self.pes[n.pe.idx()].failed || self.channels.get(n.channel).down {
                 continue;
             }
             if self.breaker_blocked(pe, n.pe) {
@@ -851,9 +869,19 @@ impl Core {
         self.schedule_event_after(delay, Event::Retry(goal));
     }
 
-    /// Index of `nbr` within `pe`'s sorted neighbour list.
+    /// Index of `nbr` within `pe`'s sorted neighbour list. Machines up to
+    /// [`NBR_INDEX_LIMIT`] PEs answer from the flat O(n²) table; larger
+    /// ones binary-search the sorted neighbour list (O(log degree), and no
+    /// quadratic table to hold).
     #[inline]
     fn neighbor_index(&self, pe: PeId, nbr: PeId) -> Option<usize> {
+        if self.nbr_index.is_empty() {
+            return self
+                .topo
+                .neighbors(pe)
+                .binary_search_by_key(&nbr, |n| n.pe)
+                .ok();
+        }
         match self.nbr_index[pe.idx() * self.pes.len() + nbr.idx()] {
             u16::MAX => None,
             i => Some(i as usize),
@@ -879,9 +907,13 @@ impl Core {
     }
 
     fn broadcast_packet(&mut self, from: PeId, packet: Packet) {
-        // One transmission per distinct incident channel (precomputed).
-        for i in 0..self.incident[from.idx()].len() {
-            let ch = self.incident[from.idx()][i];
+        // One transmission per distinct incident channel (precomputed CSR).
+        let (start, end) = (
+            self.incident_off[from.idx()] as usize,
+            self.incident_off[from.idx() + 1] as usize,
+        );
+        for i in start..end {
+            let ch = self.incident[i];
             let flight = Flight {
                 from,
                 dest: FlightDest::Broadcast,
@@ -934,7 +966,7 @@ impl Core {
     pub(crate) fn apply_offer(&mut self, ch: ChannelId, flight: Flight) {
         let cost = self.packet_cost(&flight.packet);
         let now = self.events.now();
-        if self.channels[ch.idx()].offer(flight, now) {
+        if self.channels.get_mut(ch).offer(flight, now) {
             self.schedule_event_after(cost, Event::ChannelDone(ch));
         }
     }
@@ -952,7 +984,7 @@ impl Core {
             Packet::Response { .. } => costs.response_hop_cost,
             Packet::Control(_) | Packet::LoadUpdate { .. } => costs.control_hop_cost,
         };
-        let (flight, next) = self.channels[ch.idx()].complete(now);
+        let (flight, next) = self.channels.get_mut(ch).complete(now);
         let next_cost = next.map(|n| cost_of(&n.packet));
         if let Some(cost) = next_cost {
             self.schedule_event_after(cost, Event::ChannelDone(ch));
@@ -1193,7 +1225,8 @@ impl Core {
                 self.pes[pe.idx()].goals_executed += 1;
                 self.hop_hist.record(goal.hops as u64);
                 let started = self.events.now().units();
-                self.dispatch_latency[pe.idx()].record((started - goal.created_at) as f64);
+                self.dispatch_latency
+                    .record(pe.0, (started - goal.created_at) as f64);
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent::GoalStarted {
                         t: self.events.now().units(),
@@ -1271,40 +1304,57 @@ impl Machine {
             )));
         }
         let sampling = config.sampling_interval;
+        let sparse = config.sparse_state(topo.num_pes());
         let mut rng = Rng::seed_from_u64(config.seed);
         let mut pes: Vec<Pe> = topo
             .pes()
-            .map(|id| Pe::new(id, topo.degree(id), sampling))
+            .map(|id| {
+                if sparse {
+                    // No queue preallocation: a million mostly idle PEs
+                    // must not each hold a 32-slot buffer up front.
+                    Pe::new_lean(id, topo.degree(id), sampling)
+                } else {
+                    Pe::new(id, topo.degree(id), sampling)
+                }
+            })
             .collect();
         if config.pe_speed_spread > 1 {
             for pe in &mut pes {
                 pe.cost_factor = 1 + rng.below(config.pe_speed_spread);
             }
         }
-        let channels = (0..topo.num_channels()).map(|_| Channel::new()).collect();
+        let channels = ChannelTable::new(topo.num_channels(), sparse);
         let max_hops = topo.diameter() as usize + 2;
         // Distinct incident channels per PE, in first-appearance order —
         // the broadcast fan-out list, built once instead of per event.
-        let incident: Vec<Vec<ChannelId>> = topo
-            .pes()
-            .map(|pe| {
-                let mut chans: Vec<ChannelId> = Vec::new();
-                for n in topo.neighbors(pe) {
-                    if !chans.contains(&n.channel) {
-                        chans.push(n.channel);
-                    }
+        // CSR layout: one flat array plus offsets, not a Vec per PE.
+        let n = topo.num_pes();
+        let mut incident_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut incident: Vec<ChannelId> = Vec::new();
+        incident_off.push(0);
+        let mut chans: Vec<ChannelId> = Vec::new();
+        for pe in topo.pes() {
+            chans.clear();
+            for nb in topo.neighbors(pe) {
+                if !chans.contains(&nb.channel) {
+                    chans.push(nb.channel);
                 }
-                chans
-            })
-            .collect();
+            }
+            incident.extend_from_slice(&chans);
+            incident_off.push(incident.len() as u32);
+        }
         // Flat `[pe * num_pes + nbr]` neighbour-position table. Every
         // delivery (and every bus snoop) updates a load-table entry via
-        // this lookup, so it must be O(1), not a search.
-        let n = topo.num_pes();
-        let mut nbr_index = vec![u16::MAX; n * n];
-        for pe in topo.pes() {
-            for (i, nb) in topo.neighbors(pe).iter().enumerate() {
-                nbr_index[pe.idx() * n + nb.pe.idx()] = i as u16;
+        // this lookup, so it should be O(1), not a search — but the table
+        // is quadratic, so past `NBR_INDEX_LIMIT` PEs it stays empty and
+        // `neighbor_index` binary-searches the sorted neighbour list.
+        let mut nbr_index = Vec::new();
+        if n <= NBR_INDEX_LIMIT {
+            nbr_index = vec![u16::MAX; n * n];
+            for pe in topo.pes() {
+                for (i, nb) in topo.neighbors(pe).iter().enumerate() {
+                    nbr_index[pe.idx() * n + nb.pe.idx()] = i as u16;
+                }
             }
         }
         // Fold the legacy `fail_pe` shorthand into the effective plan
@@ -1348,6 +1398,7 @@ impl Machine {
                 pes,
                 channels,
                 events,
+                incident_off,
                 incident,
                 nbr_index,
                 key_seq: vec![0; num_actors],
@@ -1358,7 +1409,7 @@ impl Machine {
                 seq_work: 0,
                 traffic: TrafficCounters::default(),
                 hop_hist: Histogram::new(max_hops.max(64)),
-                dispatch_latency: vec![OnlineStats::new(); n],
+                dispatch_latency: DispatchLatency::new(n, sparse),
                 global_series: IntervalSeries::new(sampling),
                 root_result: None,
                 open,
@@ -1523,16 +1574,21 @@ impl Machine {
                 if progress == self.core.last_progress {
                     // Distinguish a communication-bound machine (a channel
                     // backlog growing without bound) from a plain stall.
+                    // `present()` walks slots in ascending id order in
+                    // both representations, and untouched sparse slots
+                    // have empty backlogs — so the worst channel found
+                    // (std's max_by_key keeps the *last* maximum) is the
+                    // same in either mode.
                     let worst = self
                         .core
                         .channels
-                        .iter()
-                        .enumerate()
+                        .present()
+                        .into_iter()
                         .max_by_key(|(_, c)| c.backlog.len());
                     if let Some((idx, ch)) = worst {
                         if ch.backlog.len() > 100 {
                             return Err(SimError::Stagnation {
-                                channel: idx as u32,
+                                channel: idx,
                                 backlog: ch.backlog.len(),
                                 time: self.core.now().units(),
                             });
@@ -2013,10 +2069,10 @@ impl Machine {
     /// A fault-plan link window opens: the channel stops starting
     /// transfers, and both sides treat each other as unreachable.
     fn handle_link_down(&mut self, ch: ChannelId) {
-        if self.core.channels[ch.idx()].down {
+        if self.core.channels.get(ch).down {
             return;
         }
-        self.core.channels[ch.idx()].down = true;
+        self.core.channels.get_mut(ch).down = true;
         self.core.rebuild_live_routes();
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::LinkDown {
@@ -2041,10 +2097,10 @@ impl Machine {
 
     /// The link window closes: resume the backlog and tell both sides.
     fn handle_link_up(&mut self, ch: ChannelId) {
-        if !self.core.channels[ch.idx()].down {
+        if !self.core.channels.get(ch).down {
             return;
         }
-        self.core.channels[ch.idx()].down = false;
+        self.core.channels.get_mut(ch).down = false;
         self.core.rebuild_live_routes();
         if self.core.trace.enabled() {
             self.core.trace.record(TraceEvent::LinkUp {
@@ -2054,7 +2110,10 @@ impl Machine {
         }
         let now = self.core.events.now();
         let costs = self.core.costs;
-        let promoted_cost = self.core.channels[ch.idx()]
+        let promoted_cost = self
+            .core
+            .channels
+            .get_mut(ch)
             .promote(now)
             .map(|f| match &f.packet {
                 Packet::Goal(_) => costs.goal_hop_cost,
@@ -2408,17 +2467,62 @@ impl Machine {
 
         let num_pes = core.pes.len();
         let t = horizon.units().max(1);
+        // The aggregates below (mean, CV, quantile sketch, top-K) are
+        // always computed from one pass over the dense PE array — the
+        // same float operations in the same order whatever the state
+        // mode, so sparse and dense runs report bit-identical numbers.
+        // Only the O(PE-count) *vectors* are gated, on `per_pe_metrics`.
         let per_pe_utilization: Vec<f64> = core
             .pes
             .iter()
             .map(|p| (p.busy.busy_time(horizon) as f64 / t as f64).min(1.0))
             .collect();
-        let per_pe_goals: Vec<u64> = core.pes.iter().map(|p| p.goals_executed).collect();
         let peak_queue_len = core.pes.iter().map(|p| p.peak_queue).max().unwrap_or(0);
         // One unit everywhere: every utilization figure on the report is a
         // fraction in [0, 1] (renderers convert to percent at the edge).
         let avg_utilization = per_pe_utilization.iter().sum::<f64>() / num_pes as f64;
         let speedup = num_pes as f64 * avg_utilization;
+
+        // Streaming per-PE summaries, O(1) in the report whatever the
+        // machine size: a log-histogram sketch of busy time for the
+        // utilization quantiles, and the K busiest PEs by goals executed.
+        let mut busy_sketch = LogHistogram::new();
+        for p in &core.pes {
+            busy_sketch.record(p.busy.busy_time(horizon));
+        }
+        let util_quantile =
+            |q: f64| -> f64 { (busy_sketch.quantile(q) as f64 / t as f64).min(1.0) };
+        let (util_p10, util_p50, util_p90, util_p99) = (
+            util_quantile(0.10),
+            util_quantile(0.50),
+            util_quantile(0.90),
+            util_quantile(0.99),
+        );
+        let mut by_goals: Vec<(u64, u32)> = core
+            .pes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.goals_executed, i as u32))
+            .collect();
+        by_goals.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let top_pes: Vec<TopPe> = by_goals
+            .iter()
+            .take(Report::TOP_PES)
+            .map(|&(goals, pe)| TopPe {
+                pe,
+                goals,
+                utilization: per_pe_utilization[pe as usize],
+            })
+            .collect();
+        let executed_by_pes: u64 = by_goals.iter().map(|&(g, _)| g).sum();
+        let other_goals = executed_by_pes - top_pes.iter().map(|tp| tp.goals).sum::<u64>();
+        drop(by_goals);
+
+        let per_pe_goals: Vec<u64> = if core.config.per_pe_metrics {
+            core.pes.iter().map(|p| p.goals_executed).collect()
+        } else {
+            Vec::new()
+        };
 
         let util_series: Vec<(u64, f64)> = core
             .global_series
@@ -2442,8 +2546,9 @@ impl Machine {
 
         let max_channel_backlog = core
             .channels
+            .present()
             .iter()
-            .map(|c| c.max_backlog)
+            .map(|(_, c)| c.max_backlog)
             .max()
             .unwrap_or(0);
         // Imbalance: coefficient of variation of per-PE busy time.
@@ -2459,14 +2564,21 @@ impl Machine {
             0.0
         };
 
-        let mut chan_utils: Vec<f64> = core
-            .channels
-            .iter()
-            .map(|c| c.busy.busy_time(horizon) as f64 / t as f64)
-            .collect();
-        let avg_channel_utilization =
-            chan_utils.iter().sum::<f64>() / chan_utils.len().max(1) as f64;
-        let max_channel_utilization = chan_utils.drain(..).fold(0.0f64, f64::max);
+        // Channel aggregates from the materialized slots only: an
+        // untouched channel's utilization term is exactly `+0.0`, the
+        // identity of this non-negative sum, so skipping the untouched
+        // slots (sparse mode) yields bit-identical floats to the dense
+        // walk over every channel — the nonzero terms arrive in the same
+        // ascending-id order either way.
+        let num_channels = core.channels.len();
+        let mut chan_util_sum = 0.0f64;
+        let mut max_channel_utilization = 0.0f64;
+        for (_, c) in core.channels.present() {
+            let u = c.busy.busy_time(horizon) as f64 / t as f64;
+            chan_util_sum += u;
+            max_channel_utilization = max_channel_utilization.max(u);
+        }
+        let avg_channel_utilization = chan_util_sum / num_channels.max(1) as f64;
 
         let open_metrics = core.open.as_deref_mut().map(|open| {
             let end = horizon.units();
@@ -2539,14 +2651,20 @@ impl Machine {
 
         let (hop_histogram, hop_overflow, avg_goal_distance) = Report::hop_fields(&core.hop_hist);
         // Fold the per-PE accumulators in PE order — fixed order, so the
-        // sequential and parallel engines produce bit-identical floats.
-        let mut dispatch = OnlineStats::new();
-        for s in &core.dispatch_latency {
-            dispatch.merge(s);
-        }
+        // sequential and parallel engines (and the sparse and dense state
+        // modes) produce bit-identical floats.
+        let dispatch = core.dispatch_latency.fold();
         let dispatch_latency_mean = dispatch.mean();
         let dispatch_latency_max = dispatch.max().unwrap_or(0.0);
         let efficiency = core.seq_work as f64 / (num_pes as u64 * t) as f64;
+
+        // The O(PE-count) vector is emitted only on request; every
+        // aggregate above was already computed from the full array.
+        let per_pe_utilization = if core.config.per_pe_metrics {
+            per_pe_utilization
+        } else {
+            Vec::new()
+        };
 
         Report {
             strategy: self.strategy.name().to_string(),
@@ -2561,6 +2679,12 @@ impl Machine {
             avg_utilization,
             efficiency,
             speedup,
+            util_p10,
+            util_p50,
+            util_p90,
+            util_p99,
+            top_pes,
+            other_goals,
             per_pe_utilization,
             per_pe_goals,
             util_series,
@@ -2646,12 +2770,15 @@ mod tests {
     }
 
     fn run(n: i64, strategy: Box<dyn Strategy>, seed: u64) -> Report {
+        let mut config = MachineConfig::default().with_seed(seed);
+        // The placement assertions below read the opt-in per-PE vectors.
+        config.per_pe_metrics = true;
         let machine = Machine::new(
             ring(4),
             Box::new(Fib(n)),
             strategy,
             CostModel::unit(),
-            MachineConfig::default().with_seed(seed),
+            config,
         )
         .unwrap();
         machine.run().unwrap()
@@ -2923,6 +3050,7 @@ mod tests {
     ) -> Result<Report, SimError> {
         let mut config = MachineConfig::default().with_seed(seed);
         config.fault_plan = plan;
+        config.per_pe_metrics = true; // match `run` for report comparisons
         Machine::new(
             ring(4),
             Box::new(Fib(n)),

@@ -168,6 +168,19 @@ pub struct OpenMetrics {
     pub breaker_opens: u64,
 }
 
+/// One row of the report's top-K heavy-hitter table: a PE and the work it
+/// absorbed. The table (plus the [`Report::other_goals`] remainder) is the
+/// O(1)-size stand-in for the full `per_pe_goals` vector on huge machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopPe {
+    /// The PE's id.
+    pub pe: u32,
+    /// Goals it executed.
+    pub goals: u64,
+    /// Its utilization fraction in `[0, 1]`.
+    pub utilization: f64,
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -202,9 +215,32 @@ pub struct Report {
     pub efficiency: f64,
     /// Speedup as the paper defines it: `num_pes * avg_utilization`.
     pub speedup: f64,
-    /// Per-PE utilization fractions in `[0, 1]`.
+    /// Per-PE utilization quantiles (fractions in `[0, 1]`) from a
+    /// log-histogram sketch of per-PE busy time — the O(1) summary of the
+    /// utilization distribution that is always present, however large the
+    /// machine. Bucket error <= 12.5% relative.
+    #[serde(default)]
+    pub util_p10: f64,
+    #[serde(default)]
+    pub util_p50: f64,
+    #[serde(default)]
+    pub util_p90: f64,
+    #[serde(default)]
+    pub util_p99: f64,
+    /// The [`Report::TOP_PES`] PEs that executed the most goals (ties to
+    /// the lower id), heaviest first. Always present; `top-K + other_goals`
+    /// accounts for every executed goal, which `check_invariants` pins.
+    #[serde(default)]
+    pub top_pes: Vec<TopPe>,
+    /// Goals executed by PEs outside `top_pes`.
+    #[serde(default)]
+    pub other_goals: u64,
+    /// Per-PE utilization fractions in `[0, 1]`. Opt-in
+    /// (`MachineConfig::per_pe_metrics`, the CLI's `--per-pe`); empty by
+    /// default so the report stays O(1) in the PE count.
     pub per_pe_utilization: Vec<f64>,
     /// Goals executed by each PE (the placement distribution itself).
+    /// Opt-in like `per_pe_utilization`.
     pub per_pe_goals: Vec<u64>,
     /// Average-across-PEs utilization per sampling interval:
     /// `(interval_start_time, fraction)` — the series of Plots 11–16.
@@ -268,6 +304,9 @@ pub struct Report {
 }
 
 impl Report {
+    /// Size of the [`Report::top_pes`] heavy-hitter table.
+    pub const TOP_PES: usize = 8;
+
     /// Speedup ratio of this run over `other` (the paper's Table 2 cells:
     /// speedup of CWN over GM). Both runs should be of the same program and
     /// topology for the ratio to be meaningful.
@@ -332,11 +371,30 @@ impl Report {
             hist_total, self.goals_executed,
             "hop histogram (with overflow) does not cover every executed goal"
         );
-        let pe_total: u64 = self.per_pe_goals.iter().sum();
+        // Sparse-mode conservation: the heavy-hitter table plus the
+        // remainder must cover every executed goal — the O(1) analogue of
+        // the full per-PE sum below, checked whatever the state mode.
+        let top_total: u64 = self.top_pes.iter().map(|t| t.goals).sum();
         assert_eq!(
-            pe_total, self.goals_executed,
-            "per-PE goal counts do not cover every executed goal"
+            top_total + self.other_goals,
+            self.goals_executed,
+            "top-K goal counts plus remainder do not cover every executed goal"
         );
+        for t in &self.top_pes {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&t.utilization),
+                "top-PE utilization {} out of range",
+                t.utilization
+            );
+        }
+        // The full per-PE vector is opt-in; when present it must agree.
+        if !self.per_pe_goals.is_empty() {
+            let pe_total: u64 = self.per_pe_goals.iter().sum();
+            assert_eq!(
+                pe_total, self.goals_executed,
+                "per-PE goal counts do not cover every executed goal"
+            );
+        }
         if let Some(o) = &self.open {
             // Every arrival is accounted exactly once: refused at the
             // door, completed in time, completed late, dropped by the
@@ -372,6 +430,33 @@ mod tests {
             avg_utilization: speedup / 4.0,
             efficiency: speedup / 4.0,
             speedup,
+            util_p10: 0.4,
+            util_p50: 0.5,
+            util_p90: 0.5,
+            util_p99: 0.5,
+            top_pes: vec![
+                TopPe {
+                    pe: 0,
+                    goals: 1,
+                    utilization: 0.5,
+                },
+                TopPe {
+                    pe: 1,
+                    goals: 1,
+                    utilization: 0.5,
+                },
+                TopPe {
+                    pe: 2,
+                    goals: 1,
+                    utilization: 0.5,
+                },
+                TopPe {
+                    pe: 3,
+                    goals: 0,
+                    utilization: 0.5,
+                },
+            ],
+            other_goals: 0,
             per_pe_utilization: vec![0.5; 4],
             per_pe_goals: vec![1, 1, 1, 0],
             util_series: vec![],
@@ -452,9 +537,33 @@ mod tests {
         r.goals_created = 5;
         r.goals_executed = 5;
         r.per_pe_goals = vec![2, 1, 1, 1];
+        r.other_goals = 2; // top-K table still shows 3 of the 5
         r.hop_histogram = vec![1, 2];
         r.hop_overflow = 2; // 3 in buckets + 2 overflowed = 5 executed
         r.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "top-K")]
+    fn invariants_catch_top_k_undercount() {
+        // Sparse-mode conservation: the heavy-hitter table plus the
+        // remainder must cover every executed goal even when the full
+        // per-PE vector is absent (the sparse default).
+        let mut r = dummy(1.0);
+        r.per_pe_goals = Vec::new();
+        r.per_pe_utilization = Vec::new();
+        r.other_goals = 0;
+        r.top_pes.pop(); // drop a PE that executed... nothing; still 3
+        r.top_pes.pop(); // now the table misses an executed goal
+        r.check_invariants();
+    }
+
+    #[test]
+    fn invariants_skip_per_pe_sum_when_vectors_opted_out() {
+        let mut r = dummy(1.0);
+        r.per_pe_goals = Vec::new();
+        r.per_pe_utilization = Vec::new();
+        r.check_invariants(); // top-K + other still covers everything
     }
 
     #[test]

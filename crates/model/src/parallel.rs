@@ -787,14 +787,16 @@ fn merge_shards(
         let s = &mut shards[o].core;
         std::mem::swap(&mut m0.core.pes[p], &mut s.pes[p]);
         std::mem::swap(&mut m0.core.pe_rngs[p], &mut s.pe_rngs[p]);
-        std::mem::swap(&mut m0.core.dispatch_latency[p], &mut s.dispatch_latency[p]);
+        m0.core
+            .dispatch_latency
+            .swap_pe(p as u32, &mut s.dispatch_latency);
         m0.core.key_seq[1 + p] = s.key_seq[1 + p];
         m0.core.goal_seq[1 + p] = s.goal_seq[1 + p];
     }
     for c in 0..nch {
         let o = owners.chan_owner[c] as usize;
         let s = &mut shards[o].core;
-        std::mem::swap(&mut m0.core.channels[c], &mut s.channels[c]);
+        m0.core.channels.swap_slot(c as u32, &mut s.channels);
         m0.core.key_seq[1 + n + c] = s.key_seq[1 + n + c];
     }
 

@@ -132,11 +132,24 @@ impl Pe {
     /// A fresh idle PE with `degree` neighbours and the given sampling
     /// interval for its utilization series.
     pub fn new(id: PeId, degree: usize, sampling_interval: u64) -> Self {
+        // Sized so steady-state enqueues stay allocation-free on the
+        // paper workloads (queues rarely exceed a few dozen items).
+        Self::with_queue_capacity(id, degree, sampling_interval, 32)
+    }
+
+    /// Like [`Pe::new`] but with no queue preallocation — the sparse state
+    /// mode's constructor, where a million mostly idle PEs must not each
+    /// hold a 32-slot buffer they will never fill. The first enqueue on an
+    /// active PE allocates; the counting-allocator regression test runs on
+    /// dense machines, where [`Pe::new`] keeps the hot path allocation-free.
+    pub fn new_lean(id: PeId, degree: usize, sampling_interval: u64) -> Self {
+        Self::with_queue_capacity(id, degree, sampling_interval, 0)
+    }
+
+    fn with_queue_capacity(id: PeId, degree: usize, sampling_interval: u64, cap: usize) -> Self {
         Pe {
             id,
-            // Sized so steady-state enqueues stay allocation-free on the
-            // paper workloads (queues rarely exceed a few dozen items).
-            queue: VecDeque::with_capacity(32),
+            queue: VecDeque::with_capacity(cap),
             sys_queue: VecDeque::new(),
             executing: None,
             exec_start: SimTime::ZERO,

@@ -55,7 +55,14 @@ pub const SNAPSHOT_MAGIC: u32 = 0x4D53_4E50;
 /// engine (per-PE RNG streams, per-actor event-key sequences, per-creator
 /// goal-id sequences replacing the global goal counter, per-PE dispatch
 /// latency accumulators, and explicit event-queue keys).
-pub const SNAPSHOT_VERSION: u32 = 4;
+///
+/// v5 made the per-channel table and the per-PE dispatch-latency
+/// accumulators mode-agnostic: both now encode as a count of materialized
+/// slots plus sorted `(id, state)` pairs, so sparse and dense machines
+/// round-trip the same state bit-identically (an untouched sparse slot
+/// and a pristine dense slot are the same state, and neither is encoded
+/// when sparse).
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Why a restore failed: the blob itself was undecodable, or it decoded
 /// fine but does not belong to this machine.
@@ -903,7 +910,12 @@ impl Machine {
         w.u64(self.core.traffic.control_msgs);
         w.u64(self.core.traffic.load_updates);
         put_hist(&mut w, &self.core.hop_hist);
-        for s in &self.core.dispatch_latency {
+        // Dispatch-latency accumulators as sorted (pe, stats) pairs: the
+        // materialized slots only, so sparse machines encode O(touched).
+        let dispatch_slots = self.core.dispatch_latency.present();
+        w.usize(dispatch_slots.len());
+        for (pe, s) in dispatch_slots {
+            w.u32(pe);
             put_stats(&mut w, s);
         }
         put_series(&mut w, &self.core.global_series);
@@ -954,7 +966,11 @@ impl Machine {
         for pe in &self.core.pes {
             put_pe(&mut w, pe);
         }
-        for ch in &self.core.channels {
+        // Channels as sorted (id, state) pairs, materialized slots only.
+        let chan_slots = self.core.channels.present();
+        w.usize(chan_slots.len());
+        for (cid, ch) in chan_slots {
+            w.u32(cid);
             put_channel(&mut w, ch);
         }
         w.u64(queue.now.units());
@@ -1036,8 +1052,21 @@ impl Machine {
         self.core.traffic.control_msgs = r.u64()?;
         self.core.traffic.load_updates = r.u64()?;
         self.core.hop_hist = get_hist(&mut r)?;
-        for s in &mut self.core.dispatch_latency {
-            *s = get_stats(&mut r)?;
+        self.core.dispatch_latency.reset();
+        let n_dispatch = r.usize()?;
+        if n_dispatch > num_pes {
+            return Err(RestoreFail::Mismatch(format!(
+                "snapshot has {n_dispatch} dispatch-latency slots for a {num_pes}-PE machine"
+            )));
+        }
+        for _ in 0..n_dispatch {
+            let pe = r.u32()?;
+            if pe as usize >= num_pes {
+                return Err(RestoreFail::Mismatch(format!(
+                    "dispatch-latency slot for PE {pe} out of range (machine has {num_pes})"
+                )));
+            }
+            *self.core.dispatch_latency.slot_mut(pe) = get_stats(&mut r)?;
         }
         self.core.global_series = get_series(&mut r)?;
         self.core.root_result = if r.bool()? {
@@ -1089,8 +1118,21 @@ impl Machine {
         for pe in &mut self.core.pes {
             get_pe(&mut r, pe)?;
         }
-        for ch in &mut self.core.channels {
-            get_channel(&mut r, ch)?;
+        self.core.channels.reset();
+        let n_chan = r.usize()?;
+        if n_chan > num_channels {
+            return Err(RestoreFail::Mismatch(format!(
+                "snapshot has {n_chan} channel slots for a {num_channels}-channel machine"
+            )));
+        }
+        for _ in 0..n_chan {
+            let cid = r.u32()?;
+            if cid as usize >= num_channels {
+                return Err(RestoreFail::Mismatch(format!(
+                    "channel slot {cid} out of range (machine has {num_channels})"
+                )));
+            }
+            get_channel(&mut r, self.core.channels.get_mut(ChannelId(cid)))?;
         }
         let now = SimTime(r.u64()?);
         let processed = r.u64()?;

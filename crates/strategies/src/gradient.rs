@@ -77,11 +77,11 @@ impl GradientParams {
 #[derive(Debug, Clone)]
 struct GmPe {
     /// Own last-broadcast proximity.
-    proximity: u16,
+    proximity: u32,
     /// Last received proximity of each neighbour (indexed like the
     /// topology's neighbour list); "all the PEs initially assume that the
     /// proximities of their neighbors are 0".
-    neighbor_prox: Vec<u16>,
+    neighbor_prox: Vec<u32>,
 }
 
 /// The Gradient Model strategy.
@@ -146,7 +146,7 @@ impl GradientModel {
         // reachability check below covers the race before that hook fires.
         if load > self.params.high_water_mark {
             let st = &self.state[pe.idx()];
-            let mut best: Option<(PeId, u16)> = None;
+            let mut best: Option<(PeId, u32)> = None;
             for (i, n) in core.topology().neighbors(pe).iter().enumerate() {
                 if !core.neighbor_reachable(pe, n.pe) {
                     continue;
@@ -213,7 +213,7 @@ impl Strategy for GradientModel {
     fn on_control(&mut self, core: &mut Core, pe: PeId, from: PeId, msg: ControlMsg) {
         if msg.tag == TAG_PROXIMITY {
             if let Some(idx) = neighbor_index(core, pe, from) {
-                self.state[pe.idx()].neighbor_prox[idx] = msg.value as u16;
+                self.state[pe.idx()].neighbor_prox[idx] = msg.value as u32;
             }
         }
     }
@@ -244,10 +244,10 @@ impl Strategy for GradientModel {
         let mut w = SnapWriter::new();
         w.usize(self.state.len());
         for st in &self.state {
-            w.u32(st.proximity as u32);
+            w.u32(st.proximity);
             w.usize(st.neighbor_prox.len());
             for &p in &st.neighbor_prox {
-                w.u32(p as u32);
+                w.u32(p);
             }
         }
         StrategyState {
@@ -275,7 +275,7 @@ impl Strategy for GradientModel {
         }
         let mut restored = Vec::with_capacity(n);
         for i in 0..n {
-            let proximity = r.u32().map_err(bad)? as u16;
+            let proximity = r.u32().map_err(bad)?;
             let deg = r.usize().map_err(bad)?;
             let expect = core.topology().degree(PeId(i as u32));
             if deg != expect {
@@ -286,7 +286,7 @@ impl Strategy for GradientModel {
             }
             let mut neighbor_prox = Vec::with_capacity(deg);
             for _ in 0..deg {
-                neighbor_prox.push(r.u32().map_err(bad)? as u16);
+                neighbor_prox.push(r.u32().map_err(bad)?);
             }
             restored.push(GmPe {
                 proximity,
@@ -323,7 +323,7 @@ impl Strategy for GradientModel {
             ));
         }
         for (i, &own) in owned.iter().enumerate() {
-            let proximity = r.u32().map_err(bad)? as u16;
+            let proximity = r.u32().map_err(bad)?;
             let deg = r.usize().map_err(bad)?;
             if deg != self.state[i].neighbor_prox.len() {
                 return Err(format!(
@@ -334,7 +334,7 @@ impl Strategy for GradientModel {
             }
             let mut neighbor_prox = Vec::with_capacity(deg);
             for _ in 0..deg {
-                neighbor_prox.push(r.u32().map_err(bad)? as u16);
+                neighbor_prox.push(r.u32().map_err(bad)?);
             }
             if own {
                 self.state[i] = GmPe {

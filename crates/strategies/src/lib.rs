@@ -276,8 +276,11 @@ pub(crate) mod testutil {
         topo: Topology,
         strategy: Box<dyn Strategy>,
         n: i64,
-        config: MachineConfig,
+        mut config: MachineConfig,
     ) -> Report {
+        // Strategy tests assert on work placement, which lives in the
+        // (now opt-in) per-PE report vectors.
+        config.per_pe_metrics = true;
         let machine = Machine::new(
             topo,
             Box::new(Fib(n)),

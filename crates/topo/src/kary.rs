@@ -7,19 +7,25 @@
 //! covers the whole design space the 1980s interconnection literature
 //! argued over, and lets the ablation harness sweep dimensionality at a
 //! fixed PE count.
+//!
+//! Routing is arithmetic (per-digit ring distance), so even million-PE
+//! cubes carry no distance table.
 
-use crate::graph::{PeId, Topology};
+use crate::graph::{ArithmeticRouter, PeId, Topology};
 
 /// Build a k-ary n-cube (`k^n` PEs).
 ///
 /// # Panics
 ///
-/// Panics unless `k >= 2`, `1 <= n`, and `k^n <= 65_536`.
+/// Panics unless `k >= 2`, `1 <= n`, and `k^n` fits the PE id space
+/// (`u32`).
 pub fn kary_ncube(k: usize, n: u32) -> Topology {
     assert!(k >= 2, "radix must be at least 2");
     assert!(n >= 1, "dimension must be at least 1");
-    let size = (k as u64).checked_pow(n).expect("k^n overflows");
-    assert!(size <= 65_536, "k^n = {size} exceeds the 65536-PE limit");
+    let size = (k as u64)
+        .checked_pow(n)
+        .filter(|&s| u32::try_from(s).is_ok())
+        .unwrap_or_else(|| panic!("k^n = {k}^{n} exceeds the PE id space"));
     let size = size as usize;
 
     // Stride of each dimension in the mixed-radix address.
@@ -45,7 +51,15 @@ pub fn kary_ncube(k: usize, n: u32) -> Topology {
             let _ = d;
         }
     }
-    Topology::from_channels(format!("{k}-ary {n}-cube"), size, channels)
+    // Each digit contributes at most floor(k/2) ring hops.
+    let diameter = n * (k as u32 / 2);
+    Topology::with_arithmetic_router(
+        format!("{k}-ary {n}-cube"),
+        size,
+        channels,
+        ArithmeticRouter::KAry { k: k as u32, n },
+        diameter,
+    )
 }
 
 #[cfg(test)]
@@ -122,6 +136,37 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds")]
     fn oversized_cube_panics() {
-        kary_ncube(64, 4);
+        kary_ncube(64, 8);
+    }
+
+    /// Arithmetic routing must reproduce the dense BFS table exactly.
+    #[test]
+    fn arithmetic_router_matches_dense_bfs_tables() {
+        for (k, n) in [(5, 1), (4, 2), (3, 3), (2, 4)] {
+            let arith = kary_ncube(k, n);
+            let channels = (0..arith.num_channels())
+                .map(|c| {
+                    arith
+                        .channel_members(crate::graph::ChannelId(c as u32))
+                        .to_vec()
+                })
+                .collect();
+            let dense =
+                Topology::from_channels(arith.name().to_string(), arith.num_pes(), channels);
+            for a in arith.pes() {
+                for b in arith.pes() {
+                    assert_eq!(arith.distance(a, b), dense.distance(a, b));
+                    assert_eq!(
+                        arith.next_hop(a, b),
+                        dense.next_hop(a, b),
+                        "{a}->{b} on {}-ary {}-cube",
+                        k,
+                        n
+                    );
+                }
+            }
+            assert_eq!(arith.diameter(), dense.diameter());
+            assert!((arith.mean_distance() - dense.mean_distance()).abs() < 1e-9);
+        }
     }
 }

@@ -9,9 +9,12 @@
 //!
 //! A topology is a set of *channels*; a channel is either a point-to-point
 //! link (two members) or a bus (more than two members). Two PEs are
-//! *neighbours* iff they share a channel. Every topology carries precomputed
-//! all-pairs shortest-path distances and deterministic next-hop routing
-//! tables, which the machine model uses to route response messages.
+//! *neighbours* iff they share a channel. Every topology answers
+//! shortest-path distance and deterministic next-hop queries: the regular
+//! families (grid/torus/hypercube/k-ary) arithmetically with no stored
+//! table, small arbitrary graphs from a precomputed all-pairs table, and
+//! large arbitrary graphs (edge-list files, `rand:NxD`) through a lazy
+//! BFS-on-demand router — so memory stays O(PEs + links) at every scale.
 
 pub mod dlm;
 pub mod graph;
@@ -22,6 +25,6 @@ pub mod misc;
 pub mod partition;
 pub mod spec;
 
-pub use graph::{ChannelId, Neighbor, PeId, Topology};
+pub use graph::{random_regular, ChannelId, Neighbor, PeId, SpecError, Topology};
 pub use partition::{partition, Partition};
 pub use spec::TopologySpec;

@@ -76,7 +76,7 @@ pub fn partition(topo: &Topology, num_shards: usize) -> Partition {
                 .iter()
                 .map(|&s| topo.distance(s, pe))
                 .min()
-                .unwrap_or(u16::MAX);
+                .unwrap_or(u32::MAX);
             let better = match best {
                 None => true,
                 Some((bd, _)) => d > bd,

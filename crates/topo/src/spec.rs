@@ -3,7 +3,10 @@
 //! A [`TopologySpec`] is a small serializable value describing which topology
 //! to build; `build()` turns it into a concrete [`Topology`]. Specs also
 //! parse from compact strings (`"grid:10x10"`, `"dlm:5x20x20"`,
-//! `"hypercube:7"`), which the CLI and benchmark harnesses use.
+//! `"hypercube:7"`, `"rand:100000x4"`), which the CLI and benchmark
+//! harnesses use. All size arithmetic is checked: a spec whose PE count
+//! overflows (or exceeds the `u32` id space) is a loud error naming the
+//! offending token, never a wrapped nonsense count.
 
 use std::fmt;
 use std::str::FromStr;
@@ -11,7 +14,11 @@ use std::str::FromStr;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::Topology;
-use crate::{dlm, hypercube, kary, mesh, misc};
+use crate::{dlm, graph, hypercube, kary, mesh, misc};
+
+/// Seed for the `rand:NxD` topology family: the graph is a pure function of
+/// `(nodes, degree)` and this constant, so a spec names one graph forever.
+const RANDOM_TOPOLOGY_SEED: u64 = 0x00C0_FFEE_5EED_5EED;
 
 /// A description of an interconnection topology.
 ///
@@ -51,6 +58,9 @@ pub enum TopologySpec {
     KAryNCube { k: usize, n: u32 },
     /// Complete `arity`-ary tree of the given depth.
     Tree { arity: usize, depth: u32 },
+    /// Seeded connected random graph: a ring plus random chords up to
+    /// roughly `degree` per PE. Deterministic per `(nodes, degree)`.
+    Random { nodes: u32, degree: u32 },
 }
 
 impl TopologySpec {
@@ -75,19 +85,60 @@ impl TopologySpec {
         }
     }
 
-    /// Number of PEs this spec will produce.
-    pub fn num_pes(&self) -> usize {
+    /// Number of PEs this spec will produce, with checked arithmetic: a
+    /// count that overflows or exceeds the `u32` PE id space is an error
+    /// naming the offending spec token rather than a silently wrapped
+    /// value.
+    pub fn try_num_pes(&self) -> Result<usize, String> {
+        let fit = |n: u64| -> Result<usize, String> {
+            if u32::try_from(n).is_err() {
+                return Err(format!(
+                    "spec token {self}: PE count {n} exceeds the u32 id space"
+                ));
+            }
+            Ok(n as usize)
+        };
+        let overflow = || format!("spec token {self}: PE count overflows");
         match *self {
-            TopologySpec::Mesh2D { width, height, .. } => width * height,
-            TopologySpec::DoubleLatticeMesh { width, height, .. } => width * height,
-            TopologySpec::Hypercube { dim } => 1 << dim,
+            TopologySpec::Mesh2D { width, height, .. }
+            | TopologySpec::DoubleLatticeMesh { width, height, .. } => (width as u64)
+                .checked_mul(height as u64)
+                .ok_or_else(overflow)
+                .and_then(fit),
+            TopologySpec::Hypercube { dim } => {
+                if dim >= 32 {
+                    return Err(overflow());
+                }
+                fit(1u64 << dim)
+            }
             TopologySpec::Ring { n }
             | TopologySpec::Complete { n }
             | TopologySpec::Star { n }
-            | TopologySpec::SingleBus { n } => n,
-            TopologySpec::KAryNCube { k, n } => k.pow(n),
-            TopologySpec::Tree { arity, depth } => (0..=depth).map(|d| arity.pow(d)).sum(),
+            | TopologySpec::SingleBus { n } => fit(n as u64),
+            TopologySpec::KAryNCube { k, n } => {
+                (k as u64).checked_pow(n).ok_or_else(overflow).and_then(fit)
+            }
+            TopologySpec::Tree { arity, depth } => {
+                let mut size = 0u64;
+                let mut level = 1u64;
+                for _ in 0..=depth {
+                    size = size.checked_add(level).ok_or_else(overflow)?;
+                    level = level.checked_mul(arity as u64).ok_or_else(overflow)?;
+                }
+                fit(size)
+            }
+            TopologySpec::Random { nodes, .. } => Ok(nodes as usize),
         }
+    }
+
+    /// Number of PEs this spec will produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count overflows; fallible callers (parsers, loaders)
+    /// should prefer [`TopologySpec::try_num_pes`].
+    pub fn num_pes(&self) -> usize {
+        self.try_num_pes().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Construct the topology.
@@ -110,6 +161,9 @@ impl TopologySpec {
             TopologySpec::SingleBus { n } => misc::single_bus(n),
             TopologySpec::KAryNCube { k, n } => kary::kary_ncube(k, n),
             TopologySpec::Tree { arity, depth } => misc::tree(arity, depth),
+            TopologySpec::Random { nodes, degree } => {
+                graph::random_regular(nodes, degree, RANDOM_TOPOLOGY_SEED)
+            }
         }
     }
 }
@@ -137,6 +191,7 @@ impl fmt::Display for TopologySpec {
             TopologySpec::SingleBus { n } => write!(f, "bus:{n}"),
             TopologySpec::KAryNCube { k, n } => write!(f, "kary:{k}x{n}"),
             TopologySpec::Tree { arity, depth } => write!(f, "tree:{arity}x{depth}"),
+            TopologySpec::Random { nodes, degree } => write!(f, "rand:{nodes}x{degree}"),
         }
     }
 }
@@ -163,39 +218,54 @@ impl FromStr for TopologySpec {
             .split('x')
             .map(|p| p.parse().map_err(|_| err()))
             .collect::<Result<_, _>>()?;
-        match (kind, nums.as_slice()) {
-            ("grid", [w, h]) => Ok(TopologySpec::Mesh2D {
+        let spec = match (kind, nums.as_slice()) {
+            ("grid", [w, h]) => TopologySpec::Mesh2D {
                 width: *w,
                 height: *h,
                 wraparound: false,
-            }),
-            ("grid", [side]) => Ok(TopologySpec::grid(*side)),
-            ("torus", [w, h]) => Ok(TopologySpec::Mesh2D {
+            },
+            ("grid", [side]) => TopologySpec::grid(*side),
+            ("torus", [w, h]) => TopologySpec::Mesh2D {
                 width: *w,
                 height: *h,
                 wraparound: true,
-            }),
-            ("dlm", [span, w, h]) => Ok(TopologySpec::DoubleLatticeMesh {
+            },
+            ("torus", [side]) => TopologySpec::Mesh2D {
+                width: *side,
+                height: *side,
+                wraparound: true,
+            },
+            ("dlm", [span, w, h]) => TopologySpec::DoubleLatticeMesh {
                 span: *span,
                 width: *w,
                 height: *h,
-            }),
-            ("dlm", [side]) => Ok(TopologySpec::dlm(*side)),
-            ("hypercube", [dim]) => Ok(TopologySpec::Hypercube { dim: *dim as u32 }),
-            ("ring", [n]) => Ok(TopologySpec::Ring { n: *n }),
-            ("complete", [n]) => Ok(TopologySpec::Complete { n: *n }),
-            ("star", [n]) => Ok(TopologySpec::Star { n: *n }),
-            ("bus", [n]) => Ok(TopologySpec::SingleBus { n: *n }),
-            ("kary", [k, n]) => Ok(TopologySpec::KAryNCube {
+            },
+            ("dlm", [side]) => TopologySpec::dlm(*side),
+            ("hypercube", [dim]) => TopologySpec::Hypercube { dim: *dim as u32 },
+            ("ring", [n]) => TopologySpec::Ring { n: *n },
+            ("complete", [n]) => TopologySpec::Complete { n: *n },
+            ("star", [n]) => TopologySpec::Star { n: *n },
+            ("bus", [n]) => TopologySpec::SingleBus { n: *n },
+            ("kary", [k, n]) => TopologySpec::KAryNCube {
                 k: *k,
                 n: *n as u32,
-            }),
-            ("tree", [arity, depth]) => Ok(TopologySpec::Tree {
+            },
+            ("tree", [arity, depth]) => TopologySpec::Tree {
                 arity: *arity,
                 depth: *depth as u32,
-            }),
-            _ => Err(err()),
-        }
+            },
+            ("rand", [nodes, degree]) => TopologySpec::Random {
+                nodes: u32::try_from(*nodes)
+                    .map_err(|_| ParseSpecError(format!("{s} (node count exceeds u32)")))?,
+                degree: u32::try_from(*degree)
+                    .map_err(|_| ParseSpecError(format!("{s} (degree exceeds u32)")))?,
+            },
+            _ => return Err(err()),
+        };
+        // Size arithmetic is checked at parse time so a CLI user sees the
+        // offending token, not a downstream panic.
+        spec.try_num_pes().map_err(ParseSpecError)?;
+        Ok(spec)
     }
 }
 
@@ -215,6 +285,10 @@ mod tests {
             TopologySpec::SingleBus { n: 4 },
             TopologySpec::KAryNCube { k: 3, n: 3 },
             TopologySpec::Tree { arity: 2, depth: 4 },
+            TopologySpec::Random {
+                nodes: 50,
+                degree: 4,
+            },
         ];
         for spec in specs {
             let t = spec.build();
@@ -259,6 +333,10 @@ mod tests {
             TopologySpec::SingleBus { n: 16 },
             TopologySpec::KAryNCube { k: 4, n: 3 },
             TopologySpec::Tree { arity: 3, depth: 2 },
+            TopologySpec::Random {
+                nodes: 1000,
+                degree: 4,
+            },
         ];
         for spec in specs {
             let parsed: TopologySpec = spec.to_string().parse().unwrap();
@@ -284,6 +362,21 @@ mod tests {
                 height: 20
             }
         );
+        assert_eq!(
+            "torus:1000".parse::<TopologySpec>().unwrap(),
+            TopologySpec::Mesh2D {
+                width: 1000,
+                height: 1000,
+                wraparound: true,
+            }
+        );
+        assert_eq!(
+            "rand:100000x4".parse::<TopologySpec>().unwrap(),
+            TopologySpec::Random {
+                nodes: 100_000,
+                degree: 4,
+            }
+        );
     }
 
     #[test]
@@ -291,5 +384,52 @@ mod tests {
         for bad in ["", "grid", "grid:", "grid:axb", "blah:3", "hypercube:1x2"] {
             assert!(bad.parse::<TopologySpec>().is_err(), "{bad:?} parsed");
         }
+    }
+
+    /// Regression for the unchecked dimension multiply: an overflowing spec
+    /// must parse to an error naming the offending token, not produce a
+    /// wrapped PE count.
+    #[test]
+    fn overflowing_dimensions_are_rejected_with_the_token() {
+        let spec = TopologySpec::Mesh2D {
+            width: 10_000_000_000,
+            height: 10_000_000_000,
+            wraparound: false,
+        };
+        let err = spec.try_num_pes().unwrap_err();
+        assert!(err.contains("grid:10000000000x10000000000"), "{err}");
+        assert!(err.contains("overflows"), "{err}");
+
+        let err = "grid:10000000000x10000000000"
+            .parse::<TopologySpec>()
+            .unwrap_err();
+        assert!(err.0.contains("grid:10000000000x10000000000"), "{}", err.0);
+
+        let err = TopologySpec::KAryNCube { k: 1000, n: 10 }
+            .try_num_pes()
+            .unwrap_err();
+        assert!(err.contains("kary:1000x10"), "{err}");
+
+        // Within u64 but beyond the u32 id space: also rejected, with the
+        // actual count in the message.
+        let err = "torus:100000x100000".parse::<TopologySpec>().unwrap_err();
+        assert!(err.0.contains("exceeds the u32 id space"), "{}", err.0);
+
+        let err = TopologySpec::Hypercube { dim: 40 }
+            .try_num_pes()
+            .unwrap_err();
+        assert!(err.contains("hypercube:40"), "{err}");
+    }
+
+    #[test]
+    fn million_pe_specs_count_without_building() {
+        assert_eq!(
+            "torus:1000x1000".parse::<TopologySpec>().unwrap().num_pes(),
+            1_000_000
+        );
+        assert_eq!(
+            "rand:1000000x4".parse::<TopologySpec>().unwrap().num_pes(),
+            1_000_000
+        );
     }
 }

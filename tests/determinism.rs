@@ -30,6 +30,9 @@ fn run(strategy: StrategySpec, seed: u64) -> Report {
         .topology(TopologySpec::grid(5))
         .strategy(strategy)
         .workload(WorkloadSpec::fib(13))
+        // Per-PE vectors are opt-in now; keep them in the comparison so
+        // the per-PE equality below stays a real check, not empty==empty.
+        .per_pe_metrics(true)
         .seed(seed)
         .run_validated()
         .unwrap()
@@ -157,6 +160,7 @@ fn empty_fault_plan_is_bit_identical_to_no_plan() {
             .topology(TopologySpec::grid(5))
             .strategy(strategy)
             .workload(WorkloadSpec::fib(13))
+            .per_pe_metrics(true) // match `run` for the Debug comparison
             .seed(42)
             .fault_plan(oracle::model::FaultPlan::none())
             .run_validated()
@@ -174,6 +178,7 @@ fn root_pe_choice_changes_placement_not_the_answer() {
     let mk = |root: u32| {
         let mut machine = MachineConfig::default().with_seed(4);
         machine.root_pe = root;
+        machine.per_pe_metrics = true; // the assertion below reads the vectors
         SimulationBuilder::new()
             .topology(TopologySpec::grid(4))
             .strategy(StrategySpec::Cwn {

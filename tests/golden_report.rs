@@ -30,6 +30,9 @@ fn check(name: &str, mut config: oracle::builder::RunConfig) {
     // it enabled both proves these configurations audit clean and pins the
     // guarantee that auditing never perturbs simulated results.
     config.machine.audit_every = 50;
+    // Goldens pin the full per-PE vectors too (opt-in since the streaming
+    // aggregates became the default report shape).
+    config.machine.per_pe_metrics = true;
     let report = config.run().expect(name);
     let rendered = format!("{report:#?}\n");
     let path = golden_dir().join(format!("{name}.txt"));
